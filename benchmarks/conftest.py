@@ -1,0 +1,32 @@
+"""Shared configuration for the benchmark harness.
+
+Every paper table/figure benchmark runs the corresponding experiment once
+(``benchmark.pedantic(rounds=1)``) at the ``bench`` scale — large enough to
+reproduce the paper's qualitative shape, small enough for a laptop — prints
+the regenerated table, and asserts the paper's qualitative findings.
+
+Set ``REPRO_BENCH_SCALE=ci`` to smoke-test the harness in seconds, or
+``paper`` to run the full (very slow) configuration.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments import get_scale
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    name = os.environ.get("REPRO_BENCH_SCALE", "bench")
+    return get_scale(name)
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+
+    def _run(fn):
+        return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+    return _run

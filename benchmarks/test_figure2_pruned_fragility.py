@@ -1,0 +1,43 @@
+"""Regenerates Figure 2: accuracy of dense and pruned models (no FT
+training) under increasing fault rates, both dataset analogues.
+
+Paper reference shape:
+
+* all curves fall monotonically (in tendency) with the fault rate;
+* higher sparsity -> earlier/faster collapse, dramatically so on CIFAR-100;
+* at equal sparsity, one-shot and ADMM pruning behave similarly.
+"""
+
+import pytest
+
+from repro.experiments import run_figure2
+
+
+@pytest.mark.parametrize("dataset", ["small", "large"])
+def test_figure2(run_once, bench_scale, dataset):
+    result = run_once(lambda: run_figure2(bench_scale, dataset=dataset))
+    print()
+    print(result.text)
+
+    rates = [r for r in bench_scale.test_rates if r > 0]
+    high = max(rates)
+    dense = result.curves["Dense"]
+    p70_admm = result.curves["ADMM Pruned 70%"]
+    p70_oneshot = result.curves["One-Shot Pruned 70%"]
+    p40_admm = result.curves["ADMM Pruned 40%"]
+
+    # All models collapse at the highest rate.
+    for curve in result.curves.values():
+        assert curve[high] < curve[0.0] * 0.8
+    # Relative drop at a mid rate: 70%-sparse >= dense (sparser is more
+    # fragile).  Compare drops, not absolute accuracy.
+    mid = 0.02 if 0.02 in dense else rates[len(rates) // 2]
+    dense_drop = dense[0.0] - dense[mid]
+    p70_drop = p70_admm[0.0] - p70_admm[mid]
+    assert p70_drop >= dense_drop - 5.0
+    # 70% sparsity at least as fragile as 40% at the mid rate.
+    p40_drop = p40_admm[0.0] - p40_admm[mid]
+    assert p70_drop >= p40_drop - 5.0
+    # Same-sparsity pruning methods behave similarly (paper: "little
+    # difference in their fault-tolerance performance").
+    assert abs(p70_admm[mid] - p70_oneshot[mid]) < 25.0

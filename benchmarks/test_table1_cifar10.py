@@ -1,0 +1,49 @@
+"""Regenerates Table I, CIFAR-10 half (ResNet-20-style backbone).
+
+Paper reference points (CIFAR-10, ResNet-20, pretrain 92.53%):
+
+* baseline drops ~2.4pp at rate 0.001 and collapses to ~10% (chance) by
+  rate 0.02;
+* one-shot/progressive models at P_sa^T=0.05 hold ~91.4 / ~91.7 at rate
+  0.005 and ~64 / ~62 at rate 0.05;
+* larger training rates win at high testing rates.
+
+The bench asserts those *shapes* on the synthetic CIFAR-10 analogue.
+"""
+
+from repro.experiments import run_table1
+
+
+def test_table1_cifar10(run_once, bench_scale):
+    result = run_once(lambda: run_table1(bench_scale, dataset="small"))
+    print()
+    print(result.text)
+
+    baseline = result.baseline
+    rates = bench_scale.test_rates
+    high_rate = max(r for r in rates if r > 0)
+    mid_rate = 0.05 if 0.05 in rates else high_rate
+
+    # Shape 1: baseline collapses toward chance at high fault rates.
+    assert baseline.acc_defect(high_rate) < baseline.acc_pretrain * 0.5
+    # Shape 2: every fault-tolerant model beats the baseline at the mid rate.
+    ft_reports = result.reports[1:]
+    for report in ft_reports:
+        assert report.acc_defect(mid_rate) >= baseline.acc_defect(mid_rate)
+    # Shape 3: the best FT model at the mid rate improves by a wide margin.
+    best_mid = max(r.acc_defect(mid_rate) for r in ft_reports)
+    assert best_mid > baseline.acc_defect(mid_rate) + 10.0
+    # Shape 4: clean accuracy of FT models stays close to the pretrain
+    # accuracy (the paper even observes small improvements).
+    best_clean = max(r.acc_retrain for r in ft_reports)
+    assert best_clean > baseline.acc_pretrain - 5.0
+    # Shape 5: at the highest testing rate, the largest training rate is
+    # among the best performers (paper: "use a larger target training
+    # failure rate for a better fault-tolerant model").
+    biggest = f"PsaT={max(bench_scale.train_rates):g}"
+    smallest = f"PsaT={min(bench_scale.train_rates):g}"
+    big_rows = [r for r in ft_reports if r.method.endswith(biggest)]
+    small_rows = [r for r in ft_reports if r.method.endswith(smallest)]
+    assert max(r.acc_defect(high_rate) for r in big_rows) >= max(
+        r.acc_defect(high_rate) for r in small_rows
+    )

@@ -1,0 +1,51 @@
+"""Regenerates Table II: Stability Scores of FT models from the pretrained
+and ADMM-pruned backbones (CIFAR-100 analogue).
+
+Paper reference points:
+
+* baseline (no FT training) SS ~ 1.0 at both testing rates;
+* FT models reach SS in the tens (e.g. one-shot P=0.05 -> 36.4 at 0.01);
+* FT models derived from the pruned backbone score lower than from the
+  dense backbone (pruned models are more fragile) but still far above
+  their own baseline.
+"""
+
+from repro.experiments import run_table2
+
+
+def test_table2_stability(run_once, bench_scale):
+    # Two mid training rates: high enough for a real SS gap over the
+    # baseline, low enough that the sparse backbone stays trainable at
+    # the bench scale's short epoch budget.
+    if bench_scale.name == "paper":
+        train_rates = (0.01, 0.05, 0.1)
+    else:
+        train_rates = (0.02, 0.05)
+    result = run_once(
+        lambda: run_table2(bench_scale, sparsity=0.7, train_rates=train_rates)
+    )
+    print()
+    print(result.text)
+
+    dense_rows = [r for r in result.rows if r["method"].startswith("Pretrained")]
+    pruned_rows = [r for r in result.rows if r["method"].startswith("ADMM")]
+    dense_base = dense_rows[0]
+    pruned_base = pruned_rows[0]
+    dense_ft = dense_rows[1:]
+    pruned_ft = pruned_rows[1:]
+
+    # Baselines without FT training have near-minimal stability.  (The
+    # paper's gap is ~35x; at bench scale the 100-run/160-epoch regime is
+    # compressed, so we assert a conservative 2x.)
+    best_dense_ss = max(r["ss_1"] for r in dense_ft)
+    assert best_dense_ss > 2.0 * dense_base["ss_1"]
+    # FT training also rescues the pruned backbone.
+    best_pruned_ss = max(r["ss_1"] for r in pruned_ft)
+    assert best_pruned_ss > pruned_base["ss_1"]
+    # Pruned models are harder to stabilise than dense ones (paper
+    # finding 4): the dense backbone's best SS wins.
+    assert best_dense_ss >= best_pruned_ss * 0.8
+    # SS at the lower testing rate exceeds SS at the higher rate for the
+    # best FT model (less degradation at lower rates).
+    best_row = max(dense_ft, key=lambda r: r["ss_1"])
+    assert best_row["ss_1"] >= best_row["ss_2"]

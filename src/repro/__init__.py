@@ -1,0 +1,72 @@
+"""repro — Fault-Tolerant DNNs for Processing-In-Memory Edge Systems.
+
+A from-scratch reproduction of the DATE 2022 paper by Wang, Yuan et al.:
+stochastic fault-tolerant training (one-shot and progressive) that makes
+DNNs robust to ReRAM stuck-at faults, the Stability Score metric, and the
+pruning/fault-tolerance interaction study — together with every substrate
+it needs: a numpy neural-network framework (``repro.nn``), a behavioural
+ReRAM crossbar simulator (``repro.reram``), pruning algorithms
+(``repro.pruning``), synthetic CIFAR-analogue datasets
+(``repro.datasets``) and an experiment harness (``repro.experiments``).
+
+Quick taste::
+
+    from repro import (
+        OneShotFaultTolerantTrainer, evaluate_defect_accuracy, stability_score,
+    )
+"""
+
+from . import (
+    baselines,
+    core,
+    datasets,
+    experiments,
+    models,
+    nn,
+    pruning,
+    quantization,
+    reram,
+)
+from .core import (
+    AccuracyReport,
+    DefectEvaluation,
+    FaultInjector,
+    OneShotFaultTolerantTrainer,
+    ProgressiveFaultTolerantTrainer,
+    Trainer,
+    apply_fault,
+    default_progressive_schedule,
+    evaluate_accuracy,
+    evaluate_defect_accuracy,
+    stability_score,
+)
+from .reram import SA0_SA1_RATIO, StuckAtFaultSpec, WeightSpaceFaultModel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "nn",
+    "datasets",
+    "models",
+    "reram",
+    "core",
+    "pruning",
+    "experiments",
+    "baselines",
+    "quantization",
+    "apply_fault",
+    "FaultInjector",
+    "Trainer",
+    "OneShotFaultTolerantTrainer",
+    "ProgressiveFaultTolerantTrainer",
+    "default_progressive_schedule",
+    "evaluate_accuracy",
+    "evaluate_defect_accuracy",
+    "DefectEvaluation",
+    "stability_score",
+    "AccuracyReport",
+    "WeightSpaceFaultModel",
+    "StuckAtFaultSpec",
+    "SA0_SA1_RATIO",
+    "__version__",
+]

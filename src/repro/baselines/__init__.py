@@ -1,0 +1,38 @@
+"""Conventional fault-mitigation baselines the paper compares against.
+
+* :mod:`device_specific` — per-device fault-aware retraining (Xia et al.):
+  strong on its own device, does not transfer, needs a retraining pass per
+  manufactured part.
+* :mod:`redundancy` — redundant weight storage with majority combining
+  (Liu et al. style): hardware cost scales with the redundancy factor.
+* :mod:`ecoc` — error-correcting output codes (Liu et al., DAC 2019): a
+  redundant classifier head whose codewords absorb fault-induced bit
+  errors; the paper notes its method composes with this one.
+* :mod:`compensation` — retraining-free differential-pair weight
+  approximation (Hosseini et al., TECS 2021 style): re-program the healthy
+  partner cell of each faulty pair; needs per-device fault maps.
+"""
+
+from .compensation import compensate_mapped_matrix, compensation_residual
+from .device_specific import DeviceFaultMap, DeviceSpecificRetrainer
+from .ecoc import (
+    ECOCLoss,
+    ecoc_predict,
+    evaluate_ecoc_accuracy,
+    generate_codebook,
+    minimum_hamming_distance,
+)
+from .redundancy import RedundantWeightProtection
+
+__all__ = [
+    "DeviceFaultMap",
+    "DeviceSpecificRetrainer",
+    "RedundantWeightProtection",
+    "generate_codebook",
+    "ECOCLoss",
+    "ecoc_predict",
+    "evaluate_ecoc_accuracy",
+    "minimum_hamming_distance",
+    "compensate_mapped_matrix",
+    "compensation_residual",
+]

@@ -1,0 +1,153 @@
+"""Device-specific fault-aware retraining (Xia et al., DAC 2017).
+
+The conventional software remedy the paper argues against: given the
+*known* fault map of one particular device, retrain the network with the
+faulty weights clamped to their stuck values so the healthy weights learn
+to compensate.
+
+This works well *for that device* but (a) requires a per-device
+retraining/remapping pass — untenable for mass-produced edge products —
+and (b) transfers poorly to any other device.  The comparison benchmark
+(``benchmarks/test_baseline_comparison.py``) reproduces exactly this
+trade-off against the paper's stochastic training.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from .. import nn
+from ..core.training import Trainer
+from ..datasets.loader import DataLoader
+from ..reram.deploy import crossbar_parameters
+from ..reram.faults import (
+    StuckAtFaultSpec,
+    WeightSpaceFaultModel,
+    sample_fault_map,
+)
+
+__all__ = ["DeviceFaultMap", "DeviceSpecificRetrainer"]
+
+
+class DeviceFaultMap:
+    """The frozen stuck-at map of one physical device.
+
+    Maps parameter name -> int8 fault-code array (0/1/2) for every
+    crossbar-resident tensor of a model.
+    """
+
+    def __init__(self, maps: Dict[str, np.ndarray]) -> None:
+        self.maps = maps
+
+    @classmethod
+    def sample(
+        cls,
+        model: nn.Module,
+        p_sa: float,
+        rng: np.random.Generator,
+        ratio=None,
+    ) -> "DeviceFaultMap":
+        """Draw one device's map over all crossbar-resident tensors."""
+        kwargs = {} if ratio is None else {"ratio": ratio}
+        spec = StuckAtFaultSpec(p_sa, **kwargs)
+        maps = {
+            name: sample_fault_map(param.data.shape, spec, rng)
+            for name, param in crossbar_parameters(model)
+        }
+        return cls(maps)
+
+    @property
+    def fault_count(self) -> int:
+        return sum(int(np.count_nonzero(m)) for m in self.maps.values())
+
+    def apply_to(
+        self,
+        model: nn.Module,
+        rng: np.random.Generator,
+        fault_model: Optional[WeightSpaceFaultModel] = None,
+    ) -> None:
+        """Clamp the model's weights to this device's stuck values in place."""
+        fault_model = fault_model or WeightSpaceFaultModel()
+        for name, param in crossbar_parameters(model):
+            if name not in self.maps:
+                raise KeyError(f"fault map missing tensor {name!r}")
+            param.data[...] = fault_model.apply(
+                param.data, 0.0, rng, fault_map=self.maps[name]
+            )
+
+
+class DeviceSpecificRetrainer:
+    """Retrain a model against one device's known fault map.
+
+    Every optimisation step clamps the faulty positions to their stuck
+    values (they are physically unwritable), so gradients flow into the
+    healthy weights only and learn to compensate for the specific defect
+    pattern.
+
+    Parameters
+    ----------
+    model:
+        Model to adapt (modified in place).
+    fault_map:
+        The device's :class:`DeviceFaultMap`.
+    rng:
+        Randomness for the SA1 sign draws (fixed once at construction so
+        the device's stuck values are consistent across steps).
+    """
+
+    def __init__(
+        self,
+        model: nn.Module,
+        fault_map: DeviceFaultMap,
+        rng: Optional[np.random.Generator] = None,
+        fault_model: Optional[WeightSpaceFaultModel] = None,
+    ) -> None:
+        self.model = model
+        self.fault_map = fault_map
+        self.fault_model = fault_model or WeightSpaceFaultModel()
+        rng = rng if rng is not None else np.random.default_rng()
+        # Freeze the stuck values once (a real device's SA1 cell has one
+        # fixed polarity, not a fresh coin flip per step).
+        self._stuck_values: Dict[str, np.ndarray] = {}
+        for name, param in crossbar_parameters(model):
+            clamped = self.fault_model.apply(
+                param.data, 0.0, rng, fault_map=fault_map.maps[name]
+            )
+            self._stuck_values[name] = clamped
+
+    def clamp(self) -> None:
+        """Write the stuck values into the faulty positions."""
+        for name, param in crossbar_parameters(self.model):
+            fmap = self.fault_map.maps[name]
+            faulty = fmap != 0
+            param.data[faulty] = self._stuck_values[name][faulty]
+
+    def fit(
+        self,
+        loader: DataLoader,
+        epochs: int,
+        lr: float = 0.01,
+        momentum: float = 0.9,
+    ):
+        """Retrain with per-step clamping; returns the training history."""
+        optimizer = _ClampedSGD(self, self.model.parameters(), lr=lr,
+                                momentum=momentum)
+        trainer = Trainer(self.model, optimizer)
+        self.clamp()
+        history = trainer.fit(loader, epochs)
+        self.clamp()
+        return history
+
+
+class _ClampedSGD(nn.SGD):
+    """SGD that re-clamps the device's stuck weights after every update."""
+
+    def __init__(self, retrainer: DeviceSpecificRetrainer, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._retrainer = retrainer
+
+    def step(self) -> None:
+        super().step()
+        self._retrainer.clamp()

@@ -1,0 +1,88 @@
+"""Redundancy-based fault protection (Liu et al., DAC 2017 style).
+
+The hardware remedy the paper argues against: store each weight on ``r``
+redundant cells/columns and combine the reads, so a single stuck cell is
+outvoted.  Effective against moderate fault rates but costs ``r``x crossbar
+area and peripheral complexity — the overhead the paper's software-only
+approach avoids.
+
+We model redundancy in weight space: each weight is replicated ``r``
+times, each replica faults independently, and the deployed value is the
+combiner (median by default, mean optional) of the replicas.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..reram.faults import (
+    StuckAtFaultSpec,
+    WeightSpaceFaultModel,
+    sample_fault_map,
+    FAULT_SA0,
+    FAULT_SA1,
+)
+
+__all__ = ["RedundantWeightProtection"]
+
+
+class RedundantWeightProtection:
+    """Apply stuck-at faults to ``r``-redundant weight storage.
+
+    Parameters
+    ----------
+    replicas:
+        Redundancy factor ``r`` (1 = no protection; the paper's baseline).
+    combiner:
+        ``"median"`` (robust, the usual choice) or ``"mean"``.
+    fault_model:
+        Weight-space fault semantics (SA0 -> 0, SA1 -> +/- w_max).
+    """
+
+    def __init__(
+        self,
+        replicas: int = 3,
+        combiner: str = "median",
+        fault_model: Optional[WeightSpaceFaultModel] = None,
+    ) -> None:
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        if combiner not in ("median", "mean"):
+            raise ValueError(f"unknown combiner {combiner!r}")
+        self.replicas = replicas
+        self.combiner = combiner
+        self.fault_model = fault_model or WeightSpaceFaultModel()
+
+    @property
+    def area_overhead(self) -> float:
+        """Crossbar area multiplier relative to unprotected storage."""
+        return float(self.replicas)
+
+    def apply(
+        self, weights: np.ndarray, p_sa: float, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Faulted effective weights under redundant storage.
+
+        Each replica draws an independent fault map at the full cell rate
+        ``p_sa``; the effective weight is the combiner across replicas.
+        """
+        weights = np.asarray(weights, dtype=np.float64)
+        if self.replicas == 1:
+            return self.fault_model.apply(weights, p_sa, rng)
+        spec = StuckAtFaultSpec(p_sa, self.fault_model.ratio)
+        w_max = float(np.max(np.abs(weights))) if weights.size else 0.0
+        stack = np.empty((self.replicas,) + weights.shape)
+        for r in range(self.replicas):
+            fmap = sample_fault_map(weights.shape, spec, rng)
+            replica = weights.copy()
+            replica[fmap == FAULT_SA0] = 0.0
+            sa1 = fmap == FAULT_SA1
+            n_sa1 = int(sa1.sum())
+            if n_sa1:
+                replica[sa1] = rng.choice((-1.0, 1.0), size=n_sa1) * w_max
+            stack[r] = replica
+        if self.combiner == "median":
+            return np.median(stack, axis=0)
+        return np.mean(stack, axis=0)

@@ -1,0 +1,45 @@
+"""The paper's contribution: stochastic fault-tolerant training, defect
+evaluation and the Stability Score."""
+
+from .evaluate import (
+    DefectEvaluation,
+    evaluate_accuracy,
+    evaluate_defect_accuracy,
+)
+from .injector import FaultInjector, apply_fault
+from .analysis import FaultImpact, expected_fault_impact
+from .calibration import recalibrate_batchnorm
+from .fleet import FleetReport, simulate_fleet
+from .report import AccuracyReport
+from .sensitivity import LayerSensitivity, layer_sensitivity
+from .stability import StabilityResult, stability_score
+from .training import (
+    OneShotFaultTolerantTrainer,
+    ProgressiveFaultTolerantTrainer,
+    Trainer,
+    TrainingHistory,
+    default_progressive_schedule,
+)
+
+__all__ = [
+    "apply_fault",
+    "FaultInjector",
+    "Trainer",
+    "OneShotFaultTolerantTrainer",
+    "ProgressiveFaultTolerantTrainer",
+    "TrainingHistory",
+    "default_progressive_schedule",
+    "evaluate_accuracy",
+    "evaluate_defect_accuracy",
+    "DefectEvaluation",
+    "stability_score",
+    "StabilityResult",
+    "AccuracyReport",
+    "layer_sensitivity",
+    "LayerSensitivity",
+    "expected_fault_impact",
+    "FaultImpact",
+    "simulate_fleet",
+    "FleetReport",
+    "recalibrate_batchnorm",
+]

@@ -1,0 +1,76 @@
+"""Analytic fault-impact statistics.
+
+Closed-form first/second moments of the weight perturbation caused by the
+paper's stuck-at-fault model — useful for sanity-checking simulations and
+for back-of-envelope robustness estimates without running a single
+inference.
+
+For a weight tensor ``w`` with empirical second moment ``m2 = E[w^2]``
+and clamp magnitude ``w_max``, under total fault rate ``p`` split
+``p0``/``p1`` (SA0/SA1):
+
+* an SA0 fault replaces ``w_i`` by 0: contributes ``E[w^2] = m2``
+  to the squared perturbation;
+* an SA1 fault replaces ``w_i`` by ``s * w_max`` with a random sign
+  ``s``: contributes ``E[(s*w_max - w)^2] = w_max^2 + m2`` (the cross
+  term vanishes because the sign is independent of ``w``).
+
+Hence ``E[||delta W||^2] = n * (p0 * m2 + p1 * (w_max^2 + m2))``.
+The property tests verify simulated perturbations concentrate on this
+value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..reram.faults import SA0_SA1_RATIO, StuckAtFaultSpec
+
+__all__ = ["FaultImpact", "expected_fault_impact"]
+
+
+@dataclass(frozen=True)
+class FaultImpact:
+    """Analytic perturbation statistics for one tensor at one fault rate."""
+
+    p_sa: float
+    expected_faults: float
+    expected_sq_perturbation: float
+    relative_perturbation: float  # sqrt(E||dW||^2) / ||W||
+
+    @property
+    def rms_perturbation(self) -> float:
+        return float(np.sqrt(self.expected_sq_perturbation))
+
+
+def expected_fault_impact(
+    weights: np.ndarray,
+    p_sa: float,
+    ratio: Tuple[float, float] = SA0_SA1_RATIO,
+) -> FaultImpact:
+    """Closed-form perturbation moments under the weight-space SAF model.
+
+    Matches :class:`repro.reram.faults.WeightSpaceFaultModel` with
+    ``w_max_mode="per_tensor"``.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.size == 0:
+        raise ValueError("weights tensor is empty")
+    spec = StuckAtFaultSpec(p_sa, ratio)
+    n = weights.size
+    m2 = float(np.mean(weights**2))
+    w_max = float(np.max(np.abs(weights)))
+    expected_sq = n * (
+        spec.p_sa0 * m2 + spec.p_sa1 * (w_max**2 + m2)
+    )
+    norm = float(np.linalg.norm(weights))
+    relative = float(np.sqrt(expected_sq) / norm) if norm > 0 else np.inf
+    return FaultImpact(
+        p_sa=p_sa,
+        expected_faults=p_sa * n,
+        expected_sq_perturbation=expected_sq,
+        relative_perturbation=relative,
+    )

@@ -1,0 +1,100 @@
+"""Accuracy evaluation, with and without stuck-at faults.
+
+``evaluate_defect_accuracy`` implements the paper's testing protocol
+(Algorithm 1, Testing): draw ``num_runs`` independent fault patterns at the
+target rate, evaluate each faulted model on the test set, and average —
+the defect accuracy ``Acc_defect`` of Section III.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from .. import nn
+from ..datasets.loader import DataLoader
+from ..reram.faults import WeightSpaceFaultModel
+from .injector import FaultInjector
+
+__all__ = ["evaluate_accuracy", "DefectEvaluation", "evaluate_defect_accuracy"]
+
+
+def evaluate_accuracy(model: nn.Module, loader: DataLoader) -> float:
+    """Top-1 accuracy (%) of ``model`` on ``loader`` in eval mode."""
+    was_training = model.training
+    model.eval()
+    correct = 0
+    total = 0
+    for images, labels in loader:
+        logits = model(images)
+        correct += int((logits.argmax(axis=1) == labels).sum())
+        total += len(labels)
+    model.train(was_training)
+    if total == 0:
+        raise ValueError("loader yielded no samples")
+    return 100.0 * correct / total
+
+
+@dataclass
+class DefectEvaluation:
+    """Result of a multi-run defect evaluation.
+
+    Attributes
+    ----------
+    p_sa:
+        Target testing stuck-at rate.
+    mean_accuracy:
+        ``Acc_defect``: mean accuracy over fault draws (%).
+    std_accuracy:
+        Std over fault draws (%).
+    run_accuracies:
+        The per-draw accuracies.
+    """
+
+    p_sa: float
+    mean_accuracy: float
+    std_accuracy: float
+    run_accuracies: List[float] = field(default_factory=list)
+
+    @property
+    def min_accuracy(self) -> float:
+        return min(self.run_accuracies)
+
+    @property
+    def max_accuracy(self) -> float:
+        return max(self.run_accuracies)
+
+
+def evaluate_defect_accuracy(
+    model: nn.Module,
+    loader: DataLoader,
+    p_sa: float,
+    num_runs: int = 100,
+    rng: Optional[np.random.Generator] = None,
+    fault_model: Optional[WeightSpaceFaultModel] = None,
+) -> DefectEvaluation:
+    """Average accuracy over ``num_runs`` independent fault draws.
+
+    The model's weights are restored after every draw; the function leaves
+    the model exactly as it found it.
+    """
+    if num_runs < 1:
+        raise ValueError("num_runs must be >= 1")
+    rng = rng if rng is not None else np.random.default_rng()
+    if p_sa == 0.0:
+        # No faults: a single clean evaluation suffices and is exact.
+        clean = evaluate_accuracy(model, loader)
+        return DefectEvaluation(0.0, clean, 0.0, [clean])
+    injector = FaultInjector(model, fault_model=fault_model, rng=rng)
+    accuracies = []
+    for _ in range(num_runs):
+        with injector.faults(p_sa):
+            accuracies.append(evaluate_accuracy(model, loader))
+    return DefectEvaluation(
+        p_sa,
+        float(np.mean(accuracies)),
+        float(np.std(accuracies)),
+        accuracies,
+    )

@@ -1,0 +1,103 @@
+"""Fleet simulation: accuracy yield across mass-produced devices.
+
+The paper's deployment setting is a *product line*: one trained model
+shipped to many devices, each with its own random stuck-at pattern.  Mean
+defect accuracy (Table I) summarises the fleet; a safety argument also
+needs the distribution — worst device, quantiles, and **yield**: the
+fraction of manufactured parts whose accuracy clears a requirement.
+
+:func:`simulate_fleet` evaluates a model across N simulated devices and
+returns a :class:`FleetReport` with those statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from .. import nn
+from ..datasets.loader import DataLoader
+from ..reram.faults import WeightSpaceFaultModel
+from .evaluate import evaluate_accuracy
+from .injector import FaultInjector
+
+__all__ = ["FleetReport", "simulate_fleet"]
+
+
+@dataclass
+class FleetReport:
+    """Accuracy distribution of one model across a device fleet."""
+
+    p_sa: float
+    accuracies: List[float] = field(default_factory=list)
+
+    @property
+    def num_devices(self) -> int:
+        return len(self.accuracies)
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.accuracies))
+
+    @property
+    def std(self) -> float:
+        return float(np.std(self.accuracies))
+
+    @property
+    def worst(self) -> float:
+        return float(np.min(self.accuracies))
+
+    @property
+    def best(self) -> float:
+        return float(np.max(self.accuracies))
+
+    def quantile(self, q: float) -> float:
+        """Accuracy at quantile ``q`` (e.g. 0.05 = 5th-percentile device)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        return float(np.quantile(self.accuracies, q))
+
+    def yield_at(self, required_accuracy: float) -> float:
+        """Fraction of devices meeting an accuracy requirement (%)."""
+        accuracies = np.asarray(self.accuracies)
+        return float(np.mean(accuracies >= required_accuracy))
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"fleet(n={self.num_devices}, rate={self.p_sa:g}): "
+            f"mean {self.mean:.2f}% +/- {self.std:.2f}, "
+            f"worst {self.worst:.2f}%, p5 {self.quantile(0.05):.2f}%"
+        )
+
+
+def simulate_fleet(
+    model: nn.Module,
+    loader: DataLoader,
+    p_sa: float,
+    num_devices: int = 50,
+    rng: Optional[np.random.Generator] = None,
+    fault_model: Optional[WeightSpaceFaultModel] = None,
+) -> FleetReport:
+    """Evaluate ``model`` on ``num_devices`` simulated defective devices.
+
+    Each device draws an independent fault pattern at rate ``p_sa``; the
+    model is restored between devices.  This is the same computation as
+    :func:`~repro.core.evaluate.evaluate_defect_accuracy` but reported as
+    a distribution rather than a mean.
+    """
+    if num_devices < 1:
+        raise ValueError("num_devices must be >= 1")
+    rng = rng if rng is not None else np.random.default_rng()
+    report = FleetReport(p_sa=p_sa)
+    if p_sa == 0.0:
+        clean = evaluate_accuracy(model, loader)
+        report.accuracies = [clean] * num_devices
+        return report
+    injector = FaultInjector(model, fault_model=fault_model, rng=rng)
+    for _ in range(num_devices):
+        with injector.faults(p_sa):
+            report.accuracies.append(evaluate_accuracy(model, loader))
+    return report

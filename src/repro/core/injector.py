@@ -1,0 +1,103 @@
+"""Stochastic fault injection into a live model.
+
+``apply_fault`` is Algorithm 1's ``Apply_Fault`` on a single tensor.
+:class:`FaultInjector` lifts it to a whole model for one training step:
+
+1. snapshot the pristine crossbar-resident weights,
+2. overwrite them with a fresh random faulted copy,
+3. (caller runs forward + backward on the faulted weights),
+4. restore the pristine weights — gradients computed under faults are then
+   applied to the pristine weights by the optimiser.
+
+This "perturb -> backprop -> restore -> update" loop is exactly the
+stochastic fault-tolerant training of the paper: each step sees a different
+simulated device, so the learned weights become robust to the fault
+*distribution* rather than to any single fault pattern.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from .. import nn
+from ..reram.faults import SA0_SA1_RATIO, WeightSpaceFaultModel
+from ..reram.deploy import crossbar_parameters
+
+__all__ = ["apply_fault", "FaultInjector"]
+
+
+def apply_fault(
+    weights: np.ndarray,
+    p_sa: float,
+    rng: np.random.Generator,
+    fault_model: Optional[WeightSpaceFaultModel] = None,
+) -> np.ndarray:
+    """Algorithm 1 ``Apply_Fault``: faulted copy of one weight tensor."""
+    if fault_model is None:
+        fault_model = WeightSpaceFaultModel()
+    return fault_model.apply(weights, p_sa, rng)
+
+
+class FaultInjector:
+    """Injects stuck-at faults into a model's crossbar-resident weights.
+
+    Parameters
+    ----------
+    model:
+        The network being trained or evaluated.
+    fault_model:
+        Weight-space fault semantics; defaults to the paper's model with
+        the 1.75 : 9.04 SA0:SA1 split.
+    rng:
+        Source of fault randomness (one generator for the whole run keeps
+        experiments reproducible).
+    """
+
+    def __init__(
+        self,
+        model: nn.Module,
+        fault_model: Optional[WeightSpaceFaultModel] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.model = model
+        self.fault_model = (
+            fault_model if fault_model is not None else WeightSpaceFaultModel()
+        )
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self._targets = crossbar_parameters(model)
+        if not self._targets:
+            raise ValueError("model has no crossbar-resident weight tensors")
+        self._saved: Optional[Dict[str, np.ndarray]] = None
+
+    @property
+    def target_names(self) -> Tuple[str, ...]:
+        return tuple(name for name, _ in self._targets)
+
+    def inject(self, p_sa: float) -> None:
+        """Snapshot pristine weights and overwrite with a faulted draw."""
+        if self._saved is not None:
+            raise RuntimeError("inject called twice without restore")
+        self._saved = {}
+        for name, param in self._targets:
+            self._saved[name] = param.data.copy()
+            param.data[...] = self.fault_model.apply(param.data, p_sa, self.rng)
+
+    def restore(self) -> None:
+        """Write the pristine weights back (gradients are left untouched)."""
+        if self._saved is None:
+            raise RuntimeError("restore called without a prior inject")
+        for name, param in self._targets:
+            param.data[...] = self._saved[name]
+        self._saved = None
+
+    @contextmanager
+    def faults(self, p_sa: float):
+        """Context manager: ``with injector.faults(p): forward/backward``."""
+        self.inject(p_sa)
+        try:
+            yield self.model
+        finally:
+            self.restore()

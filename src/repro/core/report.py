@@ -1,0 +1,74 @@
+"""Accuracy bookkeeping: the three accuracies of Section III.
+
+The paper's flow distinguishes:
+
+* ``Acc_pretrain`` — ideal accuracy of the pretrained model, no faults;
+* ``Acc_retrain``  — ideal accuracy of the fault-tolerant (retrained)
+  model, no faults;
+* ``Acc_defect``   — mean accuracy of the deployed model under stuck-at
+  faults (averaged over fault draws).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from .stability import stability_score
+
+__all__ = ["AccuracyReport"]
+
+
+@dataclass
+class AccuracyReport:
+    """Full accuracy picture of one trained model.
+
+    ``defect`` maps testing fault rate -> mean defect accuracy (%).
+    """
+
+    method: str
+    acc_pretrain: float
+    acc_retrain: float
+    defect: Dict[float, float] = field(default_factory=dict)
+
+    def add_defect(self, p_sa: float, accuracy: float) -> None:
+        """Record the mean defect accuracy at one testing rate."""
+        self.defect[p_sa] = accuracy
+
+    def acc_defect(self, p_sa: float) -> float:
+        """Mean defect accuracy recorded at ``p_sa``."""
+        if p_sa not in self.defect:
+            raise KeyError(
+                f"no defect evaluation at p_sa={p_sa}; "
+                f"have {sorted(self.defect)}"
+            )
+        return self.defect[p_sa]
+
+    def stability(self, p_sa: float) -> float:
+        """Stability Score at a testing rate (equation 1)."""
+        return stability_score(
+            self.acc_pretrain, self.acc_retrain, self.acc_defect(p_sa)
+        )
+
+    def accuracy_drop(self, p_sa: float) -> float:
+        """Degradation from the ideal pretrained accuracy (pp)."""
+        return self.acc_pretrain - self.acc_defect(p_sa)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (inverse of :meth:`from_dict`)."""
+        return {
+            "method": self.method,
+            "acc_pretrain": self.acc_pretrain,
+            "acc_retrain": self.acc_retrain,
+            "defect": {str(k): v for k, v in self.defect.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AccuracyReport":
+        """Rebuild a report saved with :meth:`to_dict`."""
+        return cls(
+            method=data["method"],
+            acc_pretrain=data["acc_pretrain"],
+            acc_retrain=data["acc_retrain"],
+            defect={float(k): v for k, v in data["defect"].items()},
+        )

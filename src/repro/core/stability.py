@@ -1,0 +1,76 @@
+"""Stability Score (SS) — the paper's robustness/accuracy trade-off metric.
+
+Equation (1):
+
+    ``SS(P_sa) = Acc_retrain / (Acc_pretrain - Acc_defect)``
+
+A higher SS means less degradation from the ideal accuracy under faults
+while keeping an appealing fault-free (retrained) accuracy.  The paper's
+baseline rows (Table II) use ``Acc_retrain = Acc_pretrain`` for models that
+were never retrained.
+
+Degenerate denominator: a sufficiently robust model can have
+``Acc_defect >= Acc_pretrain`` (no degradation at all), which would make SS
+infinite or negative.  Following the spirit of the metric — "no measurable
+degradation is the best possible outcome" — the denominator is clamped
+below at ``min_degradation`` (default 1 percentage point of degradation per
+100 accuracy points, i.e. 1.0), so SS saturates rather than blowing up.
+The clamp is explicit and configurable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["stability_score", "StabilityResult"]
+
+
+def stability_score(
+    acc_pretrain: float,
+    acc_retrain: float,
+    acc_defect: float,
+    min_degradation: float = 1.0,
+) -> float:
+    """Compute the Stability Score of equation (1).
+
+    Parameters
+    ----------
+    acc_pretrain:
+        Ideal accuracy of the original pretrained model (%).
+    acc_retrain:
+        Ideal (fault-free) accuracy of the fault-tolerant model (%).
+        Pass ``acc_pretrain`` for models that were never retrained.
+    acc_defect:
+        Mean accuracy under the target testing fault rate (%).
+    min_degradation:
+        Lower clamp on the denominator (percentage points); guards the
+        degenerate ``acc_defect >= acc_pretrain`` case.
+    """
+    for name, value in (
+        ("acc_pretrain", acc_pretrain),
+        ("acc_retrain", acc_retrain),
+        ("acc_defect", acc_defect),
+    ):
+        if not 0.0 <= value <= 100.0:
+            raise ValueError(f"{name} must be a percentage in [0, 100], got {value}")
+    if min_degradation <= 0:
+        raise ValueError("min_degradation must be positive")
+    degradation = max(acc_pretrain - acc_defect, min_degradation)
+    return acc_retrain / degradation
+
+
+@dataclass(frozen=True)
+class StabilityResult:
+    """One Table-II row: the accuracies and the derived SS."""
+
+    method: str
+    acc_pretrain: float
+    acc_retrain: float
+    acc_defect: float
+    p_sa_test: float
+
+    @property
+    def score(self) -> float:
+        return stability_score(
+            self.acc_pretrain, self.acc_retrain, self.acc_defect
+        )

@@ -1,0 +1,41 @@
+"""Datasets and the data-loading pipeline."""
+
+from .cifar import (
+    cifar10_available,
+    cifar100_available,
+    load_cifar10,
+    load_cifar100,
+)
+from .dataset import ArrayDataset, Dataset, Subset
+from .loader import DataLoader
+from .synthetic import (
+    SyntheticConfig,
+    SyntheticImageClassification,
+    make_synthetic_pair,
+)
+from .transforms import (
+    Compose,
+    GaussianNoise,
+    Normalize,
+    RandomCrop,
+    RandomHorizontalFlip,
+)
+
+__all__ = [
+    "Dataset",
+    "ArrayDataset",
+    "Subset",
+    "DataLoader",
+    "SyntheticConfig",
+    "SyntheticImageClassification",
+    "make_synthetic_pair",
+    "Compose",
+    "Normalize",
+    "RandomCrop",
+    "RandomHorizontalFlip",
+    "GaussianNoise",
+    "cifar10_available",
+    "cifar100_available",
+    "load_cifar10",
+    "load_cifar100",
+]

@@ -1,0 +1,92 @@
+"""Loaders for the real CIFAR-10 / CIFAR-100 binary batches.
+
+These are used automatically by the experiment configs when the standard
+``cifar-10-batches-py`` / ``cifar-100-python`` directories are found on
+disk; otherwise the synthetic analogues from
+:mod:`repro.datasets.synthetic` are used (this offline environment has no
+way to download the archives).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .dataset import ArrayDataset
+
+__all__ = ["cifar10_available", "cifar100_available", "load_cifar10", "load_cifar100"]
+
+_CIFAR10_DIR = "cifar-10-batches-py"
+_CIFAR100_DIR = "cifar-100-python"
+
+
+def _unpickle(path: str) -> dict:
+    with open(path, "rb") as handle:
+        return pickle.load(handle, encoding="bytes")
+
+
+def _to_images(raw: np.ndarray) -> np.ndarray:
+    """CIFAR row format (N, 3072 uint8) -> float CHW in [0, 1]."""
+    return raw.reshape(-1, 3, 32, 32).astype(np.float64) / 255.0
+
+
+def cifar10_available(root: str = "data") -> bool:
+    """True if the extracted CIFAR-10 batches are under ``root``."""
+    return os.path.isdir(os.path.join(root, _CIFAR10_DIR))
+
+
+def cifar100_available(root: str = "data") -> bool:
+    """True if the extracted CIFAR-100 archive is under ``root``."""
+    return os.path.isdir(os.path.join(root, _CIFAR100_DIR))
+
+
+def load_cifar10(root: str = "data") -> Tuple[ArrayDataset, ArrayDataset]:
+    """Load CIFAR-10 from the extracted python-version batches."""
+    base = os.path.join(root, _CIFAR10_DIR)
+    if not os.path.isdir(base):
+        raise FileNotFoundError(
+            f"CIFAR-10 not found at {base}; extract cifar-10-python.tar.gz there"
+        )
+    train_images: List[np.ndarray] = []
+    train_labels: List[np.ndarray] = []
+    for i in range(1, 6):
+        batch = _unpickle(os.path.join(base, f"data_batch_{i}"))
+        train_images.append(_to_images(np.asarray(batch[b"data"])))
+        train_labels.append(np.asarray(batch[b"labels"], dtype=np.int64))
+    test_batch = _unpickle(os.path.join(base, "test_batch"))
+    train = ArrayDataset(
+        np.concatenate(train_images),
+        np.concatenate(train_labels),
+        num_classes=10,
+    )
+    test = ArrayDataset(
+        _to_images(np.asarray(test_batch[b"data"])),
+        np.asarray(test_batch[b"labels"], dtype=np.int64),
+        num_classes=10,
+    )
+    return train, test
+
+
+def load_cifar100(root: str = "data") -> Tuple[ArrayDataset, ArrayDataset]:
+    """Load CIFAR-100 (fine labels) from the extracted python version."""
+    base = os.path.join(root, _CIFAR100_DIR)
+    if not os.path.isdir(base):
+        raise FileNotFoundError(
+            f"CIFAR-100 not found at {base}; extract cifar-100-python.tar.gz there"
+        )
+    train_raw = _unpickle(os.path.join(base, "train"))
+    test_raw = _unpickle(os.path.join(base, "test"))
+    train = ArrayDataset(
+        _to_images(np.asarray(train_raw[b"data"])),
+        np.asarray(train_raw[b"fine_labels"], dtype=np.int64),
+        num_classes=100,
+    )
+    test = ArrayDataset(
+        _to_images(np.asarray(test_raw[b"data"])),
+        np.asarray(test_raw[b"fine_labels"], dtype=np.int64),
+        num_classes=100,
+    )
+    return train, test

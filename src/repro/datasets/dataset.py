@@ -1,0 +1,99 @@
+"""Dataset abstractions."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Dataset", "ArrayDataset", "Subset"]
+
+
+class Dataset:
+    """Minimal dataset protocol: indexing plus length."""
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def __getitem__(self, index: int) -> Tuple[np.ndarray, int]:
+        raise NotImplementedError
+
+    @property
+    def num_classes(self) -> int:
+        raise NotImplementedError
+
+
+class ArrayDataset(Dataset):
+    """In-memory dataset over ``(images, labels)`` arrays.
+
+    Parameters
+    ----------
+    images:
+        Array of shape ``(N, C, H, W)`` (float) or any per-sample shape.
+    labels:
+        Integer array of shape ``(N,)``.
+    transform:
+        Optional callable applied to each image at access time (see
+        :mod:`repro.datasets.transforms`).
+    num_classes:
+        Number of classes; inferred as ``labels.max() + 1`` when omitted.
+    """
+
+    def __init__(
+        self,
+        images: np.ndarray,
+        labels: np.ndarray,
+        transform=None,
+        num_classes: Optional[int] = None,
+    ) -> None:
+        images = np.asarray(images, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.int64)
+        if len(images) != len(labels):
+            raise ValueError(
+                f"images ({len(images)}) and labels ({len(labels)}) disagree"
+            )
+        if labels.ndim != 1:
+            raise ValueError("labels must be a 1-D integer array")
+        self.images = images
+        self.labels = labels
+        self.transform = transform
+        self._num_classes = (
+            int(num_classes)
+            if num_classes is not None
+            else (int(labels.max()) + 1 if len(labels) else 0)
+        )
+
+    def __len__(self) -> int:
+        return len(self.images)
+
+    def __getitem__(self, index: int) -> Tuple[np.ndarray, int]:
+        image = self.images[index]
+        if self.transform is not None:
+            image = self.transform(image)
+        return image, int(self.labels[index])
+
+    @property
+    def num_classes(self) -> int:
+        return self._num_classes
+
+
+class Subset(Dataset):
+    """View of a dataset restricted to a list of indices."""
+
+    def __init__(self, base: Dataset, indices: Sequence[int]) -> None:
+        self.base = base
+        self.indices = list(indices)
+        if self.indices and (
+            min(self.indices) < 0 or max(self.indices) >= len(base)
+        ):
+            raise IndexError("subset indices out of range")
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+    def __getitem__(self, index: int) -> Tuple[np.ndarray, int]:
+        return self.base[self.indices[index]]
+
+    @property
+    def num_classes(self) -> int:
+        return self.base.num_classes

@@ -1,0 +1,112 @@
+"""Per-sample image transforms (CHW float arrays).
+
+These mirror the standard CIFAR training augmentation the paper's recipe
+uses: random crop with padding, random horizontal flip, and per-channel
+normalisation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "Compose",
+    "Normalize",
+    "RandomCrop",
+    "RandomHorizontalFlip",
+    "GaussianNoise",
+]
+
+
+class Compose:
+    """Apply transforms in sequence."""
+
+    def __init__(self, transforms: Sequence) -> None:
+        self.transforms = list(transforms)
+
+    def __call__(self, image: np.ndarray) -> np.ndarray:
+        for transform in self.transforms:
+            image = transform(image)
+        return image
+
+
+class Normalize:
+    """Per-channel standardisation: ``(x - mean) / std``."""
+
+    def __init__(self, mean: Sequence[float], std: Sequence[float]) -> None:
+        self.mean = np.asarray(mean, dtype=np.float64).reshape(-1, 1, 1)
+        self.std = np.asarray(std, dtype=np.float64).reshape(-1, 1, 1)
+        if np.any(self.std <= 0):
+            raise ValueError("std must be positive")
+
+    def __call__(self, image: np.ndarray) -> np.ndarray:
+        if image.shape[0] != self.mean.shape[0]:
+            raise ValueError(
+                f"channel mismatch: image {image.shape[0]}, "
+                f"normaliser {self.mean.shape[0]}"
+            )
+        return (image - self.mean) / self.std
+
+
+class RandomCrop:
+    """Pad by ``padding`` pixels then crop back to the original size."""
+
+    def __init__(
+        self,
+        size: int,
+        padding: int = 4,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if size <= 0 or padding < 0:
+            raise ValueError("size must be positive and padding non-negative")
+        self.size = size
+        self.padding = padding
+        self.rng = rng if rng is not None else np.random.default_rng()
+
+    def __call__(self, image: np.ndarray) -> np.ndarray:
+        if image.shape[1] != self.size or image.shape[2] != self.size:
+            raise ValueError(
+                f"expected {self.size}x{self.size} image, got {image.shape}"
+            )
+        if self.padding == 0:
+            return image
+        padded = np.pad(
+            image,
+            ((0, 0), (self.padding, self.padding), (self.padding, self.padding)),
+            mode="constant",
+        )
+        top = int(self.rng.integers(0, 2 * self.padding + 1))
+        left = int(self.rng.integers(0, 2 * self.padding + 1))
+        return padded[:, top : top + self.size, left : left + self.size]
+
+
+class RandomHorizontalFlip:
+    """Flip the width axis with probability ``p``."""
+
+    def __init__(self, p: float = 0.5, rng: Optional[np.random.Generator] = None):
+        if not 0.0 <= p <= 1.0:
+            raise ValueError("p must be in [0, 1]")
+        self.p = p
+        self.rng = rng if rng is not None else np.random.default_rng()
+
+    def __call__(self, image: np.ndarray) -> np.ndarray:
+        if self.rng.random() < self.p:
+            return image[:, :, ::-1].copy()
+        return image
+
+
+class GaussianNoise:
+    """Additive white noise — a light augmentation for the synthetic tasks."""
+
+    def __init__(self, sigma: float, rng: Optional[np.random.Generator] = None):
+        if sigma < 0:
+            raise ValueError("sigma must be non-negative")
+        self.sigma = sigma
+        self.rng = rng if rng is not None else np.random.default_rng()
+
+    def __call__(self, image: np.ndarray) -> np.ndarray:
+        if self.sigma == 0:
+            return image
+        return image + self.rng.normal(0.0, self.sigma, size=image.shape)

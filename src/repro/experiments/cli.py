@@ -1,0 +1,109 @@
+"""Command-line interface for the experiment harness.
+
+Usage::
+
+    python -m repro.experiments table1 --scale bench --dataset small
+    python -m repro.experiments table2 --scale ci --sparsity 0.7
+    python -m repro.experiments figure2 --scale bench --dataset large
+    python -m repro.experiments all --scale ci --out results/
+
+Each subcommand regenerates the corresponding paper artefact, prints the
+table, and (with ``--out``) writes the rendered text and raw JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from .config import SCALES, get_scale
+from .figure2 import run_figure2
+from .io import save_reports, save_text
+from .table1 import run_table1
+from .table2 import run_table2
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=("table1", "table2", "figure2", "all"),
+        help="which artefact to regenerate",
+    )
+    parser.add_argument(
+        "--scale",
+        default="bench",
+        choices=sorted(SCALES),
+        help="experiment scale preset (default: bench)",
+    )
+    parser.add_argument(
+        "--dataset",
+        default="small",
+        choices=("small", "large"),
+        help="dataset analogue for table1/figure2 (default: small)",
+    )
+    parser.add_argument(
+        "--sparsity",
+        type=float,
+        default=0.7,
+        help="ADMM sparsity for table2 (default: 0.7)",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="directory to write rendered tables and raw JSON",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, help="override the scale's seed"
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress progress messages"
+    )
+    return parser
+
+
+def _emit(args, name: str, text: str, reports=None) -> None:
+    print(text)
+    print()
+    if args.out:
+        save_text(os.path.join(args.out, f"{name}.txt"), text)
+        if reports is not None:
+            save_reports(os.path.join(args.out, f"{name}.json"), reports)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    scale = get_scale(args.scale)
+    if args.seed is not None:
+        scale = scale.with_overrides(seed=args.seed)
+    verbose = not args.quiet
+
+    if args.experiment in ("table1", "all"):
+        datasets = ("small", "large") if args.experiment == "all" else (
+            args.dataset,
+        )
+        for dataset in datasets:
+            result = run_table1(scale, dataset=dataset, verbose=verbose)
+            _emit(args, f"table1_{dataset}", result.text, result.reports)
+    if args.experiment in ("table2", "all"):
+        result = run_table2(scale, sparsity=args.sparsity, verbose=verbose)
+        _emit(args, "table2", result.text)
+    if args.experiment in ("figure2", "all"):
+        datasets = ("small", "large") if args.experiment == "all" else (
+            args.dataset,
+        )
+        for dataset in datasets:
+            result = run_figure2(scale, dataset=dataset, verbose=verbose)
+            _emit(args, f"figure2_{dataset}", result.text)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

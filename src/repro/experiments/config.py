@@ -1,0 +1,140 @@
+"""Experiment configuration.
+
+Every experiment in the paper is parameterised by one
+:class:`ExperimentScale`.  Three presets are provided:
+
+* ``ci``     — seconds; tiny model/dataset, for tests and smoke runs;
+* ``bench``  — a couple of minutes per table; the default for the
+  benchmark harness (reproduces the paper's *shape*);
+* ``paper``  — the paper's configuration (ResNet-20/32, 32x32 images,
+  160 epochs, 100 defect draws).  Only practical with the real CIFAR
+  data and a lot of CPU time; provided for completeness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Tuple
+
+__all__ = ["ExperimentScale", "SCALES", "get_scale"]
+
+#: Testing fault-rate grid of Table I.
+TABLE1_TEST_RATES: Tuple[float, ...] = (
+    0.0,
+    0.001,
+    0.0015,
+    0.002,
+    0.003,
+    0.005,
+    0.01,
+    0.02,
+    0.03,
+    0.05,
+    0.075,
+    0.1,
+    0.15,
+    0.2,
+)
+
+#: Training fault-rate grid of Table I.
+TABLE1_TRAIN_RATES: Tuple[float, ...] = (0.005, 0.01, 0.02, 0.05, 0.1, 0.15, 0.2)
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """All knobs that trade fidelity for runtime.
+
+    Attributes mirror the paper's experimental setup (Section IV-A); the
+    defaults here are the ``bench`` preset.
+    """
+
+    name: str = "bench"
+    model: str = "resnet8"
+    base_width: int = 16
+    image_size: int = 12
+    channels: int = 3
+    num_classes_small: int = 10  # the CIFAR-10 analogue
+    num_classes_large: int = 20  # the CIFAR-100 analogue (scaled down)
+    train_size: int = 600
+    #: Train-split size for the many-class dataset (it needs more samples
+    #: per class to be learnable at reduced scale); 0 = same as train_size.
+    train_size_large: int = 900
+    test_size: int = 300
+    batch_size: int = 50
+    pretrain_epochs: int = 10
+    ft_epochs: int = 20
+    ft_lr: float = 0.02
+    progressive_levels: int = 3
+    #: Fraction of ``ft_epochs`` spent at each progressive level.  Algorithm
+    #: 1 uses 1.0 (the full budget per level); smaller values trade the
+    #: progressive method's fidelity for runtime.
+    progressive_epoch_fraction: float = 0.6
+    lr: float = 0.1
+    momentum: float = 0.9
+    weight_decay: float = 1e-4
+    defect_runs: int = 6
+    test_rates: Tuple[float, ...] = TABLE1_TEST_RATES
+    train_rates: Tuple[float, ...] = (0.01, 0.05, 0.1)
+    noise_sigma: float = 0.9
+    max_shift: int = 3
+    #: Load the real CIFAR binaries from ``data/`` when present (paper
+    #: scale); synthetic analogues are used otherwise.
+    use_real_cifar: bool = False
+    seed: int = 0
+
+    def with_overrides(self, **kwargs) -> "ExperimentScale":
+        """A copy of this scale with the given fields replaced."""
+        return replace(self, **kwargs)
+
+
+SCALES = {
+    "ci": ExperimentScale(
+        name="ci",
+        model="mlp",
+        image_size=8,
+        train_size=200,
+        test_size=120,
+        batch_size=40,
+        pretrain_epochs=6,
+        ft_epochs=4,
+        ft_lr=0.02,
+        progressive_levels=2,
+        defect_runs=5,
+        test_rates=(0.0, 0.005, 0.02, 0.05, 0.1),
+        train_rates=(0.02, 0.1),
+        num_classes_large=8,
+        train_size_large=200,
+        noise_sigma=0.35,
+        max_shift=2,
+    ),
+    "bench": ExperimentScale(),
+    "paper": ExperimentScale(
+        name="paper",
+        model="resnet20",
+        base_width=16,
+        image_size=32,
+        train_size=50000,
+        train_size_large=50000,
+        num_classes_large=100,
+        test_size=10000,
+        batch_size=128,
+        pretrain_epochs=160,
+        ft_epochs=160,
+        ft_lr=0.01,
+        progressive_levels=4,
+        progressive_epoch_fraction=1.0,
+        defect_runs=100,
+        test_rates=TABLE1_TEST_RATES,
+        train_rates=TABLE1_TRAIN_RATES,
+        noise_sigma=0.9,
+        max_shift=3,
+        use_real_cifar=True,
+    ),
+}
+
+
+def get_scale(name: str) -> ExperimentScale:
+    """Look up a preset scale by name."""
+    if name not in SCALES:
+        raise KeyError(f"unknown scale {name!r}; choose from {sorted(SCALES)}")
+    return SCALES[name]

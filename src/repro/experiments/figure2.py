@@ -1,0 +1,96 @@
+"""Figure 2: accuracy of dense and pruned models (no fault-tolerant
+training) under increasing testing fault rates.
+
+Five curves per dataset, as in the paper: the dense pretrained model plus
+one-shot-pruned and ADMM-pruned variants at 40% and 70% sparsity.  The
+expected shape: all curves collapse as the rate grows, and sparser models
+collapse earlier/faster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..core.evaluate import evaluate_accuracy
+from ..pruning import ADMMConfig, ADMMPruner, finetune_pruned, magnitude_prune
+from .config import ExperimentScale
+from .runner import clone_model, evaluate_defect_grid, make_loaders, pretrain_model
+from .tables import render_series
+
+__all__ = ["Figure2Result", "run_figure2"]
+
+FIGURE2_SPARSITIES: Tuple[float, float] = (0.4, 0.7)
+
+
+@dataclass
+class Figure2Result:
+    """Accuracy-vs-rate curves for each model variant."""
+
+    dataset: str
+    curves: Dict[str, Dict[float, float]]
+    clean_accuracy: Dict[str, float]
+    text: str
+
+
+def run_figure2(
+    scale: ExperimentScale, dataset: str = "small", verbose: bool = False
+) -> Figure2Result:
+    """Regenerate one panel of Figure 2."""
+    if dataset not in ("small", "large"):
+        raise ValueError("dataset must be 'small' or 'large'")
+    num_classes = (
+        scale.num_classes_small if dataset == "small" else scale.num_classes_large
+    )
+    train_loader, test_loader = make_loaders(scale, num_classes)
+    dense, acc_dense = pretrain_model(scale, num_classes, train_loader, test_loader)
+    if verbose:
+        print(f"[figure2:{dataset}] dense accuracy {acc_dense:.2f}%")
+
+    variants = {"Dense": dense}
+    finetune_epochs = max(1, scale.ft_epochs // 2)
+    for sparsity in FIGURE2_SPARSITIES:
+        one_shot = clone_model(dense)
+        masks = magnitude_prune(one_shot, sparsity)
+        finetune_pruned(
+            one_shot, masks, train_loader,
+            epochs=finetune_epochs, lr=scale.ft_lr,
+        )
+        variants[f"One-Shot Pruned {sparsity:.0%}"] = one_shot
+
+        admm = clone_model(dense)
+        config = ADMMConfig(
+            sparsity=sparsity,
+            admm_rounds=2,
+            epochs_per_round=max(1, finetune_epochs // 2),
+            finetune_epochs=finetune_epochs,
+            lr=scale.ft_lr,
+            finetune_lr=scale.ft_lr,
+        )
+        ADMMPruner(admm, config).run(train_loader)
+        variants[f"ADMM Pruned {sparsity:.0%}"] = admm
+        if verbose:
+            print(f"[figure2:{dataset}] pruned variants at {sparsity:.0%} done")
+
+    curves: Dict[str, Dict[float, float]] = {}
+    clean: Dict[str, float] = {}
+    for name, model in variants.items():
+        clean[name] = evaluate_accuracy(model, test_loader)
+        curves[name] = evaluate_defect_grid(
+            model,
+            test_loader,
+            scale.test_rates,
+            scale.defect_runs,
+            seed=scale.seed + 60,
+        )
+        if verbose:
+            print(f"[figure2:{dataset}] curve for {name} done")
+
+    text = render_series(
+        f"Figure 2 ({dataset} dataset analogue, {num_classes} classes)",
+        curves,
+        scale.test_rates,
+    )
+    return Figure2Result(
+        dataset=dataset, curves=curves, clean_accuracy=clean, text=text
+    )

@@ -1,0 +1,37 @@
+"""JSON persistence for experiment results."""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import List
+
+from ..core.report import AccuracyReport
+
+__all__ = ["save_reports", "load_reports", "save_text"]
+
+
+def save_reports(path: str, reports: List[AccuracyReport]) -> None:
+    """Serialise a list of accuracy reports to JSON."""
+    payload = [report.to_dict() for report in reports]
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+
+
+def load_reports(path: str) -> List[AccuracyReport]:
+    """Load accuracy reports saved by :func:`save_reports`."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    return [AccuracyReport.from_dict(item) for item in payload]
+
+
+def save_text(path: str, text: str) -> None:
+    """Write a rendered table to disk."""
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as handle:
+        handle.write(text + "\n")

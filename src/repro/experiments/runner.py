@@ -1,0 +1,280 @@
+"""Experiment runner: shared machinery for every table/figure.
+
+The runner owns the full pipeline of the paper's Figure 1 flow:
+
+    pretrain  ->  (optionally prune)  ->  stochastic fault-tolerant
+    retraining (one-shot / progressive)  ->  defect evaluation over a
+    grid of testing fault rates  ->  AccuracyReport rows.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Dict, Iterable, Optional, Tuple
+
+import numpy as np
+
+from .. import nn
+from ..core import (
+    AccuracyReport,
+    OneShotFaultTolerantTrainer,
+    ProgressiveFaultTolerantTrainer,
+    Trainer,
+    default_progressive_schedule,
+    evaluate_accuracy,
+    evaluate_defect_accuracy,
+)
+from ..datasets import DataLoader, make_synthetic_pair
+from ..models import build_model
+from ..reram.faults import WeightSpaceFaultModel
+from .config import ExperimentScale
+
+__all__ = [
+    "build_backbone",
+    "make_loaders",
+    "pretrain_model",
+    "clone_model",
+    "train_fault_tolerant",
+    "evaluate_defect_grid",
+    "method_report",
+]
+
+
+def build_backbone(
+    scale: ExperimentScale, num_classes: int, rng: np.random.Generator
+) -> nn.Module:
+    """Instantiate the scale's backbone for a given class count."""
+    if scale.model == "mlp":
+        in_features = scale.channels * scale.image_size**2
+        return build_model(
+            "mlp",
+            rng=rng,
+            in_features=in_features,
+            hidden=[64, 32],
+            num_classes=num_classes,
+        )
+    if scale.model == "simple_cnn":
+        return build_model(
+            "simple_cnn",
+            rng=rng,
+            in_channels=scale.channels,
+            num_classes=num_classes,
+            image_size=scale.image_size,
+        )
+    return build_model(
+        scale.model,
+        rng=rng,
+        num_classes=num_classes,
+        base_width=scale.base_width,
+        in_channels=scale.channels,
+    )
+
+
+def make_loaders(
+    scale: ExperimentScale, num_classes: int, seed_offset: int = 0
+) -> Tuple[DataLoader, DataLoader]:
+    """Build (train, test) loaders at this scale.
+
+    When ``scale.use_real_cifar`` is set and the CIFAR binaries are on
+    disk under ``data/``, the real datasets are used (10 classes ->
+    CIFAR-10, otherwise CIFAR-100); the synthetic analogues otherwise.
+    """
+    if scale.use_real_cifar:
+        from ..datasets import (
+            cifar10_available,
+            cifar100_available,
+            load_cifar10,
+            load_cifar100,
+        )
+
+        if num_classes == 10 and cifar10_available():
+            train_set, test_set = load_cifar10()
+            return (
+                DataLoader(train_set, scale.batch_size, shuffle=True,
+                           seed=scale.seed + 1),
+                DataLoader(test_set, scale.batch_size * 2, shuffle=False),
+            )
+        if num_classes == 100 and cifar100_available():
+            train_set, test_set = load_cifar100()
+            return (
+                DataLoader(train_set, scale.batch_size, shuffle=True,
+                           seed=scale.seed + 1),
+                DataLoader(test_set, scale.batch_size * 2, shuffle=False),
+            )
+    train_size = scale.train_size
+    if num_classes >= scale.num_classes_large and scale.train_size_large:
+        train_size = scale.train_size_large
+    train_set, test_set = make_synthetic_pair(
+        num_classes=num_classes,
+        image_size=scale.image_size,
+        train_size=train_size,
+        test_size=scale.test_size,
+        seed=scale.seed + seed_offset,
+        noise_sigma=scale.noise_sigma,
+        max_shift=scale.max_shift,
+    )
+    train_loader = DataLoader(
+        train_set, scale.batch_size, shuffle=True, seed=scale.seed + 1
+    )
+    test_loader = DataLoader(test_set, scale.test_size, shuffle=False)
+    return train_loader, test_loader
+
+
+def pretrain_model(
+    scale: ExperimentScale,
+    num_classes: int,
+    train_loader: DataLoader,
+    test_loader: Optional[DataLoader] = None,
+) -> Tuple[nn.Module, float]:
+    """Standard pretraining (paper recipe: SGD momentum + cosine LR).
+
+    Returns ``(model, acc_pretrain)``; ``acc_pretrain`` is evaluated on
+    ``test_loader`` when given, else on the training loader.
+    """
+    rng = np.random.default_rng(scale.seed + 10)
+    model = build_backbone(scale, num_classes, rng)
+    optimizer = nn.SGD(
+        model.parameters(),
+        lr=scale.lr,
+        momentum=scale.momentum,
+        weight_decay=scale.weight_decay,
+    )
+    scheduler = nn.CosineAnnealingLR(optimizer, t_max=scale.pretrain_epochs)
+    trainer = Trainer(model, optimizer, scheduler=scheduler)
+    trainer.fit(train_loader, scale.pretrain_epochs)
+    eval_loader = test_loader if test_loader is not None else train_loader
+    return model, evaluate_accuracy(model, eval_loader)
+
+
+def clone_model(model: nn.Module) -> nn.Module:
+    """Deep copy of a model (weights, buffers, structure)."""
+    return copy.deepcopy(model)
+
+
+def train_fault_tolerant(
+    model: nn.Module,
+    method: str,
+    p_sa_target: float,
+    scale: ExperimentScale,
+    train_loader: DataLoader,
+    fault_model: Optional[WeightSpaceFaultModel] = None,
+    rng: Optional[np.random.Generator] = None,
+    preserve_sparsity: bool = False,
+) -> nn.Module:
+    """Retrain a copy of ``model`` with stochastic fault-tolerant training.
+
+    Parameters
+    ----------
+    method:
+        ``"one_shot"`` or ``"progressive"`` (Algorithm 1's two branches).
+    p_sa_target:
+        The target training stuck-at rate ``P_sa^T``.
+    preserve_sparsity:
+        Keep the backbone's pruning masks fixed during retraining (for
+        fault-tolerant training of pruned models, as in Table II): any
+        crossbar-resident tensor that is noticeably sparse has its zero
+        pattern frozen.
+    """
+    if method not in ("one_shot", "progressive"):
+        raise ValueError(f"unknown method {method!r}")
+    rng = rng if rng is not None else np.random.default_rng(scale.seed + 20)
+    retrained = clone_model(model)
+    optimizer = nn.SGD(
+        retrained.parameters(),
+        lr=scale.ft_lr,  # retraining starts from a trained model
+        momentum=scale.momentum,
+        weight_decay=scale.weight_decay,
+    )
+    if preserve_sparsity:
+        from ..reram.deploy import crossbar_parameters
+
+        for _, param in crossbar_parameters(retrained):
+            zero_fraction = float(np.mean(param.data == 0.0))
+            if zero_fraction > 0.05:
+                optimizer.attach_mask(
+                    param, (param.data != 0.0).astype(np.float64)
+                )
+    if method == "one_shot":
+        scheduler = nn.CosineAnnealingLR(optimizer, t_max=scale.ft_epochs)
+        trainer = OneShotFaultTolerantTrainer(
+            retrained,
+            optimizer,
+            p_sa_target=p_sa_target,
+            fault_model=fault_model,
+            rng=rng,
+            scheduler=scheduler,
+        )
+        trainer.fit(train_loader, scale.ft_epochs)
+        return retrained
+    schedule = default_progressive_schedule(
+        p_sa_target, num_levels=scale.progressive_levels
+    )
+    # Algorithm 1 trains the full epoch budget at *every* level (progressive
+    # training intentionally spends more compute than one-shot).  The scale
+    # knob ``progressive_epoch_fraction`` trades fidelity for runtime.
+    epochs_per_level = max(
+        1, round(scale.ft_epochs * scale.progressive_epoch_fraction)
+    )
+    scheduler = nn.CosineAnnealingLR(
+        optimizer, t_max=len(schedule) * epochs_per_level
+    )
+    trainer = ProgressiveFaultTolerantTrainer(
+        retrained,
+        optimizer,
+        p_sa_schedule=schedule,
+        fault_model=fault_model,
+        rng=rng,
+        scheduler=scheduler,
+    )
+    trainer.fit(train_loader, epochs_per_level)
+    return retrained
+
+
+def evaluate_defect_grid(
+    model: nn.Module,
+    loader: DataLoader,
+    rates: Iterable[float],
+    num_runs: int,
+    seed: int = 0,
+    fault_model: Optional[WeightSpaceFaultModel] = None,
+) -> Dict[float, float]:
+    """Mean defect accuracy at every testing rate (paper's test protocol)."""
+    results: Dict[float, float] = {}
+    for rate in rates:
+        rng = np.random.default_rng(seed + int(rate * 1e6))
+        evaluation = evaluate_defect_accuracy(
+            model,
+            loader,
+            rate,
+            num_runs=num_runs,
+            rng=rng,
+            fault_model=fault_model,
+        )
+        results[rate] = evaluation.mean_accuracy
+    return results
+
+
+def method_report(
+    method: str,
+    model: nn.Module,
+    acc_pretrain: float,
+    loader: DataLoader,
+    scale: ExperimentScale,
+    fault_model: Optional[WeightSpaceFaultModel] = None,
+) -> AccuracyReport:
+    """Assemble one table row: clean accuracy + the defect-accuracy grid."""
+    acc_retrain = evaluate_accuracy(model, loader)
+    report = AccuracyReport(
+        method=method, acc_pretrain=acc_pretrain, acc_retrain=acc_retrain
+    )
+    grid = evaluate_defect_grid(
+        model,
+        loader,
+        scale.test_rates,
+        scale.defect_runs,
+        seed=scale.seed + 30,
+        fault_model=fault_model,
+    )
+    for rate, accuracy in grid.items():
+        report.add_defect(rate, accuracy)
+    return report

@@ -1,0 +1,120 @@
+"""Statistical treatment of defect-accuracy measurements.
+
+The paper reports the mean over 100 fault draws; a careful reproduction
+should also say how certain that mean is and whether two models actually
+differ.  This module provides:
+
+* :func:`mean_confidence_interval` — Student-t CI for the mean defect
+  accuracy over fault draws;
+* :func:`paired_comparison` — paired-t comparison of two models evaluated
+  under **common random numbers** (the same fault seeds), the variance-
+  reduction trick the harness's seeded evaluation enables.
+
+scipy is used when available for exact t quantiles; otherwise a normal
+approximation is applied (adequate for the >=30-draw runs of the paper).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+try:  # pragma: no cover - depends on environment
+    from scipy import stats as _scipy_stats
+except ImportError:  # pragma: no cover
+    _scipy_stats = None
+
+__all__ = ["mean_confidence_interval", "PairedComparison", "paired_comparison"]
+
+
+def _t_quantile(confidence: float, dof: int) -> float:
+    if _scipy_stats is not None:
+        return float(_scipy_stats.t.ppf(0.5 + confidence / 2, dof))
+    # Normal approximation fallback.
+    return float(
+        math.sqrt(2) * _erfinv(confidence)
+    )
+
+
+def _erfinv(y: float) -> float:
+    """Inverse error function via Newton iterations (fallback only)."""
+    x = 0.0
+    for _ in range(60):
+        err = math.erf(x) - y
+        x -= err / (2 / math.sqrt(math.pi) * math.exp(-x * x))
+    return x
+
+
+def mean_confidence_interval(
+    samples: Sequence[float], confidence: float = 0.95
+) -> Tuple[float, float, float]:
+    """Return ``(mean, low, high)`` of a Student-t CI for the mean.
+
+    Parameters
+    ----------
+    samples:
+        Per-draw accuracies (e.g. ``DefectEvaluation.run_accuracies``).
+    confidence:
+        Two-sided confidence level in (0, 1).
+    """
+    samples = np.asarray(list(samples), dtype=np.float64)
+    if samples.size < 2:
+        raise ValueError("need at least two samples for an interval")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    mean = float(samples.mean())
+    sem = float(samples.std(ddof=1) / np.sqrt(samples.size))
+    t = _t_quantile(confidence, samples.size - 1)
+    return mean, mean - t * sem, mean + t * sem
+
+
+@dataclass(frozen=True)
+class PairedComparison:
+    """Result of a paired-t comparison of two models' defect accuracies."""
+
+    mean_difference: float  # model_a - model_b, percentage points
+    ci_low: float
+    ci_high: float
+    t_statistic: float
+    significant: bool  # CI excludes zero
+
+    @property
+    def winner(self) -> str:
+        """``"a"``, ``"b"`` or ``"tie"`` at the chosen confidence."""
+        if not self.significant:
+            return "tie"
+        return "a" if self.mean_difference > 0 else "b"
+
+
+def paired_comparison(
+    accuracies_a: Sequence[float],
+    accuracies_b: Sequence[float],
+    confidence: float = 0.95,
+) -> PairedComparison:
+    """Paired-t comparison of per-draw accuracies under common seeds.
+
+    Both sequences must come from evaluations with the *same* fault
+    seeds (pass the same seeded generator state to
+    :func:`repro.core.evaluate_defect_accuracy` for each model), pairing
+    draw ``i`` of model A with draw ``i`` of model B.
+    """
+    a = np.asarray(list(accuracies_a), dtype=np.float64)
+    b = np.asarray(list(accuracies_b), dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError("paired samples must have equal length")
+    if a.size < 2:
+        raise ValueError("need at least two paired samples")
+    diff = a - b
+    mean = float(diff.mean())
+    sem = float(diff.std(ddof=1) / np.sqrt(diff.size))
+    t_quant = _t_quantile(confidence, diff.size - 1)
+    if sem == 0.0:
+        t_stat = math.inf if mean != 0 else 0.0
+        significant = mean != 0.0
+        return PairedComparison(mean, mean, mean, t_stat, significant)
+    low, high = mean - t_quant * sem, mean + t_quant * sem
+    t_stat = mean / sem
+    return PairedComparison(mean, low, high, t_stat, not low <= 0.0 <= high)

@@ -1,0 +1,101 @@
+"""Table I: fault-tolerant model accuracy across training/testing rates.
+
+For one dataset (the CIFAR-10 or CIFAR-100 analogue) the experiment:
+
+1. pretrains the backbone (baseline row),
+2. for every target training rate ``P_sa^T`` trains a one-shot and a
+   progressive fault-tolerant model,
+3. evaluates every model at every testing rate (mean of ``defect_runs``
+   fault draws),
+4. renders the paper's table with top-3 highlighting per column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..core.report import AccuracyReport
+from .config import ExperimentScale
+from .runner import make_loaders, method_report, pretrain_model, train_fault_tolerant
+from .tables import render_table1
+
+__all__ = ["Table1Result", "run_table1"]
+
+
+@dataclass
+class Table1Result:
+    """All rows of one Table-I half plus the rendered text."""
+
+    dataset: str
+    reports: List[AccuracyReport]
+    text: str
+
+    @property
+    def baseline(self) -> AccuracyReport:
+        return self.reports[0]
+
+    def by_method(self, method: str) -> AccuracyReport:
+        """Look up a row by its method label."""
+        for report in self.reports:
+            if report.method == method:
+                return report
+        raise KeyError(f"no row named {method!r}")
+
+
+def run_table1(
+    scale: ExperimentScale, dataset: str = "small", verbose: bool = False
+) -> Table1Result:
+    """Run one half of Table I.
+
+    Parameters
+    ----------
+    scale:
+        Experiment scale (see :mod:`repro.experiments.config`).
+    dataset:
+        ``"small"`` = the CIFAR-10 analogue, ``"large"`` = CIFAR-100.
+    """
+    if dataset not in ("small", "large"):
+        raise ValueError("dataset must be 'small' or 'large'")
+    num_classes = (
+        scale.num_classes_small if dataset == "small" else scale.num_classes_large
+    )
+    train_loader, test_loader = make_loaders(scale, num_classes)
+    model, acc_pretrain = pretrain_model(
+        scale, num_classes, train_loader, test_loader
+    )
+    if verbose:
+        print(f"[table1:{dataset}] pretrained accuracy {acc_pretrain:.2f}%")
+
+    reports = [
+        method_report(
+            "Baseline Pretrained Model",
+            model,
+            acc_pretrain,
+            test_loader,
+            scale,
+        )
+    ]
+    for p_sa_target in scale.train_rates:
+        for method in ("one_shot", "progressive"):
+            retrained = train_fault_tolerant(
+                model, method, p_sa_target, scale, train_loader
+            )
+            label = (
+                f"{'One-Shot' if method == 'one_shot' else 'Progressive'} "
+                f"PsaT={p_sa_target:g}"
+            )
+            reports.append(
+                method_report(
+                    label, retrained, acc_pretrain, test_loader, scale
+                )
+            )
+            if verbose:
+                print(f"[table1:{dataset}] {label} done")
+
+    title = (
+        f"Table I ({dataset} dataset analogue, {num_classes} classes, "
+        f"pretrained accuracy = {acc_pretrain:.2f}%)"
+    )
+    text = render_table1(title, reports, scale.test_rates)
+    return Table1Result(dataset=dataset, reports=reports, text=text)

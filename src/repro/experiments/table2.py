@@ -1,0 +1,160 @@
+"""Table II: accuracy and Stability Score of fault-tolerant models derived
+from the pretrained and the ADMM-pruned (70% sparsity) backbones.
+
+For each backbone (dense pretrained / ADMM-pruned) and each training rate,
+the experiment trains one-shot and progressive fault-tolerant models and
+reports ``Acc_defect`` and ``SS`` at the two testing rates of the paper
+(0.01 and 0.02).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..core.evaluate import evaluate_accuracy
+from ..core.stability import stability_score
+from ..pruning import ADMMConfig, ADMMPruner
+from .config import ExperimentScale
+from .runner import (
+    clone_model,
+    evaluate_defect_grid,
+    make_loaders,
+    pretrain_model,
+    train_fault_tolerant,
+)
+from .tables import render_table2_rows
+
+__all__ = ["Table2Result", "run_table2"]
+
+TABLE2_TEST_RATES = (0.01, 0.02)
+
+
+@dataclass
+class Table2Result:
+    """All Table-II rows plus the rendered text."""
+
+    rows: List[dict]
+    text: str
+
+    def by_method(self, method: str) -> dict:
+        """Look up a row by its method label."""
+        for row in self.rows:
+            if row["method"] == method:
+                return row
+        raise KeyError(f"no row named {method!r}")
+
+
+def _table2_row(
+    method: str,
+    model,
+    acc_pretrain: float,
+    loader,
+    scale: ExperimentScale,
+    rate_1: float,
+    rate_2: float,
+) -> dict:
+    acc_retrain = evaluate_accuracy(model, loader)
+    grid = evaluate_defect_grid(
+        model, loader, (rate_1, rate_2), scale.defect_runs, seed=scale.seed + 40
+    )
+    return {
+        "method": method,
+        "acc_pretrain": acc_pretrain,
+        "acc_retrain": acc_retrain,
+        "acc_defect_1": grid[rate_1],
+        "acc_defect_2": grid[rate_2],
+        "ss_1": stability_score(acc_pretrain, acc_retrain, grid[rate_1]),
+        "ss_2": stability_score(acc_pretrain, acc_retrain, grid[rate_2]),
+        "rate_1": rate_1,
+        "rate_2": rate_2,
+    }
+
+
+def run_table2(
+    scale: ExperimentScale,
+    sparsity: float = 0.7,
+    train_rates: Optional[tuple] = None,
+    verbose: bool = False,
+) -> Table2Result:
+    """Run Table II on the large (CIFAR-100 analogue) dataset."""
+    rate_1, rate_2 = TABLE2_TEST_RATES
+    train_rates = train_rates if train_rates is not None else scale.train_rates
+    num_classes = scale.num_classes_large
+    train_loader, test_loader = make_loaders(scale, num_classes)
+    dense, acc_pretrain = pretrain_model(
+        scale, num_classes, train_loader, test_loader
+    )
+    if verbose:
+        print(f"[table2] dense pretrained accuracy {acc_pretrain:.2f}%")
+
+    # ADMM-pruned backbone at the target sparsity.
+    pruned = clone_model(dense)
+    admm_config = ADMMConfig(
+        sparsity=sparsity,
+        admm_rounds=2,
+        epochs_per_round=max(1, scale.ft_epochs // 3),
+        finetune_epochs=max(1, scale.ft_epochs // 2),
+        lr=scale.ft_lr,
+        finetune_lr=scale.ft_lr,
+    )
+    ADMMPruner(pruned, admm_config).run(train_loader)
+    acc_pruned = evaluate_accuracy(pruned, test_loader)
+    if verbose:
+        print(f"[table2] ADMM-pruned ({sparsity:.0%}) accuracy {acc_pruned:.2f}%")
+
+    # Sparse backbones have less redundancy to average out the injected
+    # fault noise; retrain them at half the learning rate for stability.
+    pruned_scale = scale.with_overrides(ft_lr=scale.ft_lr / 2)
+
+    rows: List[dict] = []
+    for backbone_name, backbone, backbone_acc, backbone_scale in (
+        ("Pretrained", dense, acc_pretrain, scale),
+        (f"ADMM Pruned {sparsity:.0%}", pruned, acc_pruned, pruned_scale),
+    ):
+        # The "/" baseline row: no fault-tolerant retraining at all.
+        rows.append(
+            _table2_row(
+                f"{backbone_name} /",
+                backbone,
+                backbone_acc,
+                test_loader,
+                scale,
+                rate_1,
+                rate_2,
+            )
+        )
+        for p_sa_target in train_rates:
+            for method in ("one_shot", "progressive"):
+                rng = np.random.default_rng(
+                    scale.seed + 50 + int(p_sa_target * 1000)
+                )
+                retrained = train_fault_tolerant(
+                    backbone, method, p_sa_target, backbone_scale,
+                    train_loader, rng=rng, preserve_sparsity=True,
+                )
+                label = (
+                    f"{backbone_name} "
+                    f"{'One-Shot' if method == 'one_shot' else 'Progressive'} "
+                    f"PsaT={p_sa_target:g}"
+                )
+                rows.append(
+                    _table2_row(
+                        label,
+                        retrained,
+                        backbone_acc,
+                        test_loader,
+                        scale,
+                        rate_1,
+                        rate_2,
+                    )
+                )
+                if verbose:
+                    print(f"[table2] {label} done")
+
+    text = render_table2_rows(
+        "Table II (Stability Scores, CIFAR-100 analogue)", rows
+    )
+    return Table2Result(rows=rows, text=text)

@@ -1,0 +1,118 @@
+"""Plain-text rendering of the paper's tables and figures.
+
+The harness prints the same rows/series the paper reports, so a run can be
+compared against the published tables side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..core.report import AccuracyReport
+
+__all__ = ["render_table1", "render_table2_rows", "render_series"]
+
+
+def _format_rate(rate: float) -> str:
+    return f"{rate:g}"
+
+
+def render_table1(
+    title: str,
+    reports: Sequence[AccuracyReport],
+    rates: Sequence[float],
+    highlight_top: int = 3,
+) -> str:
+    """Render a Table-I half: one row per method, one column per rate.
+
+    The top-``highlight_top`` accuracies per rate column are starred,
+    mirroring the paper's bold highlighting.
+    """
+    header = ["Method / Training rate"] + [_format_rate(r) for r in rates]
+    rows: List[List[str]] = []
+
+    # Which cells to star: top-k per defect column (skip the clean column).
+    stars = {
+        rate: _top_indices([rep.acc_defect(rate) for rep in reports], highlight_top)
+        for rate in rates
+        if rate > 0.0
+    }
+    for idx, report in enumerate(reports):
+        row = [report.method]
+        for rate in rates:
+            value = report.acc_defect(rate)
+            cell = f"{value:.2f}"
+            if rate > 0.0 and idx in stars[rate]:
+                cell += "*"
+            row.append(cell)
+        rows.append(row)
+    return _render_grid(title, header, rows)
+
+
+def _top_indices(values: Sequence[float], k: int) -> set:
+    order = sorted(range(len(values)), key=lambda i: values[i], reverse=True)
+    return set(order[:k])
+
+
+def render_table2_rows(
+    title: str,
+    rows: Sequence[dict],
+) -> str:
+    """Render Table II: accuracies and Stability Scores at two test rates.
+
+    Each row dict needs keys: method, acc_pretrain, acc_retrain,
+    acc_defect_1, acc_defect_2, ss_1, ss_2, rate_1, rate_2.
+    """
+    if not rows:
+        raise ValueError("no rows to render")
+    r1, r2 = rows[0]["rate_1"], rows[0]["rate_2"]
+    header = [
+        "Method",
+        "Acc_pretrain",
+        "Acc_retrain",
+        f"Acc_defect({_format_rate(r1)})",
+        f"Acc_defect({_format_rate(r2)})",
+        f"SS({_format_rate(r1)})",
+        f"SS({_format_rate(r2)})",
+    ]
+    grid = [
+        [
+            row["method"],
+            f"{row['acc_pretrain']:.2f}",
+            f"{row['acc_retrain']:.2f}",
+            f"{row['acc_defect_1']:.2f}",
+            f"{row['acc_defect_2']:.2f}",
+            f"{row['ss_1']:.2f}",
+            f"{row['ss_2']:.2f}",
+        ]
+        for row in rows
+    ]
+    return _render_grid(title, header, grid)
+
+
+def render_series(
+    title: str,
+    series: Dict[str, Dict[float, float]],
+    rates: Sequence[float],
+) -> str:
+    """Render Figure-2-style accuracy-vs-rate curves as a text table."""
+    header = ["Model"] + [_format_rate(r) for r in rates]
+    rows = []
+    for name, curve in series.items():
+        rows.append([name] + [f"{curve[r]:.2f}" for r in rates])
+    return _render_grid(title, header, rows)
+
+
+def _render_grid(title: str, header: List[str], rows: List[List[str]]) -> str:
+    widths = [len(h) for h in header]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(row: List[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+
+    separator = "-+-".join("-" * w for w in widths)
+    lines = [title, "=" * len(title), fmt(header), separator]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)

@@ -1,0 +1,30 @@
+"""Model zoo: CIFAR ResNets plus small reference networks."""
+
+from .registry import MODEL_REGISTRY, build_model, register_model
+from .resnet import (
+    BasicBlock,
+    ResNet,
+    resnet8,
+    resnet14,
+    resnet20,
+    resnet32,
+    resnet44,
+    resnet56,
+)
+from .simple import MLP, SimpleCNN
+
+__all__ = [
+    "BasicBlock",
+    "ResNet",
+    "resnet8",
+    "resnet14",
+    "resnet20",
+    "resnet32",
+    "resnet44",
+    "resnet56",
+    "MLP",
+    "SimpleCNN",
+    "MODEL_REGISTRY",
+    "build_model",
+    "register_model",
+]

@@ -1,0 +1,40 @@
+"""Name-based model factory used by experiment configs."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from .resnet import resnet8, resnet14, resnet20, resnet32, resnet44, resnet56
+from .simple import MLP, SimpleCNN
+
+__all__ = ["MODEL_REGISTRY", "build_model", "register_model"]
+
+MODEL_REGISTRY: Dict[str, Callable] = {
+    "resnet8": resnet8,
+    "resnet14": resnet14,
+    "resnet20": resnet20,
+    "resnet32": resnet32,
+    "resnet44": resnet44,
+    "resnet56": resnet56,
+    "simple_cnn": SimpleCNN,
+    "mlp": MLP,
+}
+
+
+def register_model(name: str, factory: Callable) -> None:
+    """Register a custom model factory under ``name``."""
+    if name in MODEL_REGISTRY:
+        raise ValueError(f"model {name!r} is already registered")
+    MODEL_REGISTRY[name] = factory
+
+
+def build_model(
+    name: str, rng: Optional[np.random.Generator] = None, **kwargs
+):
+    """Instantiate a registered model by name."""
+    if name not in MODEL_REGISTRY:
+        known = ", ".join(sorted(MODEL_REGISTRY))
+        raise KeyError(f"unknown model {name!r}; known models: {known}")
+    return MODEL_REGISTRY[name](rng=rng, **kwargs)

@@ -1,0 +1,61 @@
+"""``repro.nn`` — a compact, fully-tested numpy neural-network framework.
+
+This package replaces the PyTorch substrate of the original paper (no GPU /
+no torch in this environment).  It provides layers with hand-written,
+gradient-checked backward passes, standard optimisers, learning-rate
+schedules and losses — everything needed to train the CIFAR-style ResNets
+the paper evaluates.
+"""
+
+from .activations import Dropout, Identity, LeakyReLU, ReLU, Sigmoid, Tanh
+from .container import Residual, Sequential
+from .conv import Conv2d
+from .linear import Linear
+from .loss import CrossEntropyLoss, MSELoss
+from .lr_scheduler import (
+    CosineAnnealingLR,
+    LRScheduler,
+    MultiStepLR,
+    StepLR,
+    WarmupLR,
+)
+from .module import Module, Parameter
+from .norm import BatchNorm1d, BatchNorm2d, GroupNorm
+from .optim import SGD, Adam, Optimizer, clip_grad_norm
+from .pooling import AvgPool2d, Flatten, GlobalAvgPool2d, MaxPool2d
+from .serialization import load_checkpoint, save_checkpoint
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Sequential",
+    "Residual",
+    "Conv2d",
+    "Linear",
+    "BatchNorm1d",
+    "BatchNorm2d",
+    "GroupNorm",
+    "clip_grad_norm",
+    "ReLU",
+    "LeakyReLU",
+    "Tanh",
+    "Sigmoid",
+    "Identity",
+    "Dropout",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "Flatten",
+    "CrossEntropyLoss",
+    "MSELoss",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "LRScheduler",
+    "CosineAnnealingLR",
+    "StepLR",
+    "MultiStepLR",
+    "WarmupLR",
+    "save_checkpoint",
+    "load_checkpoint",
+]

@@ -1,0 +1,70 @@
+"""Loss functions.
+
+Losses are not :class:`~repro.nn.module.Module` instances: they take the
+network output plus targets and return ``(loss_value, grad_wrt_logits)`` so
+training loops stay explicit.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .functional import log_softmax, one_hot, softmax
+
+__all__ = ["CrossEntropyLoss", "MSELoss"]
+
+
+class CrossEntropyLoss:
+    """Softmax cross entropy over integer class labels.
+
+    Parameters
+    ----------
+    label_smoothing:
+        Mixes the one-hot target with the uniform distribution:
+        ``target = (1 - s) * onehot + s / num_classes``.
+    """
+
+    def __init__(self, label_smoothing: float = 0.0) -> None:
+        if not 0.0 <= label_smoothing < 1.0:
+            raise ValueError("label_smoothing must be in [0, 1)")
+        self.label_smoothing = label_smoothing
+
+    def __call__(
+        self, logits: np.ndarray, labels: np.ndarray
+    ) -> Tuple[float, np.ndarray]:
+        if logits.ndim != 2:
+            raise ValueError(f"logits must be (N, C), got {logits.shape}")
+        n, num_classes = logits.shape
+        labels = np.asarray(labels)
+        if labels.shape != (n,):
+            raise ValueError(
+                f"labels shape {labels.shape} does not match batch size {n}"
+            )
+        target = one_hot(labels, num_classes)
+        if self.label_smoothing > 0.0:
+            s = self.label_smoothing
+            target = (1.0 - s) * target + s / num_classes
+        log_probs = log_softmax(logits, axis=1)
+        loss = float(-(target * log_probs).sum() / n)
+        grad = (softmax(logits, axis=1) - target) / n
+        return loss, grad
+
+
+class MSELoss:
+    """Mean squared error; mean over every element."""
+
+    def __call__(
+        self, prediction: np.ndarray, target: np.ndarray
+    ) -> Tuple[float, np.ndarray]:
+        target = np.asarray(target, dtype=np.float64)
+        if prediction.shape != target.shape:
+            raise ValueError(
+                f"shape mismatch: prediction {prediction.shape}, "
+                f"target {target.shape}"
+            )
+        diff = prediction - target
+        loss = float(np.mean(diff**2))
+        grad = 2.0 * diff / diff.size
+        return loss, grad

@@ -1,0 +1,102 @@
+"""Learning-rate schedules.
+
+The paper's recipe is a cosine schedule from an initial lr of 0.1 over 160
+epochs.  Schedulers mutate ``optimizer.lr`` in place; call :meth:`step` once
+per epoch (after the epoch's updates, matching PyTorch convention).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from .optim import Optimizer
+
+__all__ = ["LRScheduler", "CosineAnnealingLR", "StepLR", "MultiStepLR", "WarmupLR"]
+
+
+class LRScheduler:
+    """Base scheduler: tracks epoch count and the optimiser's base lr."""
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.last_epoch = 0
+
+    def get_lr(self) -> float:
+        """Learning rate for the current epoch index."""
+        raise NotImplementedError
+
+    def step(self) -> None:
+        """Advance one epoch and write the new lr into the optimiser."""
+        self.last_epoch += 1
+        self.optimizer.lr = self.get_lr()
+
+    @property
+    def current_lr(self) -> float:
+        return self.optimizer.lr
+
+
+class CosineAnnealingLR(LRScheduler):
+    """Cosine decay from the base lr to ``eta_min`` over ``t_max`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, t_max: int, eta_min: float = 0.0):
+        if t_max <= 0:
+            raise ValueError("t_max must be positive")
+        super().__init__(optimizer)
+        self.t_max = t_max
+        self.eta_min = eta_min
+
+    def get_lr(self) -> float:
+        progress = min(self.last_epoch, self.t_max) / self.t_max
+        return self.eta_min + 0.5 * (self.base_lr - self.eta_min) * (
+            1.0 + math.cos(math.pi * progress)
+        )
+
+
+class StepLR(LRScheduler):
+    """Multiply the lr by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1):
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        super().__init__(optimizer)
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def get_lr(self) -> float:
+        return self.base_lr * self.gamma ** (self.last_epoch // self.step_size)
+
+
+class MultiStepLR(LRScheduler):
+    """Multiply the lr by ``gamma`` at each listed milestone epoch."""
+
+    def __init__(
+        self, optimizer: Optimizer, milestones: List[int], gamma: float = 0.1
+    ):
+        if sorted(milestones) != list(milestones):
+            raise ValueError("milestones must be ascending")
+        super().__init__(optimizer)
+        self.milestones = list(milestones)
+        self.gamma = gamma
+
+    def get_lr(self) -> float:
+        passed = sum(1 for m in self.milestones if self.last_epoch >= m)
+        return self.base_lr * self.gamma**passed
+
+
+class WarmupLR(LRScheduler):
+    """Linear warmup for ``warmup_epochs``, then delegate to ``after``."""
+
+    def __init__(self, optimizer: Optimizer, warmup_epochs: int, after: LRScheduler):
+        if warmup_epochs < 0:
+            raise ValueError("warmup_epochs must be non-negative")
+        super().__init__(optimizer)
+        self.warmup_epochs = warmup_epochs
+        self.after = after
+
+    def get_lr(self) -> float:
+        if self.last_epoch <= self.warmup_epochs and self.warmup_epochs > 0:
+            return self.base_lr * self.last_epoch / self.warmup_epochs
+        self.after.last_epoch = self.last_epoch - self.warmup_epochs
+        return self.after.get_lr()

@@ -1,0 +1,173 @@
+"""Optimisers.
+
+The paper's recipe is SGD with momentum 0.9, weight decay and a cosine
+learning-rate schedule; Adam is provided for the smaller experiments.
+Optimisers also honour per-parameter pruning masks (see
+:mod:`repro.pruning.masks`): when a mask is attached the update is projected
+back onto the sparse support after every step, so pruned weights stay zero
+through fine-tuning.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .module import Parameter
+
+__all__ = ["Optimizer", "SGD", "Adam", "clip_grad_norm"]
+
+
+def clip_grad_norm(parameters: List[Parameter], max_norm: float) -> float:
+    """Scale gradients so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clip norm.  Useful for stabilising fault-tolerant
+    training at large injection rates, where an unlucky fault draw can
+    produce an extreme gradient spike.
+    """
+    if max_norm <= 0:
+        raise ValueError("max_norm must be positive")
+    total_sq = 0.0
+    for param in parameters:
+        total_sq += float(np.sum(param.grad**2))
+    total = float(np.sqrt(total_sq))
+    if total > max_norm:
+        scale = max_norm / (total + 1e-12)
+        for param in parameters:
+            param.grad *= scale
+    return total
+
+
+class Optimizer:
+    """Base optimiser: holds the parameter list, lr, and optional masks."""
+
+    def __init__(self, parameters: List[Parameter], lr: float) -> None:
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        if not parameters:
+            raise ValueError("optimizer received an empty parameter list")
+        self.parameters = list(parameters)
+        self.lr = lr
+        # id(param) -> binary mask with the same shape; see pruning.masks.
+        self._masks: Dict[int, np.ndarray] = {}
+
+    def attach_mask(self, param: Parameter, mask: np.ndarray) -> None:
+        """Constrain ``param`` to the support of ``mask`` (1=keep, 0=pruned)."""
+        mask = np.asarray(mask, dtype=np.float64)
+        if mask.shape != param.data.shape:
+            raise ValueError(
+                f"mask shape {mask.shape} does not match parameter "
+                f"{param.data.shape}"
+            )
+        self._masks[id(param)] = mask
+        param.data *= mask
+
+    def detach_masks(self) -> None:
+        """Remove all sparsity masks (weights may regrow afterwards)."""
+        self._masks.clear()
+
+    def zero_grad(self) -> None:
+        """Zero the gradients of every managed parameter."""
+        for param in self.parameters:
+            param.zero_grad()
+
+    def step(self) -> None:
+        """Apply one update from the currently accumulated gradients."""
+        raise NotImplementedError
+
+    def _apply_mask(self, param: Parameter) -> None:
+        mask = self._masks.get(id(param))
+        if mask is not None:
+            param.data *= mask
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with momentum, Nesterov and weight decay."""
+
+    def __init__(
+        self,
+        parameters: List[Parameter],
+        lr: float,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        nesterov: bool = False,
+    ) -> None:
+        super().__init__(parameters, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        if weight_decay < 0.0:
+            raise ValueError("weight_decay must be non-negative")
+        if nesterov and momentum == 0.0:
+            raise ValueError("nesterov momentum requires momentum > 0")
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.nesterov = nesterov
+        self._velocity: Dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        for param in self.parameters:
+            if not param.requires_grad:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            if self.momentum:
+                velocity = self._velocity.get(id(param))
+                if velocity is None:
+                    velocity = np.zeros_like(param.data)
+                velocity = self.momentum * velocity + grad
+                self._velocity[id(param)] = velocity
+                grad = grad + self.momentum * velocity if self.nesterov else velocity
+            param.data -= self.lr * grad
+            self._apply_mask(param)
+
+
+class Adam(Optimizer):
+    """Adam with bias correction and optional decoupled weight decay (AdamW)."""
+
+    def __init__(
+        self,
+        parameters: List[Parameter],
+        lr: float = 1e-3,
+        betas: tuple = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+        decoupled: bool = False,
+    ) -> None:
+        super().__init__(parameters, lr)
+        beta1, beta2 = betas
+        if not (0.0 <= beta1 < 1.0 and 0.0 <= beta2 < 1.0):
+            raise ValueError("betas must be in [0, 1)")
+        self.beta1, self.beta2 = beta1, beta2
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self.decoupled = decoupled
+        self._step_count = 0
+        self._m: Dict[int, np.ndarray] = {}
+        self._v: Dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        self._step_count += 1
+        t = self._step_count
+        for param in self.parameters:
+            if not param.requires_grad:
+                continue
+            grad = param.grad
+            if self.weight_decay and not self.decoupled:
+                grad = grad + self.weight_decay * param.data
+            m = self._m.get(id(param))
+            v = self._v.get(id(param))
+            if m is None:
+                m = np.zeros_like(param.data)
+                v = np.zeros_like(param.data)
+            m = self.beta1 * m + (1 - self.beta1) * grad
+            v = self.beta2 * v + (1 - self.beta2) * grad**2
+            self._m[id(param)], self._v[id(param)] = m, v
+            m_hat = m / (1 - self.beta1**t)
+            v_hat = v / (1 - self.beta2**t)
+            update = m_hat / (np.sqrt(v_hat) + self.eps)
+            if self.weight_decay and self.decoupled:
+                update = update + self.weight_decay * param.data
+            param.data -= self.lr * update
+            self._apply_mask(param)

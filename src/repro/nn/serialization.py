@@ -1,0 +1,60 @@
+"""Model checkpointing.
+
+Saves/loads a module's :meth:`~repro.nn.module.Module.state_dict` as a
+compressed ``.npz`` archive — the natural numpy equivalent of a PyTorch
+checkpoint.  Metadata (a small JSON-compatible dict) can ride along, e.g.
+the training fault rate a checkpoint was hardened for.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from .module import Module
+
+__all__ = ["save_checkpoint", "load_checkpoint"]
+
+_META_KEY = "__repro_meta__"
+
+
+def save_checkpoint(
+    path: str, model: Module, metadata: Optional[Dict] = None
+) -> None:
+    """Write the model's parameters and buffers (plus metadata) to ``path``.
+
+    The ``.npz`` suffix is appended if missing (numpy convention).
+    """
+    state = model.state_dict()
+    if _META_KEY in state:
+        raise ValueError(f"state dict may not contain the key {_META_KEY!r}")
+    payload = dict(state)
+    meta_json = json.dumps(metadata if metadata is not None else {})
+    payload[_META_KEY] = np.frombuffer(
+        meta_json.encode("utf-8"), dtype=np.uint8
+    )
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    np.savez_compressed(path, **payload)
+
+
+def load_checkpoint(path: str, model: Module) -> Dict:
+    """Load a checkpoint into ``model`` in place; returns the metadata.
+
+    Shape/key validation is delegated to
+    :meth:`~repro.nn.module.Module.load_state_dict`, so a checkpoint for a
+    different architecture fails loudly.
+    """
+    if not os.path.exists(path) and os.path.exists(path + ".npz"):
+        path = path + ".npz"
+    with np.load(path) as archive:
+        state = {key: archive[key] for key in archive.files}
+    meta_raw = state.pop(_META_KEY, None)
+    model.load_state_dict(state)
+    if meta_raw is None:
+        return {}
+    return json.loads(bytes(meta_raw.tobytes()).decode("utf-8"))

@@ -1,0 +1,82 @@
+"""One-shot magnitude pruning (Han et al., NeurIPS 2015).
+
+Prune the smallest-magnitude weights to the target sparsity in a single
+shot, then fine-tune with the mask enforced.  This is the "one-shot
+pruning" baseline of the paper's Figure 2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from .. import nn
+from ..core.training import Trainer, TrainingHistory
+from ..datasets.loader import DataLoader
+from .masks import magnitude_mask, prunable_parameters
+
+__all__ = ["magnitude_prune", "finetune_pruned"]
+
+
+def magnitude_prune(
+    model: nn.Module, sparsity_ratio: float, per_layer: bool = True
+) -> Dict[str, np.ndarray]:
+    """Prune the model in place; returns the keep-masks by parameter name.
+
+    Parameters
+    ----------
+    model:
+        Network to prune (weights are zeroed in place).
+    sparsity_ratio:
+        Fraction of weights to remove, in [0, 1).
+    per_layer:
+        ``True`` prunes each layer to the ratio independently (uniform
+        per-layer sparsity, the convention for crossbar mapping where each
+        layer occupies its own tiles); ``False`` ranks magnitudes globally.
+    """
+    params = prunable_parameters(model)
+    masks: Dict[str, np.ndarray] = {}
+    if per_layer:
+        for name, param in params:
+            mask = magnitude_mask(param.data, sparsity_ratio)
+            param.data *= mask
+            masks[name] = mask
+        return masks
+
+    # Global ranking: one threshold across all layers.
+    all_magnitudes = np.concatenate(
+        [np.abs(param.data.reshape(-1)) for _, param in params]
+    )
+    k = int(np.floor(sparsity_ratio * all_magnitudes.size))
+    if k > 0:
+        threshold = np.partition(all_magnitudes, k - 1)[k - 1]
+    else:
+        threshold = -np.inf
+    for name, param in params:
+        mask = (np.abs(param.data) > threshold).astype(np.float64)
+        param.data *= mask
+        masks[name] = mask
+    return masks
+
+
+def finetune_pruned(
+    model: nn.Module,
+    masks: Dict[str, np.ndarray],
+    loader: DataLoader,
+    epochs: int,
+    lr: float = 0.01,
+    momentum: float = 0.9,
+    weight_decay: float = 0.0,
+    val_loader: Optional[DataLoader] = None,
+) -> TrainingHistory:
+    """Fine-tune a pruned model with its masks enforced after every step."""
+    optimizer = nn.SGD(
+        model.parameters(), lr=lr, momentum=momentum, weight_decay=weight_decay
+    )
+    params = dict(prunable_parameters(model))
+    for name, mask in masks.items():
+        optimizer.attach_mask(params[name], mask)
+    scheduler = nn.CosineAnnealingLR(optimizer, t_max=max(epochs, 1))
+    trainer = Trainer(model, optimizer, scheduler=scheduler, val_loader=val_loader)
+    return trainer.fit(loader, epochs)

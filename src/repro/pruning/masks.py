@@ -1,0 +1,74 @@
+"""Sparsity masks and bookkeeping shared by the pruning algorithms."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from .. import nn
+from ..reram.deploy import crossbar_parameters
+
+__all__ = [
+    "prunable_parameters",
+    "magnitude_mask",
+    "apply_masks",
+    "sparsity",
+    "model_sparsity",
+]
+
+
+def prunable_parameters(model: nn.Module) -> List[Tuple[str, nn.Parameter]]:
+    """Parameters eligible for pruning.
+
+    Same set as the crossbar-resident weights: Conv2d/Linear weight
+    tensors.  Biases and BatchNorm affine parameters are never pruned.
+    """
+    return crossbar_parameters(model)
+
+
+def magnitude_mask(weights: np.ndarray, sparsity_ratio: float) -> np.ndarray:
+    """Binary keep-mask zeroing the smallest-magnitude fraction.
+
+    Exactly ``floor(sparsity_ratio * n)`` entries are pruned, ties broken
+    by flat index (deterministic).
+    """
+    if not 0.0 <= sparsity_ratio < 1.0:
+        raise ValueError(f"sparsity_ratio must be in [0, 1), got {sparsity_ratio}")
+    n = weights.size
+    k = int(np.floor(sparsity_ratio * n))
+    mask = np.ones(n, dtype=np.float64)
+    if k > 0:
+        order = np.argsort(np.abs(weights.reshape(-1)), kind="stable")
+        mask[order[:k]] = 0.0
+    return mask.reshape(weights.shape)
+
+
+def apply_masks(
+    model: nn.Module, masks: Dict[str, np.ndarray]
+) -> None:
+    """Zero out pruned weights in place (mask keys are parameter names)."""
+    params = dict(prunable_parameters(model))
+    for name, mask in masks.items():
+        if name not in params:
+            raise KeyError(f"no prunable parameter named {name!r}")
+        if mask.shape != params[name].data.shape:
+            raise ValueError(f"mask shape mismatch for {name!r}")
+        params[name].data *= mask
+
+
+def sparsity(array: np.ndarray, atol: float = 0.0) -> float:
+    """Fraction of (near-)zero entries."""
+    if array.size == 0:
+        return 0.0
+    return float(np.mean(np.abs(array) <= atol))
+
+
+def model_sparsity(model: nn.Module) -> float:
+    """Overall sparsity across all prunable parameters."""
+    total = 0
+    zeros = 0
+    for _, param in prunable_parameters(model):
+        total += param.size
+        zeros += int(np.sum(param.data == 0.0))
+    return zeros / total if total else 0.0

@@ -1,0 +1,14 @@
+"""Quantisation for crossbar deployment: PTQ, QAT and the combined
+quantise-then-fault weight transform."""
+
+from .qat import (
+    QuantizationAwareTrainer,
+    QuantizedFaultModel,
+    quantize_model_weights,
+)
+
+__all__ = [
+    "quantize_model_weights",
+    "QuantizationAwareTrainer",
+    "QuantizedFaultModel",
+]

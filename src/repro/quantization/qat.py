@@ -1,0 +1,132 @@
+"""Quantisation-aware training (QAT) for crossbar deployment.
+
+ReRAM cells store a handful of conductance levels, so deployed weights are
+quantised (see :mod:`repro.reram.quantize`).  The same stochastic-training
+idea the paper uses for faults applies: simulate the deployment transform
+(here, quantisation) in every training step with a straight-through
+gradient, and the model learns weights that survive it.
+
+The module provides:
+
+* :func:`quantize_model_weights` — post-training quantisation (PTQ) of all
+  crossbar-resident tensors, in place;
+* :class:`QuantizationAwareTrainer` — per-step weight quantisation with
+  straight-through gradients (reuses the fault-injection machinery);
+* :class:`QuantizedFaultModel` — quantise *then* apply stuck-at faults,
+  the exact weight-space image of "program the quantised weights onto a
+  defective crossbar"; usable wherever a ``WeightSpaceFaultModel`` is.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .. import nn
+from ..core.training import OneShotFaultTolerantTrainer
+from ..reram.deploy import crossbar_parameters
+from ..reram.faults import SA0_SA1_RATIO, WeightSpaceFaultModel
+from ..reram.quantize import UniformQuantizer
+
+__all__ = [
+    "quantize_model_weights",
+    "QuantizationAwareTrainer",
+    "QuantizedFaultModel",
+]
+
+
+def quantize_model_weights(model: nn.Module, levels: int) -> None:
+    """Post-training quantisation: snap every crossbar-resident weight to
+    its layer's symmetric ``levels``-level grid, in place."""
+    quantizer = UniformQuantizer(levels=levels)
+    for _, param in crossbar_parameters(model):
+        param.data[...] = quantizer(param.data)
+
+
+class _QuantizeTransform:
+    """Weight transform with the fault-model interface: ignores the rate
+    argument and quantises (deterministically)."""
+
+    def __init__(self, levels: int) -> None:
+        self.quantizer = UniformQuantizer(levels=levels)
+
+    def apply(
+        self,
+        weights: np.ndarray,
+        level: float,
+        rng: np.random.Generator,
+        fault_map=None,
+    ) -> np.ndarray:
+        return self.quantizer(np.asarray(weights, dtype=np.float64))
+
+
+class QuantizationAwareTrainer(OneShotFaultTolerantTrainer):
+    """Train with per-step weight quantisation (straight-through).
+
+    Each step: quantise the crossbar-resident weights, run
+    forward/backward on the quantised copies, restore the full-precision
+    weights, apply the update — the classic STE-based QAT loop.
+
+    Parameters
+    ----------
+    levels:
+        Conductance levels of the target device (e.g. 16 for 4-bit cells).
+    """
+
+    def __init__(
+        self,
+        model: nn.Module,
+        optimizer: nn.Optimizer,
+        levels: int,
+        rng: Optional[np.random.Generator] = None,
+        **kwargs,
+    ) -> None:
+        if levels < 2:
+            raise ValueError("levels must be >= 2")
+        super().__init__(
+            model,
+            optimizer,
+            p_sa_target=0.0,  # unused by the quantise transform
+            fault_model=_QuantizeTransform(levels),
+            rng=rng,
+            **kwargs,
+        )
+        self.levels = levels
+
+
+class QuantizedFaultModel:
+    """Quantise, then apply stuck-at faults — deployment's weight-space
+    image.
+
+    SA1 pins a weight to the *quantised* dynamic range's extreme, exactly
+    as a stuck-on cell realises the top conductance level.
+
+    Parameters
+    ----------
+    levels:
+        Conductance levels per cell.
+    ratio:
+        SA0:SA1 odds (paper default 1.75 : 9.04).
+    """
+
+    def __init__(
+        self, levels: int = 16, ratio=SA0_SA1_RATIO
+    ) -> None:
+        if levels < 2:
+            raise ValueError("levels must be >= 2")
+        self.levels = levels
+        self.quantizer = UniformQuantizer(levels=levels)
+        self.fault_model = WeightSpaceFaultModel(ratio=ratio)
+        self.ratio = ratio
+
+    def apply(
+        self,
+        weights: np.ndarray,
+        p_sa: float,
+        rng: np.random.Generator,
+        fault_map: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Quantise then fault a copy of ``weights`` (input not mutated)."""
+        quantised = self.quantizer(np.asarray(weights, dtype=np.float64))
+        return self.fault_model.apply(quantised, p_sa, rng, fault_map=fault_map)

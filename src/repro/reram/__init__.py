@@ -1,0 +1,48 @@
+"""ReRAM crossbar substrate: devices, arrays, mapping, stuck-at faults."""
+
+from .adc import ADCModel, BitSerialMVM
+from .bitslice import BitSlicedMapper, BitSlicedMatrix
+from .crossbar import CrossbarArray
+from .deploy import DeployedModel, crossbar_parameters, deploy_weights
+from .device import ReRAMDeviceModel
+from .layers import AnalogConv2d, AnalogLinear, convert_to_analog
+from .faults import (
+    FAULT_NONE,
+    FAULT_SA0,
+    FAULT_SA1,
+    SA0_SA1_RATIO,
+    StuckAtFaultSpec,
+    WeightSpaceFaultModel,
+    sample_fault_map,
+)
+from .mapper import CrossbarMapper, MappedMatrix
+from .noise import ConductanceDriftModel, ProgrammingVariationModel
+from .quantize import UniformQuantizer, quantize_symmetric
+
+__all__ = [
+    "ReRAMDeviceModel",
+    "CrossbarArray",
+    "CrossbarMapper",
+    "MappedMatrix",
+    "DeployedModel",
+    "deploy_weights",
+    "crossbar_parameters",
+    "UniformQuantizer",
+    "quantize_symmetric",
+    "FAULT_NONE",
+    "FAULT_SA0",
+    "FAULT_SA1",
+    "SA0_SA1_RATIO",
+    "StuckAtFaultSpec",
+    "WeightSpaceFaultModel",
+    "sample_fault_map",
+    "ProgrammingVariationModel",
+    "ConductanceDriftModel",
+    "ADCModel",
+    "BitSerialMVM",
+    "BitSlicedMapper",
+    "BitSlicedMatrix",
+    "AnalogLinear",
+    "AnalogConv2d",
+    "convert_to_analog",
+]

@@ -1,0 +1,133 @@
+"""Peripheral circuit models: input DACs and column ADCs.
+
+The accelerators the paper builds on (ISAAC, PUMA, FORMS, TinyADC) drive
+crossbars with low-resolution DACs — feeding the input vector bit-serially
+— and digitise column currents with shared ADCs whose resolution bounds
+the dot-product precision.  This module models both effects on top of
+:class:`~repro.reram.mapper.MappedMatrix`:
+
+* :class:`ADCModel` — uniform quantisation of column currents with
+  saturation at a configurable full-scale range;
+* :class:`BitSerialMVM` — splits an integer-quantised input vector into
+  bit planes, runs one analog MVM per plane, digitises each partial
+  result, and recombines with power-of-two shifts (exact when the ADC has
+  enough resolution — property-tested).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .mapper import MappedMatrix
+
+__all__ = ["ADCModel", "BitSerialMVM"]
+
+
+class ADCModel:
+    """Uniform mid-rise ADC with saturation.
+
+    Parameters
+    ----------
+    bits:
+        Resolution (2**bits output codes).
+    full_scale:
+        Inputs are clipped to ``[-full_scale, +full_scale]`` before
+        quantisation (analog saturation).
+    """
+
+    def __init__(self, bits: int, full_scale: float) -> None:
+        if bits < 1:
+            raise ValueError("bits must be >= 1")
+        if full_scale <= 0:
+            raise ValueError("full_scale must be positive")
+        self.bits = bits
+        self.full_scale = full_scale
+
+    @property
+    def levels(self) -> int:
+        return 2**self.bits
+
+    @property
+    def step(self) -> float:
+        return 2 * self.full_scale / (self.levels - 1)
+
+    def convert(self, values: np.ndarray) -> np.ndarray:
+        """Digitise ``values``: clip to full scale, snap to the code grid.
+
+        The code grid spans ``[-full_scale, +full_scale]`` inclusive with
+        ``2**bits`` codes, so the rails are exactly representable.
+        """
+        clipped = np.clip(values, -self.full_scale, self.full_scale)
+        codes = np.round((clipped + self.full_scale) / self.step)
+        return -self.full_scale + codes * self.step
+
+
+class BitSerialMVM:
+    """Bit-serial analog matrix-vector product through a mapped matrix.
+
+    The input vector is quantised to ``input_bits`` unsigned integer
+    levels (after an affine shift making it non-negative, as real DAC
+    front-ends do), split into bit planes, and each plane is pushed
+    through the crossbar as a 0/1 voltage vector.  Each plane's column
+    currents pass through the ADC; planes recombine as
+    ``sum_b 2^b * adc(plane_b @ W)`` plus the shift-correction term.
+
+    With ``adc=None`` (ideal ADC) the result equals the direct quantised
+    product exactly — the recombination identity the tests verify.
+    """
+
+    def __init__(
+        self,
+        mapped: MappedMatrix,
+        input_bits: int = 4,
+        adc: Optional[ADCModel] = None,
+    ) -> None:
+        if input_bits < 1:
+            raise ValueError("input_bits must be >= 1")
+        self.mapped = mapped
+        self.input_bits = input_bits
+        self.adc = adc
+
+    def _quantise_input(self, x: np.ndarray):
+        """Affine-map each row of x to integers in [0, 2**bits - 1].
+
+        Returns ``(codes, scale, offset)`` with per-row scale/offset
+        columns such that ``x_q = codes * scale + offset`` — per-vector
+        DAC ranging, so a vector quantises identically alone or in a
+        batch.
+        """
+        levels = 2**self.input_bits
+        x_min = x.min(axis=1, keepdims=True)
+        x_max = x.max(axis=1, keepdims=True)
+        span = x_max - x_min
+        degenerate = span == 0
+        scale = np.where(degenerate, 1.0, span / (levels - 1))
+        codes = np.round((x - x_min) / scale).astype(np.int64)
+        return codes, scale, x_min
+
+    def matvec(
+        self, x: np.ndarray, rng: Optional[np.random.Generator] = None
+    ) -> np.ndarray:
+        """Bit-serial ``x @ W`` (1-D or batched 2-D input)."""
+        x = np.asarray(x, dtype=np.float64)
+        single = x.ndim == 1
+        if single:
+            x = x[None, :]
+        codes, scale, offset = self._quantise_input(x)
+        rows, cols = self.mapped.shape
+        total = np.zeros((x.shape[0], cols))
+        for bit in range(self.input_bits):
+            plane = ((codes >> bit) & 1).astype(np.float64)
+            currents = self.mapped.matvec(plane, rng)
+            if self.adc is not None:
+                currents = self.adc.convert(currents)
+            total += (2**bit) * currents
+        total *= scale  # per-row DAC scale
+        # Correction for the per-row affine offset: offset_i * (ones @ W).
+        ones_current = self.mapped.matvec(np.ones((1, rows)), rng)
+        if self.adc is not None:
+            ones_current = self.adc.convert(ones_current)
+        total += offset * ones_current  # (batch, 1) * (1, cols)
+        return total[0] if single else total

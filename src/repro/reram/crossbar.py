@@ -1,0 +1,129 @@
+"""Behavioural ReRAM crossbar array.
+
+A crossbar stores a ``rows x cols`` conductance matrix ``G``.  Applying an
+input voltage vector ``v`` to the rows produces column currents
+``i = G.T @ v`` (Kirchhoff), which is the in-situ dot product the
+accelerator exploits.  Stuck-at faults pin individual cells to the device's
+min/max conductance and persist across programming.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .device import ReRAMDeviceModel
+from .faults import (
+    FAULT_NONE,
+    FAULT_SA0,
+    FAULT_SA1,
+    StuckAtFaultSpec,
+    sample_fault_map,
+)
+
+__all__ = ["CrossbarArray"]
+
+
+class CrossbarArray:
+    """One physical crossbar tile.
+
+    Parameters
+    ----------
+    rows, cols:
+        Array dimensions (rows = inputs, cols = outputs).
+    device:
+        Cell electrical model; defaults to :class:`ReRAMDeviceModel()`.
+    """
+
+    def __init__(
+        self,
+        rows: int,
+        cols: int,
+        device: Optional[ReRAMDeviceModel] = None,
+    ) -> None:
+        if rows <= 0 or cols <= 0:
+            raise ValueError("rows and cols must be positive")
+        self.rows = rows
+        self.cols = cols
+        self.device = device if device is not None else ReRAMDeviceModel()
+        self._conductance = np.full((rows, cols), self.device.g_off)
+        self._fault_map = np.full((rows, cols), FAULT_NONE, dtype=np.int8)
+
+    # -- programming ---------------------------------------------------------
+    def program(self, target_conductances: np.ndarray) -> None:
+        """Program all cells; faulty cells ignore programming."""
+        target_conductances = np.asarray(target_conductances, dtype=np.float64)
+        if target_conductances.shape != (self.rows, self.cols):
+            raise ValueError(
+                f"expected ({self.rows}, {self.cols}), "
+                f"got {target_conductances.shape}"
+            )
+        self._conductance = self.device.program(target_conductances)
+        self._enforce_faults()
+
+    def _enforce_faults(self) -> None:
+        self._conductance = np.where(
+            self._fault_map == FAULT_SA0, self.device.g_off, self._conductance
+        )
+        self._conductance = np.where(
+            self._fault_map == FAULT_SA1, self.device.g_on, self._conductance
+        )
+
+    # -- faults ----------------------------------------------------------------
+    def inject_faults(
+        self, spec: StuckAtFaultSpec, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Sample and apply a stuck-at fault map; returns the map."""
+        self._fault_map = sample_fault_map((self.rows, self.cols), spec, rng)
+        self._enforce_faults()
+        return self._fault_map.copy()
+
+    def set_fault_map(self, fault_map: np.ndarray) -> None:
+        """Install an explicit fault map (0/1/2 codes)."""
+        fault_map = np.asarray(fault_map, dtype=np.int8)
+        if fault_map.shape != (self.rows, self.cols):
+            raise ValueError("fault map shape mismatch")
+        if not np.isin(fault_map, (FAULT_NONE, FAULT_SA0, FAULT_SA1)).all():
+            raise ValueError("fault map contains unknown codes")
+        self._fault_map = fault_map.copy()
+        self._enforce_faults()
+
+    def clear_faults(self) -> None:
+        """Mark every cell healthy (conductances keep their last values)."""
+        self._fault_map.fill(FAULT_NONE)
+
+    @property
+    def fault_map(self) -> np.ndarray:
+        return self._fault_map.copy()
+
+    @property
+    def fault_count(self) -> int:
+        return int(np.count_nonzero(self._fault_map))
+
+    # -- reading / compute -------------------------------------------------------
+    def read_conductances(
+        self, rng: Optional[np.random.Generator] = None
+    ) -> np.ndarray:
+        """Read the (possibly noisy) cell conductances."""
+        return self.device.read(self._conductance, rng)
+
+    def matvec(
+        self, voltages: np.ndarray, rng: Optional[np.random.Generator] = None
+    ) -> np.ndarray:
+        """Analog MVM: column currents for a row-voltage vector (or batch).
+
+        Accepts ``(rows,)`` or ``(batch, rows)``; returns matching
+        ``(cols,)`` or ``(batch, cols)``.
+        """
+        voltages = np.asarray(voltages, dtype=np.float64)
+        conductance = self.read_conductances(rng)
+        if voltages.ndim == 1:
+            if voltages.shape[0] != self.rows:
+                raise ValueError(f"expected {self.rows} voltages")
+            return voltages @ conductance
+        if voltages.ndim == 2:
+            if voltages.shape[1] != self.rows:
+                raise ValueError(f"expected (batch, {self.rows}) voltages")
+            return voltages @ conductance
+        raise ValueError("voltages must be 1-D or 2-D")

@@ -1,0 +1,104 @@
+"""Deploying a trained model onto the crossbar simulator.
+
+``deploy_weights`` pushes every Conv2d/Linear weight tensor of a model
+through the full crossbar pipeline — differential-pair mapping, level
+quantisation, optional stuck-at faults, read-back — and writes the
+*effective* weights into the model in place.  Evaluating the model then
+simulates inference on the faulty accelerator, at weight-level fidelity,
+without rewriting any layer's forward pass.
+
+This is the physically-grounded counterpart of the paper's weight-space
+``Apply_Fault``; the ablation benchmark compares the two.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .. import nn
+from .device import ReRAMDeviceModel
+from .faults import StuckAtFaultSpec
+from .mapper import CrossbarMapper, MappedMatrix
+
+__all__ = ["crossbar_parameters", "DeployedModel", "deploy_weights"]
+
+
+def crossbar_parameters(model: nn.Module) -> List[Tuple[str, nn.Parameter]]:
+    """The (name, parameter) pairs that live on crossbars.
+
+    Convention throughout the library: the *weight* tensors of Conv2d and
+    Linear layers are crossbar-resident; biases and BatchNorm parameters
+    stay in digital peripheral logic and are fault-free.
+    """
+    selected = []
+    for name, param in model.named_parameters():
+        if name.endswith("weight") and param.data.ndim in (2, 4):
+            selected.append((name, param))
+    return selected
+
+
+class DeployedModel:
+    """A model whose crossbar-resident weights are mapped onto tiles.
+
+    Keeps the pristine weights, the mapped matrices and the model, so the
+    same deployment can be re-faulted many times (one draw per simulated
+    device).
+    """
+
+    def __init__(
+        self,
+        model: nn.Module,
+        mapper: CrossbarMapper,
+    ) -> None:
+        self.model = model
+        self.mapper = mapper
+        self._pristine: Dict[str, np.ndarray] = {}
+        self._mapped: Dict[str, MappedMatrix] = {}
+        for name, param in crossbar_parameters(model):
+            self._pristine[name] = param.data.copy()
+            matrix = param.data.reshape(param.data.shape[0], -1).T  # (in, out)
+            self._mapped[name] = mapper.map_matrix(matrix)
+
+    @property
+    def num_crossbars(self) -> int:
+        return sum(m.num_tiles for m in self._mapped.values())
+
+    def inject_faults(
+        self, p_sa: float, rng: np.random.Generator, ratio=None
+    ) -> int:
+        """Draw a fresh fault pattern across all tiles; returns fault count."""
+        kwargs = {} if ratio is None else {"ratio": ratio}
+        spec = StuckAtFaultSpec(p_sa, **kwargs)
+        return sum(m.inject_faults(spec, rng) for m in self._mapped.values())
+
+    def clear_faults(self) -> None:
+        """Clear fault maps across every mapped matrix."""
+        for mapped in self._mapped.values():
+            mapped.clear_faults()
+
+    def load_effective_weights(
+        self, rng: Optional[np.random.Generator] = None
+    ) -> None:
+        """Read back every mapped matrix and write it into the model."""
+        params = dict(crossbar_parameters(self.model))
+        for name, mapped in self._mapped.items():
+            effective = mapped.read_back(rng).T  # back to (out, in)
+            params[name].data[...] = effective.reshape(params[name].data.shape)
+
+    def restore_pristine(self) -> None:
+        """Write the original trained weights back into the model."""
+        params = dict(crossbar_parameters(self.model))
+        for name, pristine in self._pristine.items():
+            params[name].data[...] = pristine
+
+
+def deploy_weights(
+    model: nn.Module,
+    device: Optional[ReRAMDeviceModel] = None,
+    tile_size: int = 128,
+) -> DeployedModel:
+    """Map a model's crossbar-resident weights onto crossbar tiles."""
+    mapper = CrossbarMapper(device=device, tile_size=tile_size)
+    return DeployedModel(model, mapper)

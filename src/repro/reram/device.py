@@ -1,0 +1,83 @@
+"""ReRAM device model.
+
+Captures the electrical parameters of a single resistive cell that matter
+for inference behaviour: the programmable conductance window
+``[g_off, g_on]``, the number of programmable levels, and (optionally) a
+lognormal read-variation term.  Values default to a representative HfO2
+RRAM corner (conductance window ~ 2 uS .. 200 uS) used throughout the
+ReRAM accelerator literature the paper builds on (ISAAC, PUMA, FORMS).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["ReRAMDeviceModel"]
+
+
+@dataclass(frozen=True)
+class ReRAMDeviceModel:
+    """Electrical behaviour of one ReRAM cell.
+
+    Attributes
+    ----------
+    g_off:
+        Conductance of the high-resistance (off) state, in siemens.
+        A stuck-off (SA0) cell is pinned here.
+    g_on:
+        Conductance of the low-resistance (on) state.  A stuck-on (SA1)
+        cell is pinned here.
+    levels:
+        Number of distinct programmable conductance levels (2**bits).
+    read_noise_sigma:
+        Relative lognormal sigma of cycle-to-cycle read variation
+        (0 disables read noise).
+    """
+
+    g_off: float = 2e-6
+    g_on: float = 2e-4
+    levels: int = 16
+    read_noise_sigma: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.g_off < 0 or self.g_on <= self.g_off:
+            raise ValueError("need 0 <= g_off < g_on")
+        if self.levels < 2:
+            raise ValueError("need at least two conductance levels")
+        if self.read_noise_sigma < 0:
+            raise ValueError("read_noise_sigma must be non-negative")
+
+    @property
+    def conductance_range(self) -> float:
+        return self.g_on - self.g_off
+
+    def level_conductances(self) -> np.ndarray:
+        """The programmable conductance ladder, ascending."""
+        return np.linspace(self.g_off, self.g_on, self.levels)
+
+    def program(self, targets: np.ndarray) -> np.ndarray:
+        """Program target conductances, snapping to the nearest level.
+
+        Targets outside the window are clipped — a physical cell cannot
+        leave ``[g_off, g_on]``.
+        """
+        clipped = np.clip(targets, self.g_off, self.g_on)
+        step = self.conductance_range / (self.levels - 1)
+        indices = np.round((clipped - self.g_off) / step)
+        return self.g_off + indices * step
+
+    def read(
+        self, conductances: np.ndarray, rng: Optional[np.random.Generator] = None
+    ) -> np.ndarray:
+        """Read conductances, applying lognormal read variation if enabled."""
+        if self.read_noise_sigma == 0.0:
+            return np.asarray(conductances, dtype=np.float64)
+        if rng is None:
+            rng = np.random.default_rng()
+        noise = rng.lognormal(
+            mean=0.0, sigma=self.read_noise_sigma, size=np.shape(conductances)
+        )
+        return np.asarray(conductances, dtype=np.float64) * noise

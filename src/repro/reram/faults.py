@@ -1,0 +1,179 @@
+"""Stuck-at-fault models.
+
+The paper adopts the ReRAM defect statistics of Chen et al. (march-test
+characterisation): the total stuck-at rate ``P_sa = P_sa0 + P_sa1`` splits
+between stuck-off (SA0) and stuck-on (SA1) faults in the fixed ratio
+
+    ``P_sa0 : P_sa1 = 1.75 : 9.04``
+
+i.e. a faulty cell is far more likely to be stuck *on* (pinned at the
+maximum conductance) than stuck *off*.
+
+Two fault models are provided:
+
+* :class:`WeightSpaceFaultModel` — the paper's own evaluation model
+  ("randomly apply stuck-at-fault on the trained model weights"): an SA0
+  fault zeroes the weight, an SA1 fault pins it to the layer's maximum
+  magnitude with a random sign.  The random sign reflects the
+  differential-pair crossbar mapping, where a stuck-on cell may sit in
+  either the positive or the negative array.
+* cell-level faults on :class:`~repro.reram.crossbar.CrossbarArray`, where
+  SA0/SA1 pin the physical conductance; reading the crossbar back yields
+  the faulty effective weights.  Both models agree in distribution (tested).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "FAULT_NONE",
+    "FAULT_SA0",
+    "FAULT_SA1",
+    "SA0_SA1_RATIO",
+    "StuckAtFaultSpec",
+    "sample_fault_map",
+    "WeightSpaceFaultModel",
+]
+
+# Fault-map codes.
+FAULT_NONE = 0
+FAULT_SA0 = 1  # stuck-off: pinned at minimum conductance
+FAULT_SA1 = 2  # stuck-on: pinned at maximum conductance
+
+#: Chen et al. march-test statistics adopted by the paper.
+SA0_SA1_RATIO: Tuple[float, float] = (1.75, 9.04)
+
+
+@dataclass(frozen=True)
+class StuckAtFaultSpec:
+    """A total stuck-at rate plus its SA0/SA1 decomposition.
+
+    Parameters
+    ----------
+    p_sa:
+        Total stuck-at probability per cell/weight, in [0, 1].
+    ratio:
+        ``(sa0, sa1)`` relative odds; defaults to the paper's 1.75 : 9.04.
+    """
+
+    p_sa: float
+    ratio: Tuple[float, float] = SA0_SA1_RATIO
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.p_sa <= 1.0:
+            raise ValueError(f"p_sa must be in [0, 1], got {self.p_sa}")
+        sa0, sa1 = self.ratio
+        if sa0 < 0 or sa1 < 0 or sa0 + sa1 == 0:
+            raise ValueError(f"invalid SA0:SA1 ratio {self.ratio}")
+
+    @property
+    def p_sa0(self) -> float:
+        sa0, sa1 = self.ratio
+        return self.p_sa * sa0 / (sa0 + sa1)
+
+    @property
+    def p_sa1(self) -> float:
+        sa0, sa1 = self.ratio
+        return self.p_sa * sa1 / (sa0 + sa1)
+
+
+def sample_fault_map(
+    shape: Tuple[int, ...],
+    spec: StuckAtFaultSpec,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Draw an i.i.d. fault map: 0 = healthy, 1 = SA0, 2 = SA1.
+
+    Each position is independently faulty with probability ``spec.p_sa``
+    and, conditionally on being faulty, SA0 with odds 1.75 : 9.04.
+    """
+    draw = rng.random(shape)
+    fault_map = np.full(shape, FAULT_NONE, dtype=np.int8)
+    fault_map[draw < spec.p_sa0] = FAULT_SA0
+    fault_map[(draw >= spec.p_sa0) & (draw < spec.p_sa)] = FAULT_SA1
+    return fault_map
+
+
+class WeightSpaceFaultModel:
+    """The paper's weight-space stuck-at-fault model (Algorithm 1's
+    ``Apply_Fault``).
+
+    Semantics per faulty weight:
+
+    * **SA0** (stuck-off, min conductance): the stored magnitude collapses
+      to zero -> the weight becomes ``0``.
+    * **SA1** (stuck-on, max conductance): the stored magnitude pins to
+      the layer's dynamic range -> the weight becomes ``+/- w_max`` where
+      ``w_max`` is the max |weight| of the tensor and the sign is drawn
+      uniformly (the fault may land in the positive or negative crossbar
+      column of the differential pair).
+
+    Parameters
+    ----------
+    ratio:
+        SA0:SA1 odds, default the paper's 1.75 : 9.04.
+    w_max_mode:
+        ``"per_tensor"`` (default) pins SA1 weights to the tensor's max
+        magnitude; ``"fixed"`` uses ``w_max_fixed`` for every tensor.
+    w_max_fixed:
+        The clamp magnitude when ``w_max_mode == "fixed"``.
+    """
+
+    def __init__(
+        self,
+        ratio: Tuple[float, float] = SA0_SA1_RATIO,
+        w_max_mode: str = "per_tensor",
+        w_max_fixed: float = 1.0,
+    ) -> None:
+        if w_max_mode not in ("per_tensor", "fixed"):
+            raise ValueError(f"unknown w_max_mode {w_max_mode!r}")
+        if w_max_mode == "fixed" and w_max_fixed <= 0:
+            raise ValueError("w_max_fixed must be positive")
+        self.ratio = ratio
+        self.w_max_mode = w_max_mode
+        self.w_max_fixed = w_max_fixed
+
+    def _w_max(self, weights: np.ndarray) -> float:
+        if self.w_max_mode == "fixed":
+            return self.w_max_fixed
+        w_max = float(np.max(np.abs(weights))) if weights.size else 0.0
+        return w_max
+
+    def apply(
+        self,
+        weights: np.ndarray,
+        p_sa: float,
+        rng: np.random.Generator,
+        fault_map: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Return a faulted copy of ``weights`` (the input is not mutated).
+
+        A pre-drawn ``fault_map`` may be supplied (e.g. to correlate
+        faults across evaluations of the same physical device); otherwise
+        one is sampled at rate ``p_sa``.
+        """
+        weights = np.asarray(weights, dtype=np.float64)
+        spec = StuckAtFaultSpec(p_sa, self.ratio)
+        if fault_map is None:
+            fault_map = sample_fault_map(weights.shape, spec, rng)
+        elif fault_map.shape != weights.shape:
+            raise ValueError(
+                f"fault map shape {fault_map.shape} does not match "
+                f"weights {weights.shape}"
+            )
+        faulted = weights.copy()
+        if p_sa == 0.0 and fault_map is None:
+            return faulted
+        sa0 = fault_map == FAULT_SA0
+        sa1 = fault_map == FAULT_SA1
+        faulted[sa0] = 0.0
+        n_sa1 = int(sa1.sum())
+        if n_sa1:
+            w_max = self._w_max(weights)
+            signs = rng.choice((-1.0, 1.0), size=n_sa1)
+            faulted[sa1] = signs * w_max
+        return faulted

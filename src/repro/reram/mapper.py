@@ -1,0 +1,167 @@
+"""Weight-matrix -> crossbar mapping with differential pairs and tiling.
+
+A signed weight matrix ``W`` of shape ``(out, in)`` is stored on pairs of
+crossbars: ``W = scale * (G_pos - G_neg)`` where positive weights program
+the positive array and negative weights the negative array (the other cell
+of the pair rests at ``g_off``).  Matrices larger than the physical tile
+size are split into a grid of tiles, as in ISAAC/PUMA-style accelerators.
+
+Reading a mapped matrix back (``read_back``) returns the *effective* weight
+matrix implied by the current cell conductances — including quantisation,
+stuck-at faults and read noise — which is how the rest of the library
+simulates deployed inference without rewriting every layer's forward pass.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .crossbar import CrossbarArray
+from .device import ReRAMDeviceModel
+from .faults import StuckAtFaultSpec
+
+__all__ = ["MappedMatrix", "CrossbarMapper"]
+
+
+class MappedMatrix:
+    """A weight matrix resident on a grid of differential crossbar pairs."""
+
+    def __init__(
+        self,
+        shape: Tuple[int, int],
+        tile_grid: List[List[Tuple[CrossbarArray, CrossbarArray]]],
+        tile_size: int,
+        scale: float,
+    ) -> None:
+        self.shape = shape
+        self.tile_grid = tile_grid
+        self.tile_size = tile_size
+        self.scale = scale
+
+    @property
+    def num_tiles(self) -> int:
+        return sum(len(row) for row in self.tile_grid) * 2
+
+    def iter_tiles(self):
+        """Yield every physical crossbar (positive then negative per pair)."""
+        for tile_row in self.tile_grid:
+            for pos, neg in tile_row:
+                yield pos
+                yield neg
+
+    def inject_faults(
+        self, spec: StuckAtFaultSpec, rng: np.random.Generator
+    ) -> int:
+        """Inject i.i.d. stuck-at faults into every tile; returns the count."""
+        total = 0
+        for tile in self.iter_tiles():
+            tile.inject_faults(spec, rng)
+            total += tile.fault_count
+        return total
+
+    def clear_faults(self) -> None:
+        """Clear the fault maps of every tile."""
+        for tile in self.iter_tiles():
+            tile.clear_faults()
+
+    def read_back(self, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        """Effective weight matrix implied by current cell conductances."""
+        rows, cols = self.shape
+        weights = np.zeros((rows, cols), dtype=np.float64)
+        g_off = self.tile_grid[0][0][0].device.g_off
+        for i, tile_row in enumerate(self.tile_grid):
+            for j, (pos, neg) in enumerate(tile_row):
+                g_diff = (
+                    pos.read_conductances(rng) - neg.read_conductances(rng)
+                )
+                block = self.scale * g_diff
+                r0, c0 = i * self.tile_size, j * self.tile_size
+                r1 = min(r0 + self.tile_size, rows)
+                c1 = min(c0 + self.tile_size, cols)
+                weights[r0:r1, c0:c1] = block[: r1 - r0, : c1 - c0]
+        return weights
+
+    def matvec(
+        self, x: np.ndarray, rng: Optional[np.random.Generator] = None
+    ) -> np.ndarray:
+        """Analog ``x @ W`` over the tile grid (x indexes the row axis)."""
+        x = np.asarray(x, dtype=np.float64)
+        single = x.ndim == 1
+        if single:
+            x = x[None, :]
+        rows, cols = self.shape
+        if x.shape[1] != rows:
+            raise ValueError(f"expected (batch, {rows}) input, got {x.shape}")
+        out = np.zeros((x.shape[0], cols), dtype=np.float64)
+        for i, tile_row in enumerate(self.tile_grid):
+            r0 = i * self.tile_size
+            r1 = min(r0 + self.tile_size, rows)
+            x_block = np.zeros((x.shape[0], self.tile_size))
+            x_block[:, : r1 - r0] = x[:, r0:r1]
+            for j, (pos, neg) in enumerate(tile_row):
+                c0 = j * self.tile_size
+                c1 = min(c0 + self.tile_size, cols)
+                currents = pos.matvec(x_block, rng) - neg.matvec(x_block, rng)
+                out[:, c0:c1] += self.scale * currents[:, : c1 - c0]
+        return out[0] if single else out
+
+
+class CrossbarMapper:
+    """Programs signed weight matrices onto tiled differential crossbars.
+
+    Parameters
+    ----------
+    device:
+        Cell model shared by all tiles.
+    tile_size:
+        Physical crossbar side (rows = cols = tile_size), e.g. 128.
+    """
+
+    def __init__(
+        self,
+        device: Optional[ReRAMDeviceModel] = None,
+        tile_size: int = 128,
+    ) -> None:
+        if tile_size <= 0:
+            raise ValueError("tile_size must be positive")
+        self.device = device if device is not None else ReRAMDeviceModel()
+        self.tile_size = tile_size
+
+    def map_matrix(self, weights: np.ndarray) -> MappedMatrix:
+        """Map ``weights`` (rows=in, cols=out orientation is caller's) onto
+        crossbar tiles.
+
+        The per-matrix scale maps ``w_max`` to the full conductance window:
+        ``G_pos - G_neg in [-(g_on - g_off), +(g_on - g_off)]``.
+        """
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.ndim != 2:
+            raise ValueError("only 2-D matrices can be mapped")
+        rows, cols = weights.shape
+        w_max = float(np.max(np.abs(weights))) if weights.size else 0.0
+        g_range = self.device.conductance_range
+        # scale converts conductance difference back to weight units.
+        scale = (w_max / g_range) if w_max > 0 else 1.0 / g_range
+
+        n_tile_rows = -(-rows // self.tile_size)
+        n_tile_cols = -(-cols // self.tile_size)
+        grid: List[List[Tuple[CrossbarArray, CrossbarArray]]] = []
+        for i in range(n_tile_rows):
+            tile_row = []
+            for j in range(n_tile_cols):
+                r0, c0 = i * self.tile_size, j * self.tile_size
+                r1 = min(r0 + self.tile_size, rows)
+                c1 = min(c0 + self.tile_size, cols)
+                block = np.zeros((self.tile_size, self.tile_size))
+                block[: r1 - r0, : c1 - c0] = weights[r0:r1, c0:c1]
+                g_pos = np.where(block > 0, block / scale, 0.0) + self.device.g_off
+                g_neg = np.where(block < 0, -block / scale, 0.0) + self.device.g_off
+                pos = CrossbarArray(self.tile_size, self.tile_size, self.device)
+                neg = CrossbarArray(self.tile_size, self.tile_size, self.device)
+                pos.program(g_pos)
+                neg.program(g_neg)
+                tile_row.append((pos, neg))
+            grid.append(tile_row)
+        return MappedMatrix((rows, cols), grid, self.tile_size, scale)

@@ -1,0 +1,85 @@
+"""Non-stuck-at ReRAM non-idealities.
+
+The paper focuses on stuck-at faults, but the same "inherent physical
+limitations" motivation covers softer effects, and the stochastic training
+scheme extends to them directly.  This module provides weight-space models
+for the two standard ones:
+
+* **programming variation** — lognormal multiplicative noise on each
+  weight's magnitude (device-to-device / cycle-to-cycle variation);
+* **conductance drift** — magnitudes decay toward ``g_off`` over time as
+  ``(t / t0) ** -nu`` (the standard power-law retention model).
+
+Both are usable wherever a ``WeightSpaceFaultModel`` is (they expose the
+same ``apply(weights, level, rng)`` shape), so the trainers and the
+defect-evaluation loop work with them unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["ProgrammingVariationModel", "ConductanceDriftModel"]
+
+
+class ProgrammingVariationModel:
+    """Lognormal multiplicative weight variation.
+
+    ``apply(w, sigma, rng)`` returns ``w * exp(N(0, sigma))`` elementwise.
+    The ``level`` argument plays the role ``p_sa`` plays for stuck-at
+    faults: the strength knob of the randomisation scheme.
+    """
+
+    def apply(
+        self,
+        weights: np.ndarray,
+        sigma: float,
+        rng: np.random.Generator,
+        fault_map: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Return a copy of ``weights`` with lognormal variation applied."""
+        if sigma < 0:
+            raise ValueError("sigma must be non-negative")
+        weights = np.asarray(weights, dtype=np.float64)
+        if sigma == 0.0:
+            return weights.copy()
+        noise = rng.lognormal(mean=0.0, sigma=sigma, size=weights.shape)
+        return weights * noise
+
+
+class ConductanceDriftModel:
+    """Power-law retention drift of weight magnitudes.
+
+    ``apply(w, t, rng)`` scales magnitudes by ``(max(t, 1)) ** -nu`` —
+    weights decay toward zero (the ``g_off`` state) as the device ages.
+    A small lognormal jitter models per-cell drift-coefficient spread.
+    """
+
+    def __init__(self, nu: float = 0.05, jitter_sigma: float = 0.02) -> None:
+        if nu < 0 or jitter_sigma < 0:
+            raise ValueError("nu and jitter_sigma must be non-negative")
+        self.nu = nu
+        self.jitter_sigma = jitter_sigma
+
+    def apply(
+        self,
+        weights: np.ndarray,
+        t: float,
+        rng: np.random.Generator,
+        fault_map: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Return a copy of ``weights`` decayed to time ``t`` (seconds)."""
+        if t < 0:
+            raise ValueError("t must be non-negative")
+        weights = np.asarray(weights, dtype=np.float64)
+        if t <= 1.0:
+            return weights.copy()
+        decay = t ** (-self.nu)
+        if self.jitter_sigma > 0:
+            per_cell = rng.lognormal(
+                mean=0.0, sigma=self.jitter_sigma, size=weights.shape
+            )
+            decay = decay * per_cell
+        return weights * decay

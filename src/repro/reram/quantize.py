@@ -1,0 +1,57 @@
+"""Symmetric uniform weight quantisation.
+
+Crossbar deployment programs each weight as a conductance level, so weights
+are first quantised to the device's level count.  The quantiser is
+symmetric around zero (matching the differential-pair mapping where a
+weight's magnitude is a single-cell conductance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["UniformQuantizer", "quantize_symmetric"]
+
+
+def quantize_symmetric(
+    weights: np.ndarray, levels: int, w_max: float
+) -> np.ndarray:
+    """Quantise to ``levels`` uniform magnitudes in ``[-w_max, w_max]``.
+
+    ``levels`` counts the non-negative magnitude levels (level 0 = exact
+    zero), mirroring what a single differential pair of ``levels``-level
+    cells can represent.  Values beyond ``w_max`` clip.
+    """
+    if levels < 2:
+        raise ValueError("need at least two levels")
+    if w_max <= 0:
+        raise ValueError("w_max must be positive")
+    step = w_max / (levels - 1)
+    clipped = np.clip(weights, -w_max, w_max)
+    return np.round(clipped / step) * step
+
+
+@dataclass(frozen=True)
+class UniformQuantizer:
+    """Reusable symmetric quantiser with a fixed level count.
+
+    ``w_max`` defaults to the per-tensor max magnitude at call time
+    (per-layer dynamic range, the convention of the crossbar mapping
+    literature).
+    """
+
+    levels: int = 16
+
+    def __call__(self, weights: np.ndarray, w_max: float = None) -> np.ndarray:
+        weights = np.asarray(weights, dtype=np.float64)
+        if w_max is None:
+            w_max = float(np.max(np.abs(weights))) if weights.size else 1.0
+            if w_max == 0.0:
+                return np.zeros_like(weights)
+        return quantize_symmetric(weights, self.levels, w_max)
+
+    def quantization_step(self, w_max: float) -> float:
+        """Grid spacing for a given dynamic range."""
+        return w_max / (self.levels - 1)

@@ -1,0 +1,16 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    """A fresh seeded generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def tiny_images(rng):
+    """A small batch of NCHW images."""
+    return rng.normal(size=(4, 3, 8, 8))

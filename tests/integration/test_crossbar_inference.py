@@ -1,0 +1,63 @@
+"""Integration: analog crossbar MVM agrees with effective-weight inference.
+
+The deployment path offers two routes to simulate the accelerator:
+(1) compute ``x @ W_eff`` with the read-back effective weights, or
+(2) run the analog MVM tile by tile.  They must agree — with and without
+faults — because (2) is physically what (1) summarises.
+"""
+
+import numpy as np
+import pytest
+
+from repro.reram import (
+    CrossbarMapper,
+    ReRAMDeviceModel,
+    StuckAtFaultSpec,
+)
+
+DEVICE = ReRAMDeviceModel(g_off=1e-6, g_on=1e-4, levels=1024)
+
+
+@pytest.fixture
+def mapped(rng):
+    mapper = CrossbarMapper(device=DEVICE, tile_size=16)
+    w = rng.normal(size=(40, 24))  # forces a 3x2 tile grid
+    return w, mapper.map_matrix(w)
+
+
+def test_matvec_equals_readback_product_clean(mapped, rng):
+    w, matrix = mapped
+    x = rng.normal(size=(5, 40))
+    analog = matrix.matvec(x)
+    effective = x @ matrix.read_back()
+    np.testing.assert_allclose(analog, effective, rtol=1e-9, atol=1e-9)
+
+
+def test_matvec_equals_readback_product_with_faults(mapped, rng):
+    w, matrix = mapped
+    matrix.inject_faults(StuckAtFaultSpec(0.1), rng)
+    x = rng.normal(size=(5, 40))
+    analog = matrix.matvec(x)
+    effective = x @ matrix.read_back()
+    np.testing.assert_allclose(analog, effective, rtol=1e-9, atol=1e-9)
+
+
+def test_faulty_matvec_differs_from_clean(mapped, rng):
+    w, matrix = mapped
+    x = rng.normal(size=40)
+    clean = matrix.matvec(x)
+    matrix.inject_faults(StuckAtFaultSpec(0.2), rng)
+    faulty = matrix.matvec(x)
+    assert not np.allclose(clean, faulty, atol=1e-6)
+
+
+def test_read_noise_reaches_matvec(rng):
+    noisy_device = ReRAMDeviceModel(
+        g_off=1e-6, g_on=1e-4, levels=1024, read_noise_sigma=0.05
+    )
+    mapper = CrossbarMapper(device=noisy_device, tile_size=16)
+    matrix = mapper.map_matrix(rng.normal(size=(8, 8)))
+    x = rng.normal(size=8)
+    a = matrix.matvec(x, np.random.default_rng(1))
+    b = matrix.matvec(x, np.random.default_rng(2))
+    assert not np.allclose(a, b)

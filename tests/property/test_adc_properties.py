@@ -1,0 +1,68 @@
+"""Property tests for the ADC and bit-serial recombination."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.reram import (
+    ADCModel,
+    BitSerialMVM,
+    CrossbarMapper,
+    ReRAMDeviceModel,
+)
+
+FINE = ReRAMDeviceModel(g_off=1e-6, g_on=1e-4, levels=4096)
+
+seeds = st.integers(0, 2**31 - 1)
+
+
+@given(seed=seeds, bits=st.integers(1, 10))
+@settings(max_examples=40)
+def test_adc_idempotent(seed, bits):
+    rng = np.random.default_rng(seed)
+    adc = ADCModel(bits=bits, full_scale=1.0)
+    x = rng.uniform(-2, 2, size=32)
+    once = adc.convert(x)
+    twice = adc.convert(once)
+    np.testing.assert_allclose(once, twice, atol=1e-12)
+
+
+@given(seed=seeds, bits=st.integers(2, 10))
+@settings(max_examples=40)
+def test_adc_monotone(seed, bits):
+    rng = np.random.default_rng(seed)
+    adc = ADCModel(bits=bits, full_scale=1.0)
+    x = np.sort(rng.uniform(-1.5, 1.5, size=40))
+    out = adc.convert(x)
+    assert np.all(np.diff(out) >= -1e-12)
+
+
+@given(seed=seeds, bits=st.integers(1, 8))
+@settings(max_examples=40)
+def test_adc_output_in_range(seed, bits):
+    rng = np.random.default_rng(seed)
+    adc = ADCModel(bits=bits, full_scale=3.0)
+    out = adc.convert(rng.normal(scale=10, size=64))
+    assert np.all(out >= -3.0 - 1e-12)
+    assert np.all(out <= 3.0 + 1e-12)
+
+
+@given(
+    seed=seeds,
+    rows=st.integers(2, 10),
+    cols=st.integers(2, 8),
+    input_bits=st.integers(2, 8),
+)
+@settings(max_examples=15, deadline=None)
+def test_bit_serial_recombination_identity(seed, rows, cols, input_bits):
+    """Ideal-ADC bit-serial MVM equals the quantised-input direct product."""
+    rng = np.random.default_rng(seed)
+    mapper = CrossbarMapper(device=FINE, tile_size=16)
+    w = rng.normal(size=(rows, cols))
+    mapped = mapper.map_matrix(w)
+    mvm = BitSerialMVM(mapped, input_bits=input_bits, adc=None)
+    x = rng.normal(size=(3, rows))
+    codes, scale, offset = mvm._quantise_input(x)
+    x_q = codes * scale + offset
+    expected = x_q @ mapped.read_back()
+    np.testing.assert_allclose(mvm.matvec(x), expected, rtol=1e-8, atol=1e-8)

@@ -1,0 +1,84 @@
+"""Property tests: analytic fault-impact moments match simulation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import expected_fault_impact
+from repro.reram import WeightSpaceFaultModel
+
+
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    p_sa=st.floats(0.02, 0.5),
+)
+@settings(max_examples=20, deadline=None)
+def test_expected_sq_perturbation_matches_simulation(seed, p_sa):
+    """Monte-Carlo ||dW||^2 concentrates on the closed-form expectation."""
+    rng = np.random.default_rng(seed)
+    w = rng.normal(size=(60, 60))
+    impact = expected_fault_impact(w, p_sa)
+    model = WeightSpaceFaultModel()
+    sim_rng = np.random.default_rng(seed + 1)
+    samples = [
+        float(np.sum((model.apply(w, p_sa, sim_rng) - w) ** 2))
+        for _ in range(30)
+    ]
+    mean = np.mean(samples)
+    # 30-sample mean of a light-tailed statistic: within 25% suffices to
+    # catch any formula error (wrong term is off by 2x or more).
+    assert abs(mean - impact.expected_sq_perturbation) < (
+        0.25 * impact.expected_sq_perturbation
+    )
+
+
+@given(seed=st.integers(0, 2**31 - 1))
+@settings(max_examples=20)
+def test_zero_rate_zero_impact(seed):
+    rng = np.random.default_rng(seed)
+    w = rng.normal(size=(10, 10))
+    impact = expected_fault_impact(w, 0.0)
+    assert impact.expected_sq_perturbation == 0.0
+    assert impact.expected_faults == 0.0
+    assert impact.rms_perturbation == 0.0
+
+
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    p_small=st.floats(0.01, 0.2),
+)
+@settings(max_examples=20)
+def test_impact_monotone_in_rate(seed, p_small):
+    rng = np.random.default_rng(seed)
+    w = rng.normal(size=(20, 20))
+    small = expected_fault_impact(w, p_small)
+    large = expected_fault_impact(w, min(1.0, 2 * p_small))
+    assert large.expected_sq_perturbation > small.expected_sq_perturbation
+    assert large.expected_faults > small.expected_faults
+
+
+def test_sa1_dominates_impact(rng):
+    """At the paper's ratio, SA1 contributes the lion's share."""
+    w = rng.normal(size=(30, 30))
+    paper = expected_fault_impact(w, 0.1)
+    sa0_only = expected_fault_impact(w, 0.1, ratio=(1.0, 0.0))
+    sa1_only = expected_fault_impact(w, 0.1, ratio=(0.0, 1.0))
+    assert sa1_only.expected_sq_perturbation > sa0_only.expected_sq_perturbation
+    assert (
+        sa0_only.expected_sq_perturbation
+        < paper.expected_sq_perturbation
+        < sa1_only.expected_sq_perturbation
+    )
+
+
+def test_empty_tensor_raises():
+    with pytest.raises(ValueError):
+        expected_fault_impact(np.zeros((0,)), 0.1)
+
+
+def test_relative_perturbation_scale_invariant(rng):
+    w = rng.normal(size=(15, 15))
+    a = expected_fault_impact(w, 0.05)
+    b = expected_fault_impact(w * 7.3, 0.05)
+    assert a.relative_perturbation == pytest.approx(b.relative_perturbation)

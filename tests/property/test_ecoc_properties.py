@@ -1,0 +1,66 @@
+"""Property tests for ECOC codebooks and decoding."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    ecoc_predict,
+    generate_codebook,
+    minimum_hamming_distance,
+)
+
+seeds = st.integers(0, 2**31 - 1)
+
+
+@given(
+    seed=seeds,
+    num_classes=st.integers(2, 8),
+    extra_bits=st.integers(2, 10),
+)
+@settings(max_examples=30, deadline=None)
+def test_codebook_always_valid(seed, num_classes, extra_bits):
+    code_length = int(np.ceil(np.log2(num_classes))) + extra_bits
+    rng = np.random.default_rng(seed)
+    book = generate_codebook(num_classes, code_length, rng, tries=50)
+    assert book.shape == (num_classes, code_length)
+    assert np.isin(book, (-1.0, 1.0)).all()
+    assert len({tuple(r) for r in book}) == num_classes
+    assert minimum_hamming_distance(book) >= 1
+
+
+@given(seed=seeds, num_classes=st.integers(2, 6))
+@settings(max_examples=30, deadline=None)
+def test_exact_codewords_decode_to_their_class(seed, num_classes):
+    rng = np.random.default_rng(seed)
+    book = generate_codebook(num_classes, 4 + 3 * num_classes, rng, tries=50)
+    labels = rng.integers(0, num_classes, size=12)
+    logits = book[labels] * rng.uniform(0.5, 5.0)
+    np.testing.assert_array_equal(ecoc_predict(logits, book), labels)
+
+
+@given(seed=seeds)
+@settings(max_examples=30, deadline=None)
+def test_decoding_corrects_within_half_min_distance(seed):
+    rng = np.random.default_rng(seed)
+    book = generate_codebook(4, 20, rng, tries=80)
+    correctable = (minimum_hamming_distance(book) - 1) // 2
+    if correctable < 1:
+        return
+    labels = rng.integers(0, 4, size=10)
+    logits = book[labels].copy()
+    for i in range(len(labels)):
+        flips = rng.choice(20, size=correctable, replace=False)
+        logits[i, flips] *= -1
+    np.testing.assert_array_equal(ecoc_predict(logits, book), labels)
+
+
+@given(seed=seeds)
+@settings(max_examples=30)
+def test_decode_is_scale_invariant(seed):
+    rng = np.random.default_rng(seed)
+    book = generate_codebook(3, 9, rng, tries=40)
+    logits = rng.normal(size=(8, 9))
+    a = ecoc_predict(logits, book)
+    b = ecoc_predict(logits * 13.7, book)
+    np.testing.assert_array_equal(a, b)

@@ -1,0 +1,101 @@
+"""Property-based tests (hypothesis) for the stuck-at-fault model.
+
+These verify the invariants listed in DESIGN.md section 5 over random
+tensors, rates and seeds.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.reram import (
+    FAULT_NONE,
+    FAULT_SA0,
+    FAULT_SA1,
+    StuckAtFaultSpec,
+    WeightSpaceFaultModel,
+    sample_fault_map,
+)
+
+rates = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+sizes = st.integers(min_value=1, max_value=40)
+
+
+@given(p_sa=rates)
+def test_spec_decomposition_sums_to_total(p_sa):
+    spec = StuckAtFaultSpec(p_sa)
+    assert abs(spec.p_sa0 + spec.p_sa1 - p_sa) < 1e-12
+    assert spec.p_sa0 <= spec.p_sa1  # the paper's ratio favours SA1
+
+
+@given(p_sa=rates, seed=seeds, n=sizes, m=sizes)
+@settings(max_examples=50)
+def test_fault_map_codes_are_valid(p_sa, seed, n, m):
+    rng = np.random.default_rng(seed)
+    fmap = sample_fault_map((n, m), StuckAtFaultSpec(p_sa), rng)
+    assert fmap.shape == (n, m)
+    assert np.isin(fmap, (FAULT_NONE, FAULT_SA0, FAULT_SA1)).all()
+
+
+@given(seed=seeds, n=sizes, m=sizes)
+@settings(max_examples=50)
+def test_apply_zero_rate_identity(seed, n, m):
+    rng = np.random.default_rng(seed)
+    w = rng.normal(size=(n, m))
+    out = WeightSpaceFaultModel().apply(w, 0.0, rng)
+    np.testing.assert_array_equal(out, w)
+
+
+@given(p_sa=rates, seed=seeds, n=sizes, m=sizes)
+@settings(max_examples=50)
+def test_faulted_values_only_zero_or_wmax(p_sa, seed, n, m):
+    """Every changed weight is exactly 0 (SA0) or +/- w_max (SA1)."""
+    rng = np.random.default_rng(seed)
+    w = rng.normal(size=(n, m))
+    w_max = np.max(np.abs(w))
+    out = WeightSpaceFaultModel().apply(w, p_sa, rng)
+    changed = out != w
+    legal = (out[changed] == 0.0) | np.isclose(np.abs(out[changed]), w_max)
+    assert legal.all()
+
+
+@given(p_sa=rates, seed=seeds)
+@settings(max_examples=30)
+def test_apply_is_deterministic_under_seed(p_sa, seed):
+    w = np.random.default_rng(0).normal(size=(15, 15))
+    a = WeightSpaceFaultModel().apply(w, p_sa, np.random.default_rng(seed))
+    b = WeightSpaceFaultModel().apply(w, p_sa, np.random.default_rng(seed))
+    np.testing.assert_array_equal(a, b)
+
+
+@given(p_sa=rates, seed=seeds)
+@settings(max_examples=30)
+def test_apply_never_mutates_input(p_sa, seed):
+    rng = np.random.default_rng(seed)
+    w = rng.normal(size=(10, 10))
+    snapshot = w.copy()
+    WeightSpaceFaultModel().apply(w, p_sa, rng)
+    np.testing.assert_array_equal(w, snapshot)
+
+
+@given(seed=seeds)
+@settings(max_examples=20)
+def test_fault_count_binomial(seed):
+    """Fault counts concentrate around p*n (within 6 sigma)."""
+    p_sa = 0.1
+    n = 100 * 100
+    rng = np.random.default_rng(seed)
+    fmap = sample_fault_map((100, 100), StuckAtFaultSpec(p_sa), rng)
+    count = int(np.count_nonzero(fmap))
+    mean = p_sa * n
+    sigma = np.sqrt(n * p_sa * (1 - p_sa))
+    assert abs(count - mean) < 6 * sigma
+
+
+@given(p_sa=st.floats(min_value=0.01, max_value=0.99), seed=seeds)
+@settings(max_examples=30)
+def test_full_rate_map_faults_everything(p_sa, seed):
+    rng = np.random.default_rng(seed)
+    fmap = sample_fault_map((20, 20), StuckAtFaultSpec(1.0), rng)
+    assert np.all(fmap != FAULT_NONE)

@@ -1,0 +1,75 @@
+"""Property tests for the fault injector and fleet statistics."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import FaultInjector, FleetReport
+from repro.models import MLP
+
+seeds = st.integers(0, 2**31 - 1)
+rates = st.floats(0.0, 1.0)
+
+
+@given(seed=seeds, p_sa=rates)
+@settings(max_examples=25, deadline=None)
+def test_inject_restore_is_identity(seed, p_sa):
+    rng = np.random.default_rng(seed)
+    model = MLP(6, [8], 3, rng=rng)
+    snapshot = {n: p.data.copy() for n, p in model.named_parameters()}
+    injector = FaultInjector(model, rng=rng)
+    injector.inject(p_sa)
+    injector.restore()
+    for n, p in model.named_parameters():
+        np.testing.assert_array_equal(p.data, snapshot[n])
+
+
+@given(seed=seeds)
+@settings(max_examples=25, deadline=None)
+def test_injection_touches_only_crossbar_weights(seed):
+    rng = np.random.default_rng(seed)
+    model = MLP(6, [8], 3, batch_norm=True, rng=rng)
+    injector = FaultInjector(model, rng=rng)
+    targets = set(injector.target_names)
+    snapshot = {n: p.data.copy() for n, p in model.named_parameters()}
+    injector.inject(1.0)
+    for n, p in model.named_parameters():
+        if n not in targets:
+            np.testing.assert_array_equal(p.data, snapshot[n])
+    injector.restore()
+
+
+@given(values=st.lists(st.floats(0.0, 100.0), min_size=1, max_size=40))
+@settings(max_examples=50)
+def test_fleet_report_statistics_bounds(values):
+    report = FleetReport(p_sa=0.1, accuracies=list(values))
+    assert report.worst <= report.mean <= report.best
+    assert report.worst == report.quantile(0.0)
+    assert report.best == report.quantile(1.0)
+    assert 0.0 <= report.yield_at(50.0) <= 1.0
+
+
+@given(
+    values=st.lists(st.floats(0.0, 100.0), min_size=2, max_size=40),
+    threshold=st.floats(0.0, 100.0),
+)
+@settings(max_examples=50)
+def test_fleet_yield_monotone_in_threshold(values, threshold):
+    report = FleetReport(p_sa=0.1, accuracies=list(values))
+    lower = max(0.0, threshold - 10.0)
+    assert report.yield_at(lower) >= report.yield_at(threshold)
+
+
+@given(seed=seeds)
+@settings(max_examples=15, deadline=None)
+def test_gradients_under_faults_are_finite(seed):
+    """Backward through a fully faulted model stays numerically sane."""
+    rng = np.random.default_rng(seed)
+    model = MLP(6, [8], 3, rng=rng)
+    injector = FaultInjector(model, rng=rng)
+    x = rng.normal(size=(4, 6))
+    with injector.faults(0.5):
+        out = model(x)
+        model.backward(np.ones_like(out))
+    for p in model.parameters():
+        assert np.all(np.isfinite(p.grad))

@@ -1,0 +1,70 @@
+"""Property-based tests for pruning masks and projections."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pruning import magnitude_mask, project_sparse, sparsity
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+ratios = st.floats(min_value=0.0, max_value=0.99)
+sizes = st.integers(min_value=1, max_value=30)
+
+
+@given(seed=seeds, ratio=ratios, n=sizes, m=sizes)
+@settings(max_examples=60)
+def test_mask_sparsity_exact(seed, ratio, n, m):
+    rng = np.random.default_rng(seed)
+    w = rng.normal(size=(n, m))
+    mask = magnitude_mask(w, ratio)
+    expected_pruned = int(np.floor(ratio * w.size))
+    assert int((mask == 0).sum()) == expected_pruned
+    assert set(np.unique(mask)).issubset({0.0, 1.0})
+
+
+@given(seed=seeds, ratio=ratios)
+@settings(max_examples=40)
+def test_mask_prunes_smallest_magnitudes(seed, ratio):
+    rng = np.random.default_rng(seed)
+    w = rng.normal(size=50)
+    mask = magnitude_mask(w, ratio)
+    kept = np.abs(w[mask == 1])
+    pruned = np.abs(w[mask == 0])
+    if kept.size and pruned.size:
+        assert kept.min() >= pruned.max() - 1e-12
+
+
+@given(seed=seeds, ratio=ratios)
+@settings(max_examples=40)
+def test_projection_is_idempotent(seed, ratio):
+    rng = np.random.default_rng(seed)
+    w = rng.normal(size=(8, 8))
+    once = project_sparse(w, ratio)
+    twice = project_sparse(once, ratio)
+    np.testing.assert_array_equal(once, twice)
+
+
+@given(seed=seeds, ratio=ratios)
+@settings(max_examples=40)
+def test_projection_minimises_distance(seed, ratio):
+    """No other equally-sparse vector is closer to w than the projection."""
+    rng = np.random.default_rng(seed)
+    w = rng.normal(size=20)
+    z = project_sparse(w, ratio)
+    dist = np.linalg.norm(w - z)
+    # Random competitor with the same support size.
+    k = int(np.floor(ratio * w.size))
+    for _ in range(5):
+        competitor = w.copy()
+        kill = rng.choice(w.size, size=k, replace=False)
+        competitor[kill] = 0.0
+        assert dist <= np.linalg.norm(w - competitor) + 1e-12
+
+
+@given(seed=seeds, ratio=ratios)
+@settings(max_examples=40)
+def test_projection_sparsity_at_least_target(seed, ratio):
+    rng = np.random.default_rng(seed)
+    w = rng.normal(size=(6, 7))
+    z = project_sparse(w, ratio)
+    assert sparsity(z) >= np.floor(ratio * w.size) / w.size - 1e-12

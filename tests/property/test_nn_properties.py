@@ -1,0 +1,97 @@
+"""Property-based tests for the nn framework."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import nn
+from repro.nn import functional as F
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+@given(seed=seeds, n=st.integers(1, 8), c=st.integers(1, 8))
+@settings(max_examples=40)
+def test_softmax_is_distribution(seed, n, c):
+    rng = np.random.default_rng(seed)
+    logits = rng.normal(size=(n, c)) * 20
+    s = F.softmax(logits)
+    assert np.all(s >= 0)
+    np.testing.assert_allclose(s.sum(axis=1), 1.0, atol=1e-12)
+
+
+@given(
+    seed=seeds,
+    kernel=st.integers(1, 3),
+    stride=st.integers(1, 2),
+    padding=st.integers(0, 2),
+)
+@settings(max_examples=40, deadline=None)
+def test_im2col_col2im_adjoint(seed, kernel, stride, padding):
+    rng = np.random.default_rng(seed)
+    size = 6
+    x = rng.normal(size=(2, 2, size, size))
+    cols, _, _ = F.im2col(x, kernel, stride, padding)
+    y = rng.normal(size=cols.shape)
+    lhs = float(np.sum(cols * y))
+    rhs = float(np.sum(x * F.col2im(y, x.shape, kernel, stride, padding)))
+    assert abs(lhs - rhs) < 1e-9
+
+
+@given(seed=seeds)
+@settings(max_examples=30, deadline=None)
+def test_linear_is_linear(seed):
+    """f(a x1 + b x2) == a f(x1) + b f(x2) for bias-free Linear."""
+    rng = np.random.default_rng(seed)
+    layer = nn.Linear(5, 3, bias=False, rng=rng)
+    x1, x2 = rng.normal(size=(2, 4, 5))
+    a, b = rng.normal(size=2)
+    lhs = layer(a * x1 + b * x2)
+    rhs = a * layer(x1) + b * layer(x2)
+    np.testing.assert_allclose(lhs, rhs, atol=1e-10)
+
+
+@given(seed=seeds)
+@settings(max_examples=20, deadline=None)
+def test_conv_translation_equivariance(seed):
+    """Circular-shifting the input shifts a stride-1 conv's output (away
+    from borders, checked via circular padding equivalence on interior)."""
+    rng = np.random.default_rng(seed)
+    layer = nn.Conv2d(1, 1, 3, padding=0, bias=False, rng=rng)
+    x = rng.normal(size=(1, 1, 8, 8))
+    shifted = np.roll(x, 1, axis=3)
+    out = layer(x)
+    out_shifted = layer(shifted)
+    # Interior columns (away from wrap-around) must match the shift.
+    np.testing.assert_allclose(
+        out_shifted[:, :, :, 2:], out[:, :, :, 1:-1], atol=1e-10
+    )
+
+
+@given(seed=seeds, smoothing=st.floats(0.0, 0.5))
+@settings(max_examples=40)
+def test_cross_entropy_nonnegative(seed, smoothing):
+    rng = np.random.default_rng(seed)
+    logits = rng.normal(size=(6, 4)) * 5
+    labels = rng.integers(0, 4, size=6)
+    loss, grad = nn.CrossEntropyLoss(label_smoothing=smoothing)(logits, labels)
+    assert loss >= 0.0
+    # Gradient rows sum to zero (softmax minus a distribution).
+    np.testing.assert_allclose(grad.sum(axis=1), 0.0, atol=1e-12)
+
+
+@given(seed=seeds)
+@settings(max_examples=20, deadline=None)
+def test_state_dict_roundtrip_preserves_forward(seed):
+    rng = np.random.default_rng(seed)
+    model = nn.Sequential(
+        nn.Linear(6, 8, rng=rng), nn.ReLU(), nn.Linear(8, 3, rng=rng)
+    )
+    clone = nn.Sequential(
+        nn.Linear(6, 8, rng=np.random.default_rng(seed + 1)),
+        nn.ReLU(),
+        nn.Linear(8, 3, rng=np.random.default_rng(seed + 2)),
+    )
+    clone.load_state_dict(model.state_dict())
+    x = rng.normal(size=(5, 6))
+    np.testing.assert_allclose(model(x), clone(x), atol=1e-12)

@@ -1,0 +1,60 @@
+"""Property-based tests for quantisation and the crossbar roundtrip."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.reram import (
+    CrossbarMapper,
+    ReRAMDeviceModel,
+    UniformQuantizer,
+    quantize_symmetric,
+)
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+levels = st.integers(min_value=2, max_value=257)
+
+
+@given(seed=seeds, n_levels=levels)
+@settings(max_examples=50)
+def test_quantisation_error_bounded(seed, n_levels):
+    rng = np.random.default_rng(seed)
+    w = rng.uniform(-1, 1, size=64)
+    out = quantize_symmetric(w, levels=n_levels, w_max=1.0)
+    step = 1.0 / (n_levels - 1)
+    assert np.max(np.abs(out - w)) <= step / 2 + 1e-12
+
+
+@given(seed=seeds, n_levels=levels)
+@settings(max_examples=50)
+def test_quantisation_idempotent(seed, n_levels):
+    rng = np.random.default_rng(seed)
+    w = rng.uniform(-2, 2, size=32)
+    once = quantize_symmetric(w, levels=n_levels, w_max=2.0)
+    twice = quantize_symmetric(once, levels=n_levels, w_max=2.0)
+    np.testing.assert_allclose(once, twice, atol=1e-12)
+
+
+@given(seed=seeds)
+@settings(max_examples=50)
+def test_quantisation_odd_symmetry(seed):
+    """Q(-w) == -Q(w) for the symmetric quantiser."""
+    rng = np.random.default_rng(seed)
+    w = rng.uniform(-1, 1, size=32)
+    q = UniformQuantizer(levels=16)
+    np.testing.assert_allclose(q(-w, w_max=1.0), -q(w, w_max=1.0), atol=1e-12)
+
+
+@given(seed=seeds, rows=st.integers(2, 12), cols=st.integers(2, 12))
+@settings(max_examples=20, deadline=None)
+def test_crossbar_roundtrip_error_bounded(seed, rows, cols):
+    """map -> read_back error is bounded by the conductance step size."""
+    rng = np.random.default_rng(seed)
+    w = rng.normal(size=(rows, cols))
+    device = ReRAMDeviceModel(g_off=1e-6, g_on=1e-4, levels=1024)
+    mapper = CrossbarMapper(device=device, tile_size=8)
+    back = mapper.map_matrix(w).read_back()
+    w_max = np.max(np.abs(w))
+    step = w_max / (device.levels - 1)
+    # Differential pair: error from two cells, plus the g_off offsets cancel.
+    assert np.max(np.abs(back - w)) <= 2 * step + 1e-9

@@ -1,0 +1,91 @@
+"""Tests for the real-CIFAR loaders (exercised with fabricated batches)."""
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    cifar10_available,
+    cifar100_available,
+    load_cifar10,
+    load_cifar100,
+)
+
+
+def write_pickle(path, payload):
+    with open(path, "wb") as handle:
+        pickle.dump(payload, handle)
+
+
+@pytest.fixture
+def fake_cifar10(tmp_path):
+    base = tmp_path / "cifar-10-batches-py"
+    base.mkdir()
+    rng = np.random.default_rng(0)
+    for i in range(1, 6):
+        write_pickle(
+            base / f"data_batch_{i}",
+            {
+                b"data": rng.integers(0, 256, size=(4, 3072), dtype=np.uint8),
+                b"labels": rng.integers(0, 10, size=4).tolist(),
+            },
+        )
+    write_pickle(
+        base / "test_batch",
+        {
+            b"data": rng.integers(0, 256, size=(6, 3072), dtype=np.uint8),
+            b"labels": rng.integers(0, 10, size=6).tolist(),
+        },
+    )
+    return str(tmp_path)
+
+
+@pytest.fixture
+def fake_cifar100(tmp_path):
+    base = tmp_path / "cifar-100-python"
+    base.mkdir()
+    rng = np.random.default_rng(0)
+    for name, n in (("train", 8), ("test", 4)):
+        write_pickle(
+            base / name,
+            {
+                b"data": rng.integers(0, 256, size=(n, 3072), dtype=np.uint8),
+                b"fine_labels": rng.integers(0, 100, size=n).tolist(),
+            },
+        )
+    return str(tmp_path)
+
+
+def test_availability_checks(tmp_path):
+    assert not cifar10_available(str(tmp_path))
+    assert not cifar100_available(str(tmp_path))
+
+
+def test_missing_data_raises(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        load_cifar10(str(tmp_path))
+    with pytest.raises(FileNotFoundError):
+        load_cifar100(str(tmp_path))
+
+
+def test_load_cifar10(fake_cifar10):
+    assert cifar10_available(fake_cifar10)
+    train, test = load_cifar10(fake_cifar10)
+    assert len(train) == 20  # 5 batches x 4
+    assert len(test) == 6
+    assert train.num_classes == 10
+    image, label = train[0]
+    assert image.shape == (3, 32, 32)
+    assert 0.0 <= image.min() and image.max() <= 1.0
+
+
+def test_load_cifar100(fake_cifar100):
+    assert cifar100_available(fake_cifar100)
+    train, test = load_cifar100(fake_cifar100)
+    assert len(train) == 8
+    assert len(test) == 4
+    assert train.num_classes == 100
+    image, _ = train[0]
+    assert image.shape == (3, 32, 32)

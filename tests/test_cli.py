@@ -1,0 +1,69 @@
+"""Tests for the experiment CLI."""
+
+import json
+import os
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+
+
+def test_parser_defaults():
+    args = build_parser().parse_args(["table1"])
+    assert args.experiment == "table1"
+    assert args.scale == "bench"
+    assert args.dataset == "small"
+
+
+def test_parser_rejects_unknown_experiment():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["table9"])
+
+
+def test_parser_rejects_unknown_scale():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["table1", "--scale", "galactic"])
+
+
+def test_cli_table1_writes_outputs(tmp_path, capsys, monkeypatch):
+    # Shrink the CI scale further so this test stays fast.
+    from repro.experiments import cli as cli_mod
+    from repro.experiments import get_scale
+
+    tiny = get_scale("ci").with_overrides(
+        train_rates=(0.05,), defect_runs=2, test_rates=(0.0, 0.02),
+        pretrain_epochs=3, ft_epochs=2,
+    )
+    monkeypatch.setattr(cli_mod, "get_scale", lambda name: tiny)
+
+    out = str(tmp_path / "results")
+    code = main(
+        ["table1", "--scale", "ci", "--dataset", "small", "--out", out,
+         "--quiet"]
+    )
+    assert code == 0
+    captured = capsys.readouterr()
+    assert "Table I" in captured.out
+    assert os.path.exists(os.path.join(out, "table1_small.txt"))
+    with open(os.path.join(out, "table1_small.json")) as handle:
+        payload = json.load(handle)
+    assert payload[0]["method"] == "Baseline Pretrained Model"
+
+
+def test_cli_seed_override(monkeypatch):
+    from repro.experiments import cli as cli_mod
+
+    captured_scale = {}
+
+    def fake_run_table1(scale, dataset, verbose):
+        captured_scale["seed"] = scale.seed
+
+        class Dummy:
+            text = "Table I (dummy)"
+            reports = []
+
+        return Dummy()
+
+    monkeypatch.setattr(cli_mod, "run_table1", fake_run_table1)
+    main(["table1", "--scale", "ci", "--seed", "123", "--quiet"])
+    assert captured_scale["seed"] == 123

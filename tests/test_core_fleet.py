@@ -1,0 +1,90 @@
+"""Tests for fleet simulation."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import Trainer, simulate_fleet
+from repro.datasets import ArrayDataset, DataLoader
+from repro.models import MLP
+
+
+@pytest.fixture
+def setup(rng):
+    n = 80
+    centers = rng.normal(size=(3, 8)) * 3
+    labels = rng.integers(0, 3, size=n)
+    images = centers[labels] + rng.normal(size=(n, 8)) * 0.3
+    loader = DataLoader(
+        ArrayDataset(images.reshape(n, 1, 2, 4), labels), 40,
+        shuffle=True, seed=0,
+    )
+    model = MLP(8, [16], 3, rng=rng)
+    opt = nn.SGD(model.parameters(), lr=0.1, momentum=0.9)
+    Trainer(model, opt).fit(loader, 6)
+    return model, loader
+
+
+def test_fleet_size(setup, rng):
+    model, loader = setup
+    report = simulate_fleet(model, loader, 0.1, num_devices=7, rng=rng)
+    assert report.num_devices == 7
+    assert len(report.accuracies) == 7
+
+
+def test_fleet_statistics_consistent(setup, rng):
+    model, loader = setup
+    report = simulate_fleet(model, loader, 0.2, num_devices=10, rng=rng)
+    assert report.worst <= report.quantile(0.5) <= report.best
+    assert report.worst <= report.mean <= report.best
+    assert report.mean == pytest.approx(float(np.mean(report.accuracies)))
+
+
+def test_fleet_yield_boundaries(setup, rng):
+    model, loader = setup
+    report = simulate_fleet(model, loader, 0.2, num_devices=10, rng=rng)
+    assert report.yield_at(0.0) == 1.0
+    assert report.yield_at(100.1) == 0.0
+    mid = report.quantile(0.5)
+    assert 0.0 < report.yield_at(mid) <= 1.0
+
+
+def test_fleet_zero_rate_all_identical(setup, rng):
+    model, loader = setup
+    report = simulate_fleet(model, loader, 0.0, num_devices=5, rng=rng)
+    assert report.std == 0.0
+    assert report.worst == report.best
+
+
+def test_fleet_restores_model(setup, rng):
+    model, loader = setup
+    before = {n: p.data.copy() for n, p in model.named_parameters()}
+    simulate_fleet(model, loader, 0.3, num_devices=4, rng=rng)
+    for n, p in model.named_parameters():
+        np.testing.assert_array_equal(p.data, before[n])
+
+
+def test_fleet_deterministic_under_seed(setup):
+    model, loader = setup
+    a = simulate_fleet(model, loader, 0.1, num_devices=4,
+                       rng=np.random.default_rng(3))
+    b = simulate_fleet(model, loader, 0.1, num_devices=4,
+                       rng=np.random.default_rng(3))
+    assert a.accuracies == b.accuracies
+
+
+def test_fleet_summary_contains_stats(setup, rng):
+    model, loader = setup
+    report = simulate_fleet(model, loader, 0.1, num_devices=4, rng=rng)
+    text = report.summary()
+    assert "mean" in text
+    assert "worst" in text
+
+
+def test_fleet_validation(setup, rng):
+    model, loader = setup
+    with pytest.raises(ValueError):
+        simulate_fleet(model, loader, 0.1, num_devices=0, rng=rng)
+    report = simulate_fleet(model, loader, 0.1, num_devices=2, rng=rng)
+    with pytest.raises(ValueError):
+        report.quantile(1.5)

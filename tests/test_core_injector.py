@@ -1,0 +1,110 @@
+"""Tests for apply_fault and FaultInjector."""
+
+import numpy as np
+import pytest
+
+from repro import apply_fault
+from repro.core import FaultInjector
+from repro.models import MLP
+from repro.reram import WeightSpaceFaultModel
+
+
+def test_apply_fault_zero_rate_identity(rng):
+    w = rng.normal(size=(5, 5))
+    np.testing.assert_array_equal(apply_fault(w, 0.0, rng), w)
+
+
+def test_apply_fault_changes_weights(rng):
+    w = rng.normal(size=(100, 100))
+    out = apply_fault(w, 0.1, rng)
+    assert np.mean(out != w) > 0.05
+
+
+def test_apply_fault_custom_model(rng):
+    model = WeightSpaceFaultModel(ratio=(1.0, 0.0))
+    w = rng.normal(size=(50, 50)) + 5.0
+    out = apply_fault(w, 0.2, rng, fault_model=model)
+    assert np.all((out == 0.0) | (out == w))
+
+
+def make_model(rng):
+    return MLP(8, [6], 3, rng=rng)
+
+
+def test_injector_targets_weights_only(rng):
+    injector = FaultInjector(make_model(rng), rng=rng)
+    assert injector.target_names == ("net.layer1.weight", "net.layer3.weight")
+
+
+def test_injector_inject_and_restore_roundtrip(rng):
+    model = make_model(rng)
+    pristine = {n: p.data.copy() for n, p in model.named_parameters()}
+    injector = FaultInjector(model, rng=rng)
+    injector.inject(0.5)
+    changed = any(
+        not np.array_equal(p.data, pristine[n])
+        for n, p in model.named_parameters()
+    )
+    assert changed
+    injector.restore()
+    for n, p in model.named_parameters():
+        np.testing.assert_array_equal(p.data, pristine[n])
+
+
+def test_injector_context_manager_restores_on_exception(rng):
+    model = make_model(rng)
+    pristine = model.net.layer1.weight.data.copy()
+    injector = FaultInjector(model, rng=rng)
+    with pytest.raises(RuntimeError):
+        with injector.faults(0.5):
+            raise RuntimeError("boom")
+    np.testing.assert_array_equal(model.net.layer1.weight.data, pristine)
+
+
+def test_injector_double_inject_raises(rng):
+    injector = FaultInjector(make_model(rng), rng=rng)
+    injector.inject(0.1)
+    with pytest.raises(RuntimeError):
+        injector.inject(0.1)
+    injector.restore()
+
+
+def test_injector_restore_without_inject_raises(rng):
+    injector = FaultInjector(make_model(rng), rng=rng)
+    with pytest.raises(RuntimeError):
+        injector.restore()
+
+
+def test_injector_preserves_gradients_across_restore(rng):
+    """Gradients computed under faults must survive the restore."""
+    model = make_model(rng)
+    injector = FaultInjector(model, rng=rng)
+    x = rng.normal(size=(4, 8))
+    with injector.faults(0.2):
+        out = model(x)
+        model.backward(np.ones_like(out))
+        grads_inside = [p.grad.copy() for p in model.parameters()]
+    grads_after = [p.grad for p in model.parameters()]
+    for a, b in zip(grads_inside, grads_after):
+        np.testing.assert_array_equal(a, b)
+
+
+def test_injector_different_draws_each_time(rng):
+    model = make_model(rng)
+    injector = FaultInjector(model, rng=rng)
+    with injector.faults(0.3):
+        first = model.net.layer1.weight.data.copy()
+    with injector.faults(0.3):
+        second = model.net.layer1.weight.data.copy()
+    assert not np.array_equal(first, second)
+
+
+def test_injector_requires_crossbar_weights(rng):
+    from repro import nn
+
+    class NoWeights(nn.Module):
+        def forward(self, x):
+            return x
+
+    with pytest.raises(ValueError):
+        FaultInjector(NoWeights(), rng=rng)

@@ -1,0 +1,43 @@
+"""Tests for AccuracyReport bookkeeping."""
+
+import pytest
+
+from repro.core import AccuracyReport
+
+
+def make_report():
+    report = AccuracyReport(
+        method="one_shot 0.05", acc_pretrain=75.1, acc_retrain=75.4
+    )
+    report.add_defect(0.01, 73.0)
+    report.add_defect(0.02, 70.0)
+    return report
+
+
+def test_acc_defect_lookup():
+    report = make_report()
+    assert report.acc_defect(0.01) == 73.0
+
+
+def test_acc_defect_missing_raises():
+    with pytest.raises(KeyError):
+        make_report().acc_defect(0.5)
+
+
+def test_stability_uses_equation_one():
+    report = make_report()
+    assert report.stability(0.01) == pytest.approx(75.4 / (75.1 - 73.0))
+
+
+def test_accuracy_drop():
+    report = make_report()
+    assert report.accuracy_drop(0.02) == pytest.approx(5.1)
+
+
+def test_dict_roundtrip():
+    report = make_report()
+    clone = AccuracyReport.from_dict(report.to_dict())
+    assert clone.method == report.method
+    assert clone.acc_pretrain == report.acc_pretrain
+    assert clone.defect == report.defect
+    assert isinstance(list(clone.defect.keys())[0], float)

@@ -1,0 +1,56 @@
+"""Tests for the Stability Score."""
+
+import pytest
+
+from repro.core import StabilityResult, stability_score
+
+
+def test_formula_matches_equation_one():
+    # SS = Acc_retrain / (Acc_pretrain - Acc_defect)
+    assert stability_score(75.10, 75.38, 73.03) == pytest.approx(
+        75.38 / (75.10 - 73.03)
+    )
+
+
+def test_paper_table2_value():
+    """One-Shot P=0.05 row of Table II: SS(0.01) = 36.42."""
+    assert stability_score(75.10, 75.38, 73.03) == pytest.approx(36.42, abs=0.01)
+
+
+def test_baseline_row_near_one():
+    """Collapsed baseline: Acc_defect ~ 3% -> SS ~ 1.04 as in the paper."""
+    assert stability_score(75.10, 75.10, 2.97) == pytest.approx(1.04, abs=0.01)
+
+
+def test_denominator_clamped_when_no_degradation():
+    # Acc_defect above pretrain: denominator clamps at min_degradation.
+    score = stability_score(90.0, 91.0, 92.0)
+    assert score == pytest.approx(91.0 / 1.0)
+
+
+def test_custom_min_degradation():
+    score = stability_score(90.0, 90.0, 90.0, min_degradation=0.5)
+    assert score == pytest.approx(180.0)
+
+
+def test_higher_defect_accuracy_higher_score():
+    low = stability_score(90.0, 89.0, 50.0)
+    high = stability_score(90.0, 89.0, 85.0)
+    assert high > low
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        stability_score(-1.0, 50.0, 50.0)
+    with pytest.raises(ValueError):
+        stability_score(50.0, 101.0, 50.0)
+    with pytest.raises(ValueError):
+        stability_score(50.0, 50.0, 50.0, min_degradation=0.0)
+
+
+def test_stability_result_dataclass():
+    result = StabilityResult(
+        method="one_shot", acc_pretrain=75.1, acc_retrain=75.38,
+        acc_defect=73.03, p_sa_test=0.01,
+    )
+    assert result.score == pytest.approx(36.42, abs=0.01)

@@ -1,0 +1,123 @@
+"""Tests for experiment configs, table rendering and IO."""
+
+import numpy as np
+import pytest
+
+from repro.core import AccuracyReport
+from repro.experiments import (
+    SCALES,
+    ExperimentScale,
+    get_scale,
+    load_reports,
+    render_series,
+    render_table1,
+    render_table2_rows,
+    save_reports,
+    save_text,
+)
+
+
+def test_scale_presets_exist():
+    for name in ("ci", "bench", "paper"):
+        assert name in SCALES
+        assert get_scale(name).name == name
+
+
+def test_get_scale_unknown_raises():
+    with pytest.raises(KeyError):
+        get_scale("galactic")
+
+
+def test_with_overrides():
+    scale = get_scale("ci").with_overrides(defect_runs=99)
+    assert scale.defect_runs == 99
+    assert get_scale("ci").defect_runs != 99  # original untouched
+
+
+def test_paper_scale_matches_paper_setup():
+    paper = get_scale("paper")
+    assert paper.model == "resnet20"
+    assert paper.pretrain_epochs == 160
+    assert paper.defect_runs == 100
+    assert paper.lr == 0.1
+    assert 0.001 in paper.test_rates
+    assert 0.2 in paper.test_rates
+    assert paper.train_rates == (0.005, 0.01, 0.02, 0.05, 0.1, 0.15, 0.2)
+
+
+def make_reports():
+    rates = (0.0, 0.01, 0.02)
+    reports = []
+    for name, base in (("Baseline", 50.0), ("One-Shot", 70.0)):
+        report = AccuracyReport(
+            method=name, acc_pretrain=90.0, acc_retrain=89.0
+        )
+        for rate in rates:
+            report.add_defect(rate, base - rate * 100)
+        reports.append(report)
+    return reports, rates
+
+
+def test_render_table1_contains_methods_and_stars():
+    reports, rates = make_reports()
+    text = render_table1("Table I", reports, rates, highlight_top=1)
+    assert "Baseline" in text
+    assert "One-Shot" in text
+    assert "*" in text
+    # Top-1 at rate 0.01 is the One-Shot row (69.00).
+    one_shot_line = [l for l in text.splitlines() if l.startswith("One-Shot")][0]
+    assert "69.00*" in one_shot_line
+
+
+def test_render_table2():
+    rows = [
+        {
+            "method": "m",
+            "acc_pretrain": 75.0,
+            "acc_retrain": 74.0,
+            "acc_defect_1": 70.0,
+            "acc_defect_2": 65.0,
+            "ss_1": 14.8,
+            "ss_2": 7.4,
+            "rate_1": 0.01,
+            "rate_2": 0.02,
+        }
+    ]
+    text = render_table2_rows("Table II", rows)
+    assert "SS(0.01)" in text
+    assert "14.80" in text
+
+
+def test_render_table2_empty_raises():
+    with pytest.raises(ValueError):
+        render_table2_rows("Table II", [])
+
+
+def test_render_series():
+    curves = {"Dense": {0.0: 90.0, 0.1: 40.0}, "Pruned": {0.0: 88.0, 0.1: 20.0}}
+    text = render_series("Figure 2", curves, (0.0, 0.1))
+    assert "Dense" in text
+    assert "20.00" in text
+
+
+def test_save_load_reports_roundtrip(tmp_path):
+    reports, _ = make_reports()
+    path = str(tmp_path / "out" / "reports.json")
+    save_reports(path, reports)
+    loaded = load_reports(path)
+    assert len(loaded) == 2
+    assert loaded[0].method == "Baseline"
+    assert loaded[0].defect == reports[0].defect
+
+
+def test_save_text(tmp_path):
+    path = str(tmp_path / "tables" / "t1.txt")
+    save_text(path, "hello")
+    with open(path) as handle:
+        assert handle.read() == "hello\n"
+
+
+def test_scale_is_frozen():
+    scale = get_scale("ci")
+    with pytest.raises(Exception):
+        scale.defect_runs = 1

@@ -1,0 +1,101 @@
+"""Tests for the experiment runner building blocks."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import get_scale
+from repro.experiments.runner import (
+    build_backbone,
+    clone_model,
+    evaluate_defect_grid,
+    make_loaders,
+    method_report,
+    pretrain_model,
+    train_fault_tolerant,
+)
+from repro.models import MLP, ResNet, SimpleCNN
+
+CI = get_scale("ci").with_overrides(
+    pretrain_epochs=2, ft_epochs=2, defect_runs=2,
+    test_rates=(0.0, 0.05), train_rates=(0.05,),
+)
+
+
+def test_build_backbone_mlp(rng):
+    model = build_backbone(CI, 4, rng)
+    assert isinstance(model, MLP)
+
+
+def test_build_backbone_simple_cnn(rng):
+    scale = CI.with_overrides(model="simple_cnn")
+    model = build_backbone(scale, 4, rng)
+    assert isinstance(model, SimpleCNN)
+
+
+def test_build_backbone_resnet(rng):
+    scale = CI.with_overrides(model="resnet8", base_width=4)
+    model = build_backbone(scale, 4, rng)
+    assert isinstance(model, ResNet)
+    assert model.num_classes == 4
+
+
+def test_make_loaders_sizes():
+    train, test = make_loaders(CI, 4)
+    assert len(train.dataset) == CI.train_size
+    assert len(test.dataset) == CI.test_size
+    assert train.dataset.num_classes == 4
+
+
+def test_make_loaders_large_dataset_uses_large_split():
+    scale = CI.with_overrides(train_size_large=150)
+    train, _ = make_loaders(scale, scale.num_classes_large)
+    assert len(train.dataset) == 150
+
+
+def test_make_loaders_deterministic():
+    a_train, _ = make_loaders(CI, 4)
+    b_train, _ = make_loaders(CI, 4)
+    np.testing.assert_array_equal(a_train.dataset.images, b_train.dataset.images)
+
+
+def test_clone_model_is_independent(rng):
+    model = build_backbone(CI, 3, rng)
+    clone = clone_model(model)
+    clone.parameters()[0].data += 1.0
+    assert not np.array_equal(
+        model.parameters()[0].data, clone.parameters()[0].data
+    )
+
+
+def test_train_fault_tolerant_unknown_method(rng):
+    model = build_backbone(CI, 3, rng)
+    train, _ = make_loaders(CI, 3)
+    with pytest.raises(ValueError):
+        train_fault_tolerant(model, "two_shot", 0.05, CI, train)
+
+
+def test_train_fault_tolerant_does_not_mutate_original(rng):
+    model = build_backbone(CI, 3, rng)
+    train, _ = make_loaders(CI, 3)
+    before = {n: p.data.copy() for n, p in model.named_parameters()}
+    train_fault_tolerant(model, "one_shot", 0.05, CI, train)
+    for n, p in model.named_parameters():
+        np.testing.assert_array_equal(p.data, before[n])
+
+
+def test_evaluate_defect_grid_deterministic(rng):
+    train, test = make_loaders(CI, 3)
+    model, _ = pretrain_model(CI, 3, train, test)
+    a = evaluate_defect_grid(model, test, (0.0, 0.05), 2, seed=9)
+    b = evaluate_defect_grid(model, test, (0.0, 0.05), 2, seed=9)
+    assert a == b
+
+
+def test_method_report_covers_all_rates(rng):
+    train, test = make_loaders(CI, 3)
+    model, acc = pretrain_model(CI, 3, train, test)
+    report = method_report("baseline", model, acc, test, CI)
+    assert set(report.defect) == set(CI.test_rates)
+    assert report.acc_pretrain == acc
+    # Rate 0 entry equals the clean retrain accuracy.
+    assert report.acc_defect(0.0) == pytest.approx(report.acc_retrain)

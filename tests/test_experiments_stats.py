@@ -1,0 +1,125 @@
+"""Tests for the statistical utilities."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    mean_confidence_interval,
+    paired_comparison,
+)
+
+
+def test_ci_contains_mean():
+    mean, low, high = mean_confidence_interval([10.0, 12.0, 11.0, 13.0])
+    assert low < mean < high
+    assert mean == pytest.approx(11.5)
+
+
+def test_ci_width_shrinks_with_samples(rng):
+    small = rng.normal(50, 5, size=10)
+    large = rng.normal(50, 5, size=1000)
+    _, lo_s, hi_s = mean_confidence_interval(small)
+    _, lo_l, hi_l = mean_confidence_interval(large)
+    assert (hi_l - lo_l) < (hi_s - lo_s)
+
+
+def test_ci_coverage_monte_carlo():
+    """A 90% CI should cover the true mean ~90% of the time."""
+    rng = np.random.default_rng(0)
+    covered = 0
+    trials = 300
+    for _ in range(trials):
+        samples = rng.normal(70.0, 3.0, size=20)
+        _, low, high = mean_confidence_interval(samples, confidence=0.9)
+        covered += low <= 70.0 <= high
+    assert 0.84 <= covered / trials <= 0.96
+
+
+def test_ci_validation():
+    with pytest.raises(ValueError):
+        mean_confidence_interval([1.0])
+    with pytest.raises(ValueError):
+        mean_confidence_interval([1.0, 2.0], confidence=1.5)
+
+
+def test_paired_detects_consistent_difference(rng):
+    base = rng.normal(60, 5, size=30)
+    better = base + 2.0 + rng.normal(0, 0.2, size=30)
+    result = paired_comparison(better, base)
+    assert result.significant
+    assert result.winner == "a"
+    assert result.ci_low > 0
+    assert result.mean_difference == pytest.approx(2.0, abs=0.3)
+
+
+def test_paired_detects_tie(rng):
+    base = rng.normal(60, 5, size=30)
+    same = base + rng.normal(0, 0.5, size=30)
+    result = paired_comparison(same, base)
+    assert result.winner in ("tie", "a", "b")
+    # Mean difference near zero regardless of significance call.
+    assert abs(result.mean_difference) < 0.5
+
+
+def test_paired_common_random_numbers_beats_unpaired(rng):
+    """Pairing removes shared fault-severity noise: a small real gap is
+    significant when paired even though marginal variances are large."""
+    shared = rng.normal(0, 10, size=40)  # severity of each fault draw
+    a = 70 + shared + 1.0  # model a is 1pp better on every draw
+    b = 70 + shared
+    paired = paired_comparison(a, b)
+    assert paired.significant
+    assert paired.winner == "a"
+
+
+def test_paired_identical_sequences():
+    result = paired_comparison([1.0, 2.0, 3.0], [1.0, 2.0, 3.0])
+    assert result.mean_difference == 0.0
+    assert not result.significant
+    assert result.winner == "tie"
+
+
+def test_paired_validation():
+    with pytest.raises(ValueError):
+        paired_comparison([1.0, 2.0], [1.0])
+    with pytest.raises(ValueError):
+        paired_comparison([1.0], [2.0])
+
+
+def test_paired_with_real_defect_evaluations(rng):
+    """End to end: common-seed defect evaluations feed the comparison."""
+    from repro import nn
+    from repro.core import (
+        OneShotFaultTolerantTrainer,
+        Trainer,
+        evaluate_defect_accuracy,
+    )
+    from repro.datasets import ArrayDataset, DataLoader
+    from repro.models import MLP
+
+    n = 120
+    centers = rng.normal(size=(3, 8)) * 3
+    labels = rng.integers(0, 3, size=n)
+    images = centers[labels] + rng.normal(size=(n, 8)) * 0.3
+    loader = DataLoader(ArrayDataset(images.reshape(n, 1, 2, 4), labels),
+                        30, shuffle=True, seed=0)
+    base = MLP(8, [16], 3, rng=np.random.default_rng(1))
+    Trainer(base, nn.SGD(base.parameters(), lr=0.1, momentum=0.9)).fit(
+        loader, 8
+    )
+    ft = MLP(8, [16], 3, rng=np.random.default_rng(1))
+    OneShotFaultTolerantTrainer(
+        ft, nn.SGD(ft.parameters(), lr=0.1, momentum=0.9),
+        p_sa_target=0.1, rng=np.random.default_rng(2),
+    ).fit(loader, 8)
+
+    rate = 0.1
+    a = evaluate_defect_accuracy(
+        ft, loader, rate, num_runs=10, rng=np.random.default_rng(7)
+    )
+    b = evaluate_defect_accuracy(
+        base, loader, rate, num_runs=10, rng=np.random.default_rng(7)
+    )
+    result = paired_comparison(a.run_accuracies, b.run_accuracies)
+    # FT should not be significantly *worse*.
+    assert result.winner in ("a", "tie")

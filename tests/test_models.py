@@ -1,0 +1,141 @@
+"""Tests for the model zoo."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.models import (
+    MLP,
+    MODEL_REGISTRY,
+    BasicBlock,
+    ResNet,
+    SimpleCNN,
+    build_model,
+    register_model,
+    resnet8,
+    resnet20,
+    resnet32,
+)
+from repro.nn.gradcheck import check_layer_gradients
+
+
+def test_resnet_depth_formula():
+    assert resnet8(rng=np.random.default_rng(0)).depth == 8
+    assert resnet20(rng=np.random.default_rng(0)).depth == 20
+    assert resnet32(rng=np.random.default_rng(0)).depth == 32
+
+
+def test_resnet_output_shape(rng):
+    model = resnet8(num_classes=7, base_width=4, rng=rng)
+    out = model(rng.normal(size=(2, 3, 8, 8)))
+    assert out.shape == (2, 7)
+
+
+def test_resnet_handles_different_image_sizes(rng):
+    model = resnet8(num_classes=5, base_width=4, rng=rng)
+    for size in (8, 12, 16):
+        out = model(rng.normal(size=(1, 3, size, size)))
+        assert out.shape == (1, 5)
+
+
+def test_resnet_backward_shapes(rng):
+    model = resnet8(num_classes=4, base_width=4, rng=rng)
+    x = rng.normal(size=(2, 3, 8, 8))
+    out = model(x)
+    grad_in = model.backward(np.ones_like(out))
+    assert grad_in.shape == x.shape
+    assert all(np.any(p.grad != 0) for p in model.parameters() if p.size > 1)
+
+
+def test_resnet_gradcheck_tiny(rng):
+    """Full numerical gradient check of a miniature ResNet."""
+    model = ResNet(1, num_classes=2, base_width=2, in_channels=1, rng=rng)
+    errors = check_layer_gradients(model, rng.normal(size=(2, 1, 6, 6)))
+    for name, err in errors.items():
+        assert err < 1e-4, f"{name}: {err}"
+
+
+def test_resnet_param_count_resnet20():
+    """ResNet-20 (width 16) has ~0.27M parameters, as published."""
+    model = resnet20(num_classes=10, rng=np.random.default_rng(0))
+    n = model.num_parameters()
+    assert 0.25e6 < n < 0.30e6
+
+
+def test_resnet_rejects_bad_blocks():
+    with pytest.raises(ValueError):
+        ResNet(0, num_classes=10)
+
+
+def test_basic_block_identity_shortcut(rng):
+    block = BasicBlock(4, 4, stride=1, rng=rng)
+    assert isinstance(block.shortcut, nn.Identity)
+
+
+def test_basic_block_projection_shortcut(rng):
+    block = BasicBlock(4, 8, stride=2, rng=rng)
+    assert isinstance(block.shortcut, nn.Sequential)
+    out = block(rng.normal(size=(1, 4, 8, 8)))
+    assert out.shape == (1, 8, 4, 4)
+
+
+def test_basic_block_gradcheck(rng):
+    block = BasicBlock(2, 4, stride=2, rng=rng)
+    errors = check_layer_gradients(block, rng.normal(size=(2, 2, 6, 6)))
+    for name, err in errors.items():
+        assert err < 1e-4, f"{name}: {err}"
+
+
+def test_mlp_shapes(rng):
+    model = MLP(16, [8, 4], 3, rng=rng)
+    out = model(rng.normal(size=(5, 1, 4, 4)))
+    assert out.shape == (5, 3)
+
+
+def test_mlp_no_hidden_is_linear_probe(rng):
+    model = MLP(16, [], 3, rng=rng)
+    assert out_shape(model, rng) == (2, 3)
+
+
+def out_shape(model, rng):
+    return model(rng.normal(size=(2, 1, 4, 4))).shape
+
+
+def test_mlp_with_batchnorm_trains(rng):
+    model = MLP(8, [8], 2, batch_norm=True, rng=rng)
+    out = model(rng.normal(size=(4, 1, 2, 4)))
+    assert out.shape == (4, 2)
+
+
+def test_simple_cnn_shapes(rng):
+    model = SimpleCNN(in_channels=3, num_classes=5, image_size=8, rng=rng)
+    out = model(rng.normal(size=(2, 3, 8, 8)))
+    assert out.shape == (2, 5)
+
+
+def test_simple_cnn_requires_divisible_size():
+    with pytest.raises(ValueError):
+        SimpleCNN(image_size=10)
+
+
+def test_registry_contains_expected_models():
+    for name in ("resnet8", "resnet20", "resnet32", "simple_cnn", "mlp"):
+        assert name in MODEL_REGISTRY
+
+
+def test_build_model(rng):
+    model = build_model("resnet8", rng=rng, num_classes=3, base_width=4)
+    assert model.num_classes == 3
+
+
+def test_build_model_unknown_raises():
+    with pytest.raises(KeyError):
+        build_model("alexnet")
+
+
+def test_register_model_and_duplicate_raises():
+    register_model("custom_test_model", lambda rng=None: MLP(4, [], 2))
+    assert "custom_test_model" in MODEL_REGISTRY
+    with pytest.raises(ValueError):
+        register_model("custom_test_model", lambda rng=None: None)
+    del MODEL_REGISTRY["custom_test_model"]

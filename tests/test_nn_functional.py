@@ -1,0 +1,105 @@
+"""Tests for the low-level array ops."""
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+
+
+def test_conv_output_size_basic():
+    assert F.conv_output_size(8, 3, 1, 1) == 8
+    assert F.conv_output_size(8, 3, 2, 1) == 4
+    assert F.conv_output_size(8, 1, 1, 0) == 8
+
+
+def test_conv_output_size_invalid_raises():
+    with pytest.raises(ValueError):
+        F.conv_output_size(2, 5, 1, 0)
+
+
+def test_pad_unpad_roundtrip(rng):
+    x = rng.normal(size=(2, 3, 5, 5))
+    padded = F.pad2d(x, 2)
+    assert padded.shape == (2, 3, 9, 9)
+    np.testing.assert_array_equal(F.unpad2d(padded, 2), x)
+
+
+def test_pad_zero_is_identity(rng):
+    x = rng.normal(size=(1, 1, 4, 4))
+    assert F.pad2d(x, 0) is x
+
+
+def test_im2col_shape(rng):
+    x = rng.normal(size=(2, 3, 8, 8))
+    cols, oh, ow = F.im2col(x, kernel=3, stride=1, padding=1)
+    assert (oh, ow) == (8, 8)
+    assert cols.shape == (2 * 8 * 8, 3 * 9)
+
+
+def test_im2col_values_against_naive(rng):
+    x = rng.normal(size=(1, 2, 5, 5))
+    cols, oh, ow = F.im2col(x, kernel=3, stride=2, padding=0)
+    # Output pixel (0, 0) should be the top-left 3x3 patch of each channel.
+    patch = x[0, :, 0:3, 0:3].reshape(-1)
+    np.testing.assert_allclose(cols[0], patch)
+    # Output pixel (1, 1) -> patch starting at (2, 2).
+    patch = x[0, :, 2:5, 2:5].reshape(-1)
+    np.testing.assert_allclose(cols[1 * ow + 1], patch)
+
+
+def test_col2im_is_adjoint_of_im2col(rng):
+    """<im2col(x), y> == <x, col2im(y)> — the defining adjoint property."""
+    x = rng.normal(size=(2, 3, 6, 6))
+    kernel, stride, padding = 3, 2, 1
+    cols, _, _ = F.im2col(x, kernel, stride, padding)
+    y = rng.normal(size=cols.shape)
+    lhs = float(np.sum(cols * y))
+    back = F.col2im(y, x.shape, kernel, stride, padding)
+    rhs = float(np.sum(x * back))
+    assert abs(lhs - rhs) < 1e-10
+
+
+def test_softmax_rows_sum_to_one(rng):
+    logits = rng.normal(size=(5, 7)) * 10
+    s = F.softmax(logits, axis=1)
+    np.testing.assert_allclose(s.sum(axis=1), np.ones(5))
+    assert np.all(s >= 0)
+
+
+def test_softmax_is_shift_invariant(rng):
+    logits = rng.normal(size=(3, 4))
+    np.testing.assert_allclose(
+        F.softmax(logits), F.softmax(logits + 100.0), atol=1e-12
+    )
+
+
+def test_log_softmax_matches_log_of_softmax(rng):
+    logits = rng.normal(size=(3, 6))
+    np.testing.assert_allclose(
+        F.log_softmax(logits), np.log(F.softmax(logits)), atol=1e-12
+    )
+
+
+def test_log_softmax_stable_for_large_logits():
+    logits = np.array([[1000.0, 0.0]])
+    out = F.log_softmax(logits)
+    assert np.all(np.isfinite(out))
+
+
+def test_one_hot_basic():
+    encoded = F.one_hot(np.array([0, 2, 1]), 3)
+    np.testing.assert_array_equal(
+        encoded, np.array([[1, 0, 0], [0, 0, 1], [0, 1, 0]], dtype=float)
+    )
+
+
+def test_one_hot_out_of_range_raises():
+    with pytest.raises(ValueError):
+        F.one_hot(np.array([0, 3]), 3)
+    with pytest.raises(ValueError):
+        F.one_hot(np.array([-1]), 3)
+
+
+def test_one_hot_requires_1d():
+    with pytest.raises(ValueError):
+        F.one_hot(np.zeros((2, 2), dtype=int), 3)

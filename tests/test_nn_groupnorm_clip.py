@@ -1,0 +1,134 @@
+"""Tests for GroupNorm and gradient clipping."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.gradcheck import check_layer_gradients
+
+
+def test_groupnorm_normalises_per_group(rng):
+    gn = nn.GroupNorm(2, 4)
+    x = rng.normal(loc=3.0, scale=2.0, size=(5, 4, 6, 6))
+    out = gn(x)
+    # With unit gamma / zero beta, each (sample, group) is standardised.
+    grouped = out.reshape(5, 2, 2 * 36)
+    np.testing.assert_allclose(grouped.mean(axis=2), 0.0, atol=1e-10)
+    np.testing.assert_allclose(grouped.std(axis=2), 1.0, atol=1e-4)
+
+
+def test_groupnorm_gradcheck(rng):
+    gn = nn.GroupNorm(2, 4)
+    errors = check_layer_gradients(gn, rng.normal(size=(3, 4, 3, 3)))
+    for name, err in errors.items():
+        assert err < 1e-5, f"{name}: {err}"
+
+
+def test_groupnorm_single_group_is_layernorm_style(rng):
+    gn = nn.GroupNorm(1, 3)
+    x = rng.normal(size=(2, 3, 4, 4))
+    out = gn(x)
+    flat = out.reshape(2, -1)
+    np.testing.assert_allclose(flat.mean(axis=1), 0.0, atol=1e-10)
+
+
+def test_groupnorm_batch_independent(rng):
+    """A sample's output is identical alone or inside a batch (unlike BN)."""
+    gn = nn.GroupNorm(2, 4)
+    batch = rng.normal(size=(6, 4, 5, 5))
+    full = gn(batch)
+    solo = gn(batch[2:3])
+    np.testing.assert_allclose(full[2], solo[0], atol=1e-12)
+
+
+def test_groupnorm_train_eval_identical(rng):
+    gn = nn.GroupNorm(2, 4)
+    x = rng.normal(size=(3, 4, 4, 4))
+    train_out = gn(x)
+    gn.eval()
+    eval_out = gn(x)
+    np.testing.assert_allclose(train_out, eval_out)
+
+
+def test_groupnorm_validation(rng):
+    with pytest.raises(ValueError):
+        nn.GroupNorm(3, 4)  # not divisible
+    with pytest.raises(ValueError):
+        nn.GroupNorm(0, 4)
+    gn = nn.GroupNorm(2, 4)
+    with pytest.raises(ValueError):
+        gn(rng.normal(size=(2, 5, 3, 3)))
+
+
+def test_clip_grad_norm_no_clip_below_threshold():
+    p = nn.Parameter(np.zeros(3))
+    p.grad[...] = [3.0, 0.0, 4.0]  # norm 5
+    norm = nn.clip_grad_norm([p], max_norm=10.0)
+    assert norm == pytest.approx(5.0)
+    np.testing.assert_allclose(p.grad, [3.0, 0.0, 4.0])
+
+
+def test_clip_grad_norm_scales_to_max():
+    p = nn.Parameter(np.zeros(3))
+    p.grad[...] = [3.0, 0.0, 4.0]
+    nn.clip_grad_norm([p], max_norm=1.0)
+    assert np.linalg.norm(p.grad) == pytest.approx(1.0, rel=1e-6)
+    np.testing.assert_allclose(p.grad, [0.6, 0.0, 0.8], rtol=1e-6)
+
+
+def test_clip_grad_norm_global_across_parameters():
+    a, b = nn.Parameter(np.zeros(1)), nn.Parameter(np.zeros(1))
+    a.grad[...] = [3.0]
+    b.grad[...] = [4.0]
+    nn.clip_grad_norm([a, b], max_norm=1.0)
+    total = np.sqrt(a.grad[0] ** 2 + b.grad[0] ** 2)
+    assert total == pytest.approx(1.0, rel=1e-6)
+
+
+def test_clip_grad_norm_validation():
+    with pytest.raises(ValueError):
+        nn.clip_grad_norm([nn.Parameter(np.zeros(1))], max_norm=0.0)
+
+
+def test_trainer_grad_clip_integration(rng):
+    from repro.core import Trainer
+    from repro.datasets import ArrayDataset, DataLoader
+    from repro.models import MLP
+
+    images = rng.normal(size=(40, 1, 2, 4)) * 100  # huge inputs: big grads
+    labels = rng.integers(0, 3, size=40)
+    loader = DataLoader(ArrayDataset(images, labels), 20, seed=0)
+    model = MLP(8, [8], 3, rng=rng)
+    opt = nn.SGD(model.parameters(), lr=0.5)
+    Trainer(model, opt, grad_clip=1.0).fit(loader, 3)
+    assert all(np.all(np.isfinite(p.data)) for p in model.parameters())
+
+
+def test_trainer_grad_clip_validation(rng):
+    from repro.core import Trainer
+    from repro.models import MLP
+
+    model = MLP(8, [8], 3, rng=rng)
+    opt = nn.SGD(model.parameters(), lr=0.1)
+    with pytest.raises(ValueError):
+        Trainer(model, opt, grad_clip=-1.0)
+
+
+def test_ft_trainer_grad_clip_stabilises_high_rate(rng):
+    """The one-shot trainer at a large rate stays finite with clipping."""
+    from repro.core import OneShotFaultTolerantTrainer
+    from repro.datasets import ArrayDataset, DataLoader
+    from repro.models import MLP
+
+    centers = rng.normal(size=(3, 8)) * 3
+    labels = rng.integers(0, 3, size=90)
+    images = centers[labels] + rng.normal(size=(90, 8)) * 0.3
+    loader = DataLoader(ArrayDataset(images.reshape(90, 1, 2, 4), labels),
+                        30, shuffle=True, seed=0)
+    model = MLP(8, [16], 3, rng=rng)
+    opt = nn.SGD(model.parameters(), lr=0.1, momentum=0.9)
+    trainer = OneShotFaultTolerantTrainer(
+        model, opt, p_sa_target=0.2, rng=rng, grad_clip=5.0
+    )
+    history = trainer.fit(loader, 5)
+    assert all(np.isfinite(l) for l in history.epoch_losses)

@@ -1,0 +1,55 @@
+"""Tests for weight initialisers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import init
+
+
+def test_fan_in_fan_out_linear():
+    assert init.fan_in_fan_out((10, 20)) == (20, 10)
+
+
+def test_fan_in_fan_out_conv():
+    fan_in, fan_out = init.fan_in_fan_out((8, 4, 3, 3))
+    assert fan_in == 4 * 9
+    assert fan_out == 8 * 9
+
+
+def test_fan_in_fan_out_invalid():
+    with pytest.raises(ValueError):
+        init.fan_in_fan_out((3,))
+
+
+def test_kaiming_normal_std(rng):
+    shape = (256, 128)
+    w = init.kaiming_normal(shape, rng)
+    expected_std = np.sqrt(2.0 / 128)
+    assert abs(w.std() - expected_std) / expected_std < 0.05
+
+
+def test_kaiming_uniform_bound(rng):
+    shape = (64, 100)
+    w = init.kaiming_uniform(shape, rng)
+    bound = np.sqrt(6.0 / 100)
+    assert np.all(np.abs(w) <= bound)
+    assert w.std() > 0.5 * bound / np.sqrt(3)
+
+
+def test_xavier_normal_std(rng):
+    shape = (200, 300)
+    w = init.xavier_normal(shape, rng)
+    expected_std = np.sqrt(2.0 / 500)
+    assert abs(w.std() - expected_std) / expected_std < 0.05
+
+
+def test_xavier_uniform_bound(rng):
+    w = init.xavier_uniform((50, 50), rng)
+    bound = np.sqrt(6.0 / 100)
+    assert np.all(np.abs(w) <= bound)
+
+
+def test_initialisers_deterministic_under_seed():
+    a = init.kaiming_normal((4, 4), np.random.default_rng(7))
+    b = init.kaiming_normal((4, 4), np.random.default_rng(7))
+    np.testing.assert_array_equal(a, b)

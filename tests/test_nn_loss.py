@@ -1,0 +1,87 @@
+"""Tests for loss functions."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.gradcheck import max_relative_error, numerical_gradient
+
+
+def test_cross_entropy_value_matches_manual(rng):
+    logits = rng.normal(size=(4, 3))
+    labels = np.array([0, 1, 2, 1])
+    loss, _ = nn.CrossEntropyLoss()(logits, labels)
+    # Manual computation.
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    log_probs = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+    expected = -log_probs[np.arange(4), labels].mean()
+    assert abs(loss - expected) < 1e-12
+
+
+def test_cross_entropy_gradient_numerically(rng):
+    logits = rng.normal(size=(3, 4))
+    labels = np.array([1, 0, 3])
+    loss_fn = nn.CrossEntropyLoss()
+    _, grad = loss_fn(logits, labels)
+    num = numerical_gradient(lambda z: loss_fn(z, labels)[0], logits.copy())
+    assert max_relative_error(grad, num) < 1e-6
+
+
+def test_cross_entropy_perfect_prediction_low_loss():
+    logits = np.array([[100.0, 0.0], [0.0, 100.0]])
+    loss, _ = nn.CrossEntropyLoss()(logits, np.array([0, 1]))
+    assert loss < 1e-10
+
+
+def test_cross_entropy_uniform_logits_log_c():
+    num_classes = 7
+    logits = np.zeros((5, num_classes))
+    loss, _ = nn.CrossEntropyLoss()(logits, np.zeros(5, dtype=int))
+    assert abs(loss - np.log(num_classes)) < 1e-12
+
+
+def test_cross_entropy_label_smoothing_gradient(rng):
+    logits = rng.normal(size=(3, 4))
+    labels = np.array([1, 0, 3])
+    loss_fn = nn.CrossEntropyLoss(label_smoothing=0.1)
+    _, grad = loss_fn(logits, labels)
+    num = numerical_gradient(lambda z: loss_fn(z, labels)[0], logits.copy())
+    assert max_relative_error(grad, num) < 1e-6
+
+
+def test_cross_entropy_label_smoothing_raises_floor():
+    """With smoothing, even a perfect prediction has nonzero loss."""
+    logits = np.array([[100.0, 0.0]])
+    loss_plain, _ = nn.CrossEntropyLoss()(logits, np.array([0]))
+    loss_smooth, _ = nn.CrossEntropyLoss(label_smoothing=0.1)(
+        logits, np.array([0])
+    )
+    assert loss_smooth > loss_plain
+
+
+def test_cross_entropy_shape_validation(rng):
+    loss_fn = nn.CrossEntropyLoss()
+    with pytest.raises(ValueError):
+        loss_fn(rng.normal(size=(3,)), np.array([0, 1, 2]))
+    with pytest.raises(ValueError):
+        loss_fn(rng.normal(size=(3, 2)), np.array([0, 1]))
+
+
+def test_cross_entropy_invalid_smoothing():
+    with pytest.raises(ValueError):
+        nn.CrossEntropyLoss(label_smoothing=1.0)
+
+
+def test_mse_value_and_gradient(rng):
+    pred = rng.normal(size=(4, 3))
+    target = rng.normal(size=(4, 3))
+    loss_fn = nn.MSELoss()
+    loss, grad = loss_fn(pred, target)
+    assert abs(loss - np.mean((pred - target) ** 2)) < 1e-12
+    num = numerical_gradient(lambda p: loss_fn(p, target)[0], pred.copy())
+    assert max_relative_error(grad, num) < 1e-6
+
+
+def test_mse_shape_mismatch_raises(rng):
+    with pytest.raises(ValueError):
+        nn.MSELoss()(rng.normal(size=(2, 3)), rng.normal(size=(3, 2)))

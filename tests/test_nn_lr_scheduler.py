@@ -1,0 +1,99 @@
+"""Tests for learning-rate schedules."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+def make_opt(lr=0.1):
+    return nn.SGD([nn.Parameter(np.zeros(1))], lr=lr)
+
+
+def test_cosine_endpoints():
+    opt = make_opt(0.1)
+    sched = nn.CosineAnnealingLR(opt, t_max=10)
+    assert opt.lr == 0.1
+    for _ in range(10):
+        sched.step()
+    assert abs(opt.lr) < 1e-12
+
+
+def test_cosine_midpoint_is_half():
+    opt = make_opt(0.2)
+    sched = nn.CosineAnnealingLR(opt, t_max=10)
+    for _ in range(5):
+        sched.step()
+    assert abs(opt.lr - 0.1) < 1e-12
+
+
+def test_cosine_eta_min_floor():
+    opt = make_opt(0.1)
+    sched = nn.CosineAnnealingLR(opt, t_max=4, eta_min=0.01)
+    for _ in range(10):  # past t_max: clamps at eta_min
+        sched.step()
+    assert abs(opt.lr - 0.01) < 1e-12
+
+
+def test_cosine_monotone_decreasing():
+    opt = make_opt(0.1)
+    sched = nn.CosineAnnealingLR(opt, t_max=20)
+    lrs = []
+    for _ in range(20):
+        sched.step()
+        lrs.append(opt.lr)
+    assert all(a > b for a, b in zip(lrs, lrs[1:]))
+
+
+def test_cosine_invalid_tmax():
+    with pytest.raises(ValueError):
+        nn.CosineAnnealingLR(make_opt(), t_max=0)
+
+
+def test_step_lr_decays_every_step_size():
+    opt = make_opt(1.0)
+    sched = nn.StepLR(opt, step_size=2, gamma=0.1)
+    lrs = []
+    for _ in range(6):
+        sched.step()
+        lrs.append(opt.lr)
+    # Epoch k's lr is gamma^(k // step_size); sampled at epochs 1..6.
+    assert lrs == pytest.approx([1.0, 0.1, 0.1, 0.01, 0.01, 0.001])
+
+
+def test_multistep_lr():
+    opt = make_opt(1.0)
+    sched = nn.MultiStepLR(opt, milestones=[2, 4], gamma=0.5)
+    lrs = []
+    for _ in range(5):
+        sched.step()
+        lrs.append(opt.lr)
+    assert lrs == pytest.approx([1.0, 0.5, 0.5, 0.25, 0.25])
+
+
+def test_multistep_requires_ascending():
+    with pytest.raises(ValueError):
+        nn.MultiStepLR(make_opt(), milestones=[4, 2])
+
+
+def test_warmup_then_cosine():
+    opt = make_opt(0.1)
+    after = nn.CosineAnnealingLR(opt, t_max=10)
+    sched = nn.WarmupLR(opt, warmup_epochs=5, after=after)
+    lrs = []
+    for _ in range(15):
+        sched.step()
+        lrs.append(opt.lr)
+    # Linear ramp during warmup.
+    assert lrs[0] == pytest.approx(0.1 / 5)
+    assert lrs[4] == pytest.approx(0.1)
+    # Then cosine decay to zero.
+    assert abs(lrs[-1]) < 1e-12
+    assert lrs[5] < lrs[4] or math.isclose(lrs[5], lrs[4], rel_tol=0.2)
+
+
+def test_warmup_validation():
+    with pytest.raises(ValueError):
+        nn.WarmupLR(make_opt(), warmup_epochs=-1, after=None)

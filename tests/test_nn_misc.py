@@ -1,0 +1,111 @@
+"""Miscellaneous nn edge cases."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.gradcheck import check_layer_gradients, max_relative_error
+
+
+def test_sequential_replace(rng):
+    net = nn.Sequential(nn.ReLU(), nn.Tanh())
+    net.replace(1, nn.Sigmoid())
+    assert isinstance(net[1], nn.Sigmoid)
+    # Registration updated too: state_dict traversal sees the new layer.
+    assert isinstance(net._modules["layer1"], nn.Sigmoid)
+
+
+def test_sequential_replace_out_of_range(rng):
+    net = nn.Sequential(nn.ReLU())
+    with pytest.raises(IndexError):
+        net.replace(3, nn.Tanh())
+
+
+def test_sequential_replace_affects_forward(rng):
+    net = nn.Sequential(nn.Identity())
+    x = rng.normal(size=(2, 3))
+    np.testing.assert_array_equal(net(x), x)
+    net.replace(0, nn.ReLU())
+    np.testing.assert_array_equal(net(x), np.maximum(x, 0))
+
+
+def test_max_relative_error_zero_for_identical(rng):
+    a = rng.normal(size=(4, 4))
+    assert max_relative_error(a, a.copy()) == 0.0
+
+
+def test_max_relative_error_detects_difference(rng):
+    a = np.ones((3,))
+    b = np.array([1.0, 1.0, 2.0])
+    assert max_relative_error(a, b) == pytest.approx(0.5)
+
+
+def test_check_layer_gradients_returns_input_key(rng):
+    errors = check_layer_gradients(nn.Tanh(), rng.normal(size=(2, 3)))
+    assert "input" in errors
+
+
+def test_conv_kernel_larger_than_input_raises(rng):
+    layer = nn.Conv2d(1, 1, 5, rng=rng)
+    with pytest.raises(ValueError):
+        layer(rng.normal(size=(1, 1, 3, 3)))
+
+
+def test_deep_network_trains_without_nan(rng):
+    """A deeper stack stays numerically sane for a few steps."""
+    net = nn.Sequential(
+        nn.Linear(8, 16, rng=rng), nn.ReLU(),
+        nn.Linear(16, 16, rng=rng), nn.Tanh(),
+        nn.Linear(16, 16, rng=rng), nn.ReLU(),
+        nn.Linear(16, 4, rng=rng),
+    )
+    opt = nn.SGD(net.parameters(), lr=0.05, momentum=0.9)
+    loss_fn = nn.CrossEntropyLoss()
+    x = rng.normal(size=(16, 8))
+    y = rng.integers(0, 4, size=16)
+    for _ in range(20):
+        opt.zero_grad()
+        logits = net(x)
+        loss, grad = loss_fn(logits, y)
+        net.backward(grad)
+        opt.step()
+    assert np.isfinite(loss)
+    assert all(np.all(np.isfinite(p.data)) for p in net.parameters())
+
+
+def test_gradient_accumulation_across_batches(rng):
+    """Two backward passes without zero_grad accumulate (sum) gradients."""
+    layer = nn.Linear(3, 2, rng=rng)
+    x = rng.normal(size=(4, 3))
+    g = np.ones((4, 2))
+    layer(x)
+    layer.backward(g)
+    once = layer.weight.grad.copy()
+    layer(x)
+    layer.backward(g)
+    np.testing.assert_allclose(layer.weight.grad, 2 * once)
+
+
+def test_batchnorm_batch_of_one_spatial(rng):
+    """BN over a single sample still works (statistics over H, W)."""
+    bn = nn.BatchNorm2d(2)
+    out = bn(rng.normal(size=(1, 2, 4, 4)))
+    assert out.shape == (1, 2, 4, 4)
+    assert np.all(np.isfinite(out))
+
+
+def test_residual_with_projection_gradcheck(rng):
+    body = nn.Sequential(nn.Linear(4, 6, rng=rng), nn.Tanh())
+    shortcut = nn.Linear(4, 6, bias=False, rng=rng)
+    block = nn.Residual(body, shortcut)
+    errors = check_layer_gradients(block, rng.normal(size=(3, 4)))
+    for name, err in errors.items():
+        assert err < 1e-5, name
+
+
+def test_warmup_zero_epochs_delegates_immediately():
+    opt = nn.SGD([nn.Parameter(np.zeros(1))], lr=0.1)
+    after = nn.CosineAnnealingLR(opt, t_max=4)
+    sched = nn.WarmupLR(opt, warmup_epochs=0, after=after)
+    sched.step()
+    assert opt.lr < 0.1  # already cosine-decaying

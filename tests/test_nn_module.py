@@ -1,0 +1,140 @@
+"""Tests for Parameter and Module base machinery."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+class TwoLayer(nn.Module):
+    def __init__(self, rng):
+        super().__init__()
+        self.fc1 = nn.Linear(4, 3, rng=rng)
+        self.fc2 = nn.Linear(3, 2, rng=rng)
+
+    def forward(self, x):
+        return self.fc2(self.fc1(x))
+
+    def backward(self, g):
+        return self.fc1.backward(self.fc2.backward(g))
+
+
+def test_parameter_holds_float64_and_zero_grad():
+    p = nn.Parameter(np.ones((2, 2), dtype=np.float32))
+    assert p.data.dtype == np.float64
+    p.grad += 3.0
+    p.zero_grad()
+    assert np.all(p.grad == 0)
+
+
+def test_parameter_shape_and_size():
+    p = nn.Parameter(np.zeros((3, 5)))
+    assert p.shape == (3, 5)
+    assert p.size == 15
+
+
+def test_named_parameters_order_and_prefixes(rng):
+    model = TwoLayer(rng)
+    names = [name for name, _ in model.named_parameters()]
+    assert names == ["fc1.weight", "fc1.bias", "fc2.weight", "fc2.bias"]
+
+
+def test_parameters_returns_all(rng):
+    model = TwoLayer(rng)
+    assert len(model.parameters()) == 4
+
+
+def test_num_parameters(rng):
+    model = TwoLayer(rng)
+    assert model.num_parameters() == 4 * 3 + 3 + 3 * 2 + 2
+
+
+def test_train_eval_propagates(rng):
+    model = TwoLayer(rng)
+    model.eval()
+    assert not model.training
+    assert not model.fc1.training
+    model.train()
+    assert model.fc2.training
+
+
+def test_zero_grad_clears_all(rng):
+    model = TwoLayer(rng)
+    x = rng.normal(size=(5, 4))
+    out = model(x)
+    model.backward(np.ones_like(out))
+    assert any(np.any(p.grad != 0) for p in model.parameters())
+    model.zero_grad()
+    assert all(np.all(p.grad == 0) for p in model.parameters())
+
+
+def test_state_dict_roundtrip(rng):
+    model = TwoLayer(rng)
+    state = model.state_dict()
+    other = TwoLayer(np.random.default_rng(999))
+    other.load_state_dict(state)
+    for (n1, p1), (n2, p2) in zip(
+        model.named_parameters(), other.named_parameters()
+    ):
+        assert n1 == n2
+        np.testing.assert_array_equal(p1.data, p2.data)
+
+
+def test_state_dict_returns_copies(rng):
+    model = TwoLayer(rng)
+    state = model.state_dict()
+    state["fc1.weight"][...] = 0.0
+    assert not np.all(model.fc1.weight.data == 0.0)
+
+
+def test_load_state_dict_missing_key_raises(rng):
+    model = TwoLayer(rng)
+    state = model.state_dict()
+    del state["fc1.weight"]
+    with pytest.raises(KeyError):
+        model.load_state_dict(state)
+
+
+def test_load_state_dict_shape_mismatch_raises(rng):
+    model = TwoLayer(rng)
+    state = model.state_dict()
+    state["fc1.weight"] = np.zeros((1, 1))
+    with pytest.raises(ValueError):
+        model.load_state_dict(state)
+
+
+def test_buffers_registered_and_saved():
+    bn = nn.BatchNorm1d(4)
+    state = bn.state_dict()
+    assert "running_mean" in state
+    assert "running_var" in state
+
+
+def test_buffer_roundtrip_through_state_dict(rng):
+    bn = nn.BatchNorm1d(3)
+    bn(rng.normal(size=(10, 3)))  # update running stats
+    state = bn.state_dict()
+    fresh = nn.BatchNorm1d(3)
+    fresh.load_state_dict(state)
+    np.testing.assert_allclose(fresh.running_mean, bn.running_mean)
+    np.testing.assert_allclose(fresh.running_var, bn.running_var)
+
+
+def test_set_buffer_unknown_name_raises():
+    bn = nn.BatchNorm1d(3)
+    with pytest.raises(KeyError):
+        bn.set_buffer("nonexistent", np.zeros(3))
+
+
+def test_modules_iterates_tree(rng):
+    model = TwoLayer(rng)
+    kinds = [type(m).__name__ for m in model.modules()]
+    assert kinds == ["TwoLayer", "Linear", "Linear"]
+
+
+def test_forward_backward_not_implemented():
+    m = nn.Module()
+    with pytest.raises(NotImplementedError):
+        m.forward(np.zeros(1))
+    with pytest.raises(NotImplementedError):
+        m.backward(np.zeros(1))

@@ -1,0 +1,157 @@
+"""Tests for optimisers, including pruning-mask support."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+def make_param(value):
+    return nn.Parameter(np.asarray(value, dtype=float))
+
+
+def test_sgd_plain_step():
+    p = make_param([1.0, 2.0])
+    opt = nn.SGD([p], lr=0.1)
+    p.grad[...] = [1.0, -1.0]
+    opt.step()
+    np.testing.assert_allclose(p.data, [0.9, 2.1])
+
+
+def test_sgd_momentum_accumulates():
+    p = make_param([0.0])
+    opt = nn.SGD([p], lr=1.0, momentum=0.5)
+    p.grad[...] = [1.0]
+    opt.step()  # v=1, p=-1
+    np.testing.assert_allclose(p.data, [-1.0])
+    p.grad[...] = [1.0]
+    opt.step()  # v=1.5, p=-2.5
+    np.testing.assert_allclose(p.data, [-2.5])
+
+
+def test_sgd_weight_decay_shrinks_weights():
+    p = make_param([10.0])
+    opt = nn.SGD([p], lr=0.1, weight_decay=0.1)
+    p.grad[...] = [0.0]
+    opt.step()
+    np.testing.assert_allclose(p.data, [10.0 - 0.1 * 0.1 * 10.0])
+
+
+def test_sgd_nesterov_differs_from_plain_momentum():
+    p1, p2 = make_param([0.0]), make_param([0.0])
+    opt1 = nn.SGD([p1], lr=1.0, momentum=0.5)
+    opt2 = nn.SGD([p2], lr=1.0, momentum=0.5, nesterov=True)
+    for opt, p in ((opt1, p1), (opt2, p2)):
+        p.grad[...] = [1.0]
+        opt.step()
+        p.grad[...] = [1.0]
+        opt.step()
+    assert p1.data[0] != p2.data[0]
+
+
+def test_sgd_skips_frozen_params():
+    p = make_param([1.0])
+    p.requires_grad = False
+    opt = nn.SGD([p], lr=0.1)
+    p.grad[...] = [5.0]
+    opt.step()
+    np.testing.assert_allclose(p.data, [1.0])
+
+
+def test_sgd_validation():
+    p = make_param([1.0])
+    with pytest.raises(ValueError):
+        nn.SGD([p], lr=0.0)
+    with pytest.raises(ValueError):
+        nn.SGD([p], lr=0.1, momentum=1.0)
+    with pytest.raises(ValueError):
+        nn.SGD([p], lr=0.1, nesterov=True)
+    with pytest.raises(ValueError):
+        nn.SGD([], lr=0.1)
+
+
+def test_optimizer_zero_grad():
+    p = make_param([1.0])
+    p.grad[...] = [3.0]
+    nn.SGD([p], lr=0.1).zero_grad()
+    np.testing.assert_allclose(p.grad, [0.0])
+
+
+def test_mask_zeroes_and_keeps_pruned_weights_zero():
+    p = make_param([1.0, 2.0, 3.0])
+    opt = nn.SGD([p], lr=0.1, momentum=0.9)
+    opt.attach_mask(p, np.array([1.0, 0.0, 1.0]))
+    np.testing.assert_allclose(p.data, [1.0, 0.0, 3.0])
+    for _ in range(3):
+        p.grad[...] = [1.0, 1.0, 1.0]
+        opt.step()
+    assert p.data[1] == 0.0
+    assert p.data[0] != 1.0  # unmasked weights still train
+
+
+def test_mask_shape_mismatch_raises():
+    p = make_param([1.0, 2.0])
+    opt = nn.SGD([p], lr=0.1)
+    with pytest.raises(ValueError):
+        opt.attach_mask(p, np.ones(3))
+
+
+def test_detach_masks_lets_weights_regrow():
+    p = make_param([1.0, 2.0])
+    opt = nn.SGD([p], lr=0.1)
+    opt.attach_mask(p, np.array([1.0, 0.0]))
+    opt.detach_masks()
+    p.grad[...] = [0.0, -1.0]
+    opt.step()
+    assert p.data[1] > 0.0
+
+
+def test_adam_moves_toward_minimum():
+    # Minimise f(p) = (p - 3)^2 from p=0.
+    p = make_param([0.0])
+    opt = nn.Adam([p], lr=0.1)
+    for _ in range(200):
+        p.grad[...] = 2 * (p.data - 3.0)
+        opt.step()
+    assert abs(p.data[0] - 3.0) < 0.05
+
+
+def test_adam_first_step_size_is_lr():
+    """With bias correction, the first Adam step is ~lr regardless of grad scale."""
+    for scale in (1e-3, 1e3):
+        p = make_param([0.0])
+        opt = nn.Adam([p], lr=0.1)
+        p.grad[...] = [scale]
+        opt.step()
+        assert abs(abs(p.data[0]) - 0.1) < 1e-6
+
+
+def test_adam_decoupled_weight_decay():
+    p = make_param([1.0])
+    opt = nn.Adam([p], lr=0.1, weight_decay=0.5, decoupled=True)
+    p.grad[...] = [0.0]
+    opt.step()
+    np.testing.assert_allclose(p.data, [1.0 - 0.1 * 0.5 * 1.0])
+
+
+def test_adam_validation():
+    p = make_param([1.0])
+    with pytest.raises(ValueError):
+        nn.Adam([p], lr=0.1, betas=(1.0, 0.999))
+
+
+def test_sgd_trains_linear_regression(rng):
+    """End-to-end sanity: SGD fits a linear map."""
+    true_w = rng.normal(size=(3, 5))
+    x = rng.normal(size=(100, 5))
+    y = x @ true_w.T
+    layer = nn.Linear(5, 3, rng=rng)
+    opt = nn.SGD(layer.parameters(), lr=0.05, momentum=0.9)
+    loss_fn = nn.MSELoss()
+    for _ in range(300):
+        opt.zero_grad()
+        pred = layer(x)
+        loss, grad = loss_fn(pred, y)
+        layer.backward(grad)
+        opt.step()
+    assert loss < 1e-4

@@ -1,0 +1,65 @@
+"""Tests for model checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.models import MLP, SimpleCNN
+from repro.nn import load_checkpoint, save_checkpoint
+
+
+def test_roundtrip_preserves_weights(tmp_path, rng):
+    model = MLP(8, [6], 3, rng=rng)
+    path = str(tmp_path / "model.npz")
+    save_checkpoint(path, model)
+    other = MLP(8, [6], 3, rng=np.random.default_rng(99))
+    load_checkpoint(path, other)
+    x = rng.normal(size=(4, 8))
+    model.eval()
+    other.eval()
+    np.testing.assert_allclose(model(x), other(x), atol=1e-12)
+
+
+def test_roundtrip_preserves_buffers(tmp_path, rng):
+    model = SimpleCNN(in_channels=1, num_classes=2, image_size=8, rng=rng)
+    model(rng.normal(size=(8, 1, 8, 8)))  # populate BN running stats
+    path = str(tmp_path / "cnn")
+    save_checkpoint(path, model)
+    other = SimpleCNN(in_channels=1, num_classes=2, image_size=8,
+                      rng=np.random.default_rng(1))
+    load_checkpoint(str(tmp_path / "cnn.npz"), other)
+    for (n1, b1), (n2, b2) in zip(
+        model.named_buffers(), other.named_buffers()
+    ):
+        assert n1 == n2
+        np.testing.assert_allclose(b1, b2)
+
+
+def test_metadata_roundtrip(tmp_path, rng):
+    model = MLP(4, [], 2, rng=rng)
+    path = str(tmp_path / "m.npz")
+    save_checkpoint(path, model, metadata={"p_sa_target": 0.05, "note": "ft"})
+    meta = load_checkpoint(path, MLP(4, [], 2, rng=rng))
+    assert meta == {"p_sa_target": 0.05, "note": "ft"}
+
+
+def test_no_metadata_returns_empty_dict(tmp_path, rng):
+    model = MLP(4, [], 2, rng=rng)
+    path = str(tmp_path / "m.npz")
+    save_checkpoint(path, model)
+    assert load_checkpoint(path, MLP(4, [], 2, rng=rng)) == {}
+
+
+def test_architecture_mismatch_raises(tmp_path, rng):
+    model = MLP(4, [], 2, rng=rng)
+    path = str(tmp_path / "m.npz")
+    save_checkpoint(path, model)
+    with pytest.raises((KeyError, ValueError)):
+        load_checkpoint(path, MLP(4, [8], 2, rng=rng))
+
+
+def test_creates_parent_directories(tmp_path, rng):
+    model = MLP(4, [], 2, rng=rng)
+    path = str(tmp_path / "deep" / "nested" / "m.npz")
+    save_checkpoint(path, model)
+    load_checkpoint(path, MLP(4, [], 2, rng=rng))

@@ -1,0 +1,216 @@
+"""Tests for pruning: masks, magnitude, ADMM."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.datasets import ArrayDataset, DataLoader
+from repro.models import MLP
+from repro.pruning import (
+    ADMMConfig,
+    ADMMPruner,
+    apply_masks,
+    finetune_pruned,
+    magnitude_mask,
+    magnitude_prune,
+    model_sparsity,
+    project_sparse,
+    prunable_parameters,
+    sparsity,
+)
+
+
+def make_loader(rng, n=80):
+    centers = rng.normal(size=(3, 8)) * 3
+    labels = rng.integers(0, 3, size=n)
+    images = centers[labels] + rng.normal(size=(n, 8)) * 0.3
+    return DataLoader(ArrayDataset(images.reshape(n, 1, 2, 4), labels), 20,
+                      shuffle=True, seed=0)
+
+
+# -- masks -------------------------------------------------------------------
+
+
+def test_magnitude_mask_exact_sparsity(rng):
+    w = rng.normal(size=(10, 10))
+    mask = magnitude_mask(w, 0.3)
+    assert mask.sum() == 70
+
+
+def test_magnitude_mask_prunes_smallest(rng):
+    w = np.array([0.1, -5.0, 0.01, 3.0])
+    mask = magnitude_mask(w, 0.5)
+    np.testing.assert_array_equal(mask, [0.0, 1.0, 0.0, 1.0])
+
+
+def test_magnitude_mask_zero_sparsity(rng):
+    mask = magnitude_mask(rng.normal(size=(4, 4)), 0.0)
+    np.testing.assert_array_equal(mask, 1.0)
+
+
+def test_magnitude_mask_validation(rng):
+    with pytest.raises(ValueError):
+        magnitude_mask(np.ones(4), 1.0)
+
+
+def test_sparsity_helpers(rng):
+    assert sparsity(np.array([0.0, 1.0, 0.0, 2.0])) == 0.5
+    assert sparsity(np.array([])) == 0.0
+
+
+def test_apply_masks(rng):
+    model = MLP(8, [4], 2, rng=rng)
+    name, param = prunable_parameters(model)[0]
+    mask = np.zeros_like(param.data)
+    apply_masks(model, {name: mask})
+    np.testing.assert_array_equal(param.data, 0.0)
+
+
+def test_apply_masks_validation(rng):
+    model = MLP(8, [4], 2, rng=rng)
+    with pytest.raises(KeyError):
+        apply_masks(model, {"nope": np.zeros((1, 1))})
+    name, param = prunable_parameters(model)[0]
+    with pytest.raises(ValueError):
+        apply_masks(model, {name: np.zeros((1, 1))})
+
+
+# -- magnitude pruning -----------------------------------------------------------
+
+
+def test_magnitude_prune_per_layer_sparsity(rng):
+    model = MLP(8, [16], 3, rng=rng)
+    magnitude_prune(model, 0.5, per_layer=True)
+    for name, param in prunable_parameters(model):
+        assert abs(sparsity(param.data) - 0.5) < 0.05, name
+    assert abs(model_sparsity(model) - 0.5) < 0.05
+
+
+def test_magnitude_prune_global_overall_sparsity(rng):
+    model = MLP(8, [16], 3, rng=rng)
+    magnitude_prune(model, 0.6, per_layer=False)
+    assert abs(model_sparsity(model) - 0.6) < 0.05
+
+
+def test_magnitude_prune_keeps_largest(rng):
+    model = MLP(8, [16], 3, rng=rng)
+    param = prunable_parameters(model)[0][1]
+    largest = np.max(np.abs(param.data))
+    magnitude_prune(model, 0.9, per_layer=True)
+    assert np.max(np.abs(param.data)) == largest
+
+
+def test_finetune_respects_masks(rng):
+    model = MLP(8, [16], 3, rng=rng)
+    loader = make_loader(rng)
+    masks = magnitude_prune(model, 0.5)
+    finetune_pruned(model, masks, loader, epochs=3, lr=0.05)
+    for name, param in prunable_parameters(model):
+        zero_positions = masks[name] == 0
+        np.testing.assert_array_equal(param.data[zero_positions], 0.0)
+
+
+def test_finetune_improves_pruned_accuracy(rng):
+    from repro.core import evaluate_accuracy
+
+    model = MLP(8, [24], 3, rng=rng)
+    loader = make_loader(rng, n=120)
+    # Train first so pruning actually hurts.
+    opt = nn.SGD(model.parameters(), lr=0.1, momentum=0.9)
+    from repro.core import Trainer
+
+    Trainer(model, opt).fit(loader, 8)
+    masks = magnitude_prune(model, 0.7)
+    before = evaluate_accuracy(model, loader)
+    finetune_pruned(model, masks, loader, epochs=5, lr=0.05)
+    after = evaluate_accuracy(model, loader)
+    assert after >= before
+
+
+# -- ADMM -------------------------------------------------------------------------
+
+
+def test_project_sparse_is_projection(rng):
+    w = rng.normal(size=(8, 8))
+    z = project_sparse(w, 0.5)
+    assert sparsity(z) >= 0.5
+    # Projection keeps the largest magnitudes: the kept set's min beats
+    # the dropped set's max.
+    kept = np.abs(z[z != 0])
+    dropped_mask = (z == 0) & (w != 0)
+    if kept.size and dropped_mask.any():
+        assert kept.min() >= np.abs(w[dropped_mask]).max() - 1e-12
+
+
+def test_project_sparse_zero_ratio_identity(rng):
+    w = rng.normal(size=(4, 4))
+    np.testing.assert_array_equal(project_sparse(w, 0.0), w)
+
+
+def test_project_sparse_validation():
+    with pytest.raises(ValueError):
+        project_sparse(np.ones(4), 1.0)
+
+
+def test_admm_config_validation():
+    with pytest.raises(ValueError):
+        ADMMConfig(sparsity=1.0)
+    with pytest.raises(ValueError):
+        ADMMConfig(rho=0.0)
+    with pytest.raises(ValueError):
+        ADMMConfig(admm_rounds=0)
+
+
+def test_admm_reaches_target_sparsity(rng):
+    model = MLP(8, [16], 3, rng=rng)
+    loader = make_loader(rng)
+    config = ADMMConfig(
+        sparsity=0.6, admm_rounds=2, epochs_per_round=1,
+        finetune_epochs=2, lr=0.05, finetune_lr=0.05,
+    )
+    ADMMPruner(model, config).run(loader)
+    assert abs(model_sparsity(model) - 0.6) < 0.05
+
+
+def test_admm_model_still_functional(rng):
+    from repro.core import evaluate_accuracy
+
+    model = MLP(8, [24], 3, rng=rng)
+    loader = make_loader(rng, n=120)
+    opt = nn.SGD(model.parameters(), lr=0.1, momentum=0.9)
+    from repro.core import Trainer
+
+    Trainer(model, opt).fit(loader, 8)
+    config = ADMMConfig(
+        sparsity=0.5, admm_rounds=2, epochs_per_round=2,
+        finetune_epochs=3, lr=0.02, finetune_lr=0.02,
+    )
+    ADMMPruner(model, config).run(loader)
+    acc = evaluate_accuracy(model, loader)
+    assert acc > 60.0  # still much better than the 33% chance level
+
+
+def test_admm_outperforms_or_matches_oneshot_before_finetune(rng):
+    """ADMM's soft constraint should leave the kept weights closer to a
+    trained optimum — at minimum it must not be catastrophically worse."""
+    from repro.core import Trainer, evaluate_accuracy
+
+    loader = make_loader(rng, n=120)
+    base = MLP(8, [24], 3, rng=np.random.default_rng(5))
+    opt = nn.SGD(base.parameters(), lr=0.1, momentum=0.9)
+    Trainer(base, opt).fit(loader, 8)
+
+    import copy
+
+    oneshot = copy.deepcopy(base)
+    magnitude_prune(oneshot, 0.7)
+    acc_oneshot = evaluate_accuracy(oneshot, loader)
+
+    admm = copy.deepcopy(base)
+    config = ADMMConfig(
+        sparsity=0.7, admm_rounds=3, epochs_per_round=2,
+        finetune_epochs=0 or 1, lr=0.02, finetune_lr=0.02,
+    )
+    ADMMPruner(admm, config).run(loader)
+    acc_admm = evaluate_accuracy(admm, loader)
+    assert acc_admm >= acc_oneshot - 10.0

@@ -1,0 +1,105 @@
+"""Tests for structured (channel) pruning."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import Trainer, evaluate_accuracy
+from repro.datasets import DataLoader, make_synthetic_pair
+from repro.models import SimpleCNN
+from repro.pruning import (
+    channel_norms,
+    channel_prune,
+    channel_sparsity,
+    column_savings,
+    finetune_channel_pruned,
+)
+
+
+@pytest.fixture
+def cnn(rng):
+    return SimpleCNN(in_channels=3, num_classes=4, image_size=8, width=8,
+                     rng=rng)
+
+
+def test_channel_norms_shape(cnn):
+    conv = cnn.features[0]
+    norms = channel_norms(conv)
+    assert norms.shape == (conv.out_channels,)
+    assert np.all(norms > 0)
+
+
+def test_channel_prune_zeroes_whole_channels(cnn):
+    channel_prune(cnn, 0.5)
+    conv = cnn.features[0]
+    norms = channel_norms(conv)
+    assert np.sum(norms == 0.0) == conv.out_channels // 2
+    # Zeroed channels are entirely zero (structured, not scattered).
+    for idx in np.where(norms == 0.0)[0]:
+        np.testing.assert_array_equal(conv.weight.data[idx], 0.0)
+
+
+def test_channel_prune_keeps_strongest(cnn):
+    conv = cnn.features[0]
+    before = channel_norms(conv)
+    strongest = int(np.argmax(before))
+    channel_prune(cnn, 0.5)
+    assert channel_norms(conv)[strongest] > 0
+
+
+def test_channel_sparsity_metric(cnn):
+    assert channel_sparsity(cnn) == 0.0
+    channel_prune(cnn, 0.5)
+    assert channel_sparsity(cnn) == pytest.approx(0.5, abs=0.1)
+
+
+def test_min_channels_floor(rng):
+    model = SimpleCNN(in_channels=1, num_classes=2, image_size=8, width=4,
+                      rng=rng)
+    channel_prune(model, 0.99, min_channels=1)
+    for module in model.modules():
+        if isinstance(module, nn.Conv2d):
+            assert np.sum(channel_norms(module) > 0) >= 1
+
+
+def test_column_savings_reports_all_convs(cnn):
+    channel_prune(cnn, 0.5)
+    savings = column_savings(cnn)
+    assert len(savings) == 2  # SimpleCNN has two convs
+    for fraction in savings.values():
+        assert 0.0 <= fraction < 1.0
+
+
+def test_forward_still_works_after_pruning(cnn, rng):
+    channel_prune(cnn, 0.5)
+    out = cnn(rng.normal(size=(2, 3, 8, 8)))
+    assert out.shape == (2, 4)
+    assert np.all(np.isfinite(out))
+
+
+def test_validation(cnn):
+    with pytest.raises(ValueError):
+        channel_prune(cnn, 1.0)
+    with pytest.raises(ValueError):
+        channel_prune(cnn, 0.5, min_channels=0)
+
+
+def test_finetune_preserves_channel_masks(rng):
+    train_set, test_set = make_synthetic_pair(
+        num_classes=4, image_size=8, train_size=200, test_size=100,
+        seed=19, noise_sigma=0.4, max_shift=1,
+    )
+    train = DataLoader(train_set, 40, shuffle=True, seed=0)
+    test = DataLoader(test_set, 100, shuffle=False)
+    model = SimpleCNN(in_channels=3, num_classes=4, image_size=8, width=8,
+                      rng=rng)
+    opt = nn.SGD(model.parameters(), lr=0.1, momentum=0.9)
+    Trainer(model, opt).fit(train, 6)
+    acc_dense = evaluate_accuracy(model, test)
+
+    masks = channel_prune(model, 0.5)
+    finetune_channel_pruned(model, masks, train, epochs=4, lr=0.02)
+    assert channel_sparsity(model) == pytest.approx(0.5, abs=0.1)
+    acc_pruned = evaluate_accuracy(model, test)
+    assert acc_pruned > 40.0  # still far above 25% chance
+    assert acc_pruned > acc_dense - 30.0

@@ -1,0 +1,63 @@
+"""The paper-scale loader path: real CIFAR batches are used when present."""
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.experiments import get_scale
+from repro.experiments.runner import make_loaders
+
+
+def write_fake_cifar10(root):
+    base = os.path.join(root, "data", "cifar-10-batches-py")
+    os.makedirs(base)
+    rng = np.random.default_rng(0)
+    for i in range(1, 6):
+        with open(os.path.join(base, f"data_batch_{i}"), "wb") as handle:
+            pickle.dump(
+                {
+                    b"data": rng.integers(
+                        0, 256, size=(4, 3072), dtype=np.uint8
+                    ),
+                    b"labels": rng.integers(0, 10, size=4).tolist(),
+                },
+                handle,
+            )
+    with open(os.path.join(base, "test_batch"), "wb") as handle:
+        pickle.dump(
+            {
+                b"data": rng.integers(0, 256, size=(6, 3072), dtype=np.uint8),
+                b"labels": rng.integers(0, 10, size=6).tolist(),
+            },
+            handle,
+        )
+
+
+def test_real_cifar_used_when_present(tmp_path, monkeypatch):
+    write_fake_cifar10(str(tmp_path))
+    monkeypatch.chdir(tmp_path)
+    scale = get_scale("ci").with_overrides(use_real_cifar=True)
+    train, test = make_loaders(scale, 10)
+    # Real data: 20 train / 6 test samples of 32x32, not the synthetic
+    # sizes from the scale.
+    assert len(train.dataset) == 20
+    assert len(test.dataset) == 6
+    image, _ = train.dataset[0]
+    assert image.shape == (3, 32, 32)
+
+
+def test_synthetic_fallback_when_absent(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    scale = get_scale("ci").with_overrides(use_real_cifar=True)
+    train, _ = make_loaders(scale, 10)
+    assert len(train.dataset) == scale.train_size  # synthetic sizes
+
+
+def test_flag_off_ignores_real_data(tmp_path, monkeypatch):
+    write_fake_cifar10(str(tmp_path))
+    monkeypatch.chdir(tmp_path)
+    scale = get_scale("ci")  # use_real_cifar defaults False
+    train, _ = make_loaders(scale, 10)
+    assert len(train.dataset) == scale.train_size

@@ -1,0 +1,111 @@
+"""Tests for the ADC / bit-serial MVM peripheral models."""
+
+import numpy as np
+import pytest
+
+from repro.reram import (
+    ADCModel,
+    BitSerialMVM,
+    CrossbarMapper,
+    ReRAMDeviceModel,
+)
+
+FINE = ReRAMDeviceModel(g_off=1e-6, g_on=1e-4, levels=4096)
+
+
+def mapped_matrix(rng, rows=12, cols=8):
+    mapper = CrossbarMapper(device=FINE, tile_size=16)
+    w = rng.normal(size=(rows, cols))
+    return w, mapper.map_matrix(w)
+
+
+# -- ADCModel ------------------------------------------------------------------
+
+
+def test_adc_identity_on_grid_points():
+    adc = ADCModel(bits=3, full_scale=1.0)
+    grid = np.arange(-1.0, 1.0 + 1e-9, adc.step)
+    np.testing.assert_allclose(adc.convert(grid), grid, atol=1e-12)
+
+
+def test_adc_saturates():
+    adc = ADCModel(bits=4, full_scale=2.0)
+    out = adc.convert(np.array([-100.0, 100.0]))
+    np.testing.assert_allclose(out, [-2.0, 2.0])
+
+
+def test_adc_error_bounded_by_half_step(rng):
+    adc = ADCModel(bits=6, full_scale=1.0)
+    x = rng.uniform(-1, 1, size=500)
+    err = np.abs(adc.convert(x) - x)
+    assert err.max() <= adc.step / 2 + 1e-12
+
+
+def test_adc_levels_count():
+    assert ADCModel(bits=8, full_scale=1.0).levels == 256
+
+
+def test_adc_validation():
+    with pytest.raises(ValueError):
+        ADCModel(bits=0, full_scale=1.0)
+    with pytest.raises(ValueError):
+        ADCModel(bits=4, full_scale=0.0)
+
+
+# -- BitSerialMVM --------------------------------------------------------------
+
+
+def test_bit_serial_exact_with_ideal_adc(rng):
+    """With an ideal ADC, bit-serial recombination reproduces the direct
+    product of the *input-quantised* vector with the mapped matrix."""
+    w, mapped = mapped_matrix(rng)
+    mvm = BitSerialMVM(mapped, input_bits=6, adc=None)
+    x = rng.normal(size=12)
+    # Reference: quantise the input the same way, use the effective matrix.
+    codes, scale, offset = mvm._quantise_input(x[None, :])
+    x_q = (codes * scale + offset)[0]
+    expected = x_q @ mapped.read_back()
+    np.testing.assert_allclose(mvm.matvec(x), expected, rtol=1e-9, atol=1e-9)
+
+
+def test_bit_serial_high_resolution_matches_dense(rng):
+    w, mapped = mapped_matrix(rng)
+    mvm = BitSerialMVM(mapped, input_bits=10, adc=None)
+    x = rng.normal(size=12)
+    np.testing.assert_allclose(mvm.matvec(x), x @ w, rtol=0.02, atol=0.05)
+
+
+def test_bit_serial_batched(rng):
+    w, mapped = mapped_matrix(rng)
+    mvm = BitSerialMVM(mapped, input_bits=6, adc=None)
+    x = rng.normal(size=(4, 12))
+    out = mvm.matvec(x)
+    assert out.shape == (4, 8)
+    np.testing.assert_allclose(out[2], mvm.matvec(x[2]), atol=1e-6)
+
+
+def test_bit_serial_constant_input(rng):
+    w, mapped = mapped_matrix(rng)
+    mvm = BitSerialMVM(mapped, input_bits=4, adc=None)
+    x = np.full(12, 3.5)
+    np.testing.assert_allclose(mvm.matvec(x), x @ w, rtol=0.02, atol=0.05)
+
+
+def test_coarse_adc_degrades_gracefully(rng):
+    w, mapped = mapped_matrix(rng)
+    x = rng.normal(size=12)
+    exact = x @ w
+    full_scale = float(np.abs(exact).max()) * 2 + 1e-6
+    fine = BitSerialMVM(mapped, input_bits=8,
+                        adc=ADCModel(bits=12, full_scale=full_scale))
+    coarse = BitSerialMVM(mapped, input_bits=8,
+                          adc=ADCModel(bits=3, full_scale=full_scale))
+    err_fine = np.abs(fine.matvec(x) - exact).max()
+    err_coarse = np.abs(coarse.matvec(x) - exact).max()
+    assert err_fine <= err_coarse + 1e-9
+
+
+def test_bit_serial_validation(rng):
+    w, mapped = mapped_matrix(rng)
+    with pytest.raises(ValueError):
+        BitSerialMVM(mapped, input_bits=0)

@@ -1,0 +1,95 @@
+"""Tests for bit-sliced weight mapping."""
+
+import numpy as np
+import pytest
+
+from repro.reram import (
+    BitSlicedMapper,
+    ReRAMDeviceModel,
+    StuckAtFaultSpec,
+)
+
+# A 2-bit cell: 4 conductance levels.
+CELL_2BIT = ReRAMDeviceModel(g_off=1e-6, g_on=1e-4, levels=4)
+
+
+def test_roundtrip_exact_at_code_resolution(rng):
+    mapper = BitSlicedMapper(device=CELL_2BIT, bits_per_slice=2, num_slices=4)
+    w = rng.normal(size=(6, 5))
+    mapped = mapper.map_matrix(w)
+    back = mapped.read_back()
+    # 8-bit total precision: error bounded by one code step.
+    w_max = np.max(np.abs(w))
+    step = w_max / (4**4 - 1)
+    assert np.max(np.abs(back - w)) <= step / 2 + 1e-9
+
+
+def test_slices_and_bits_counters(rng):
+    mapper = BitSlicedMapper(device=CELL_2BIT, bits_per_slice=2, num_slices=3)
+    mapped = mapper.map_matrix(rng.normal(size=(3, 3)))
+    assert mapped.num_slices == 3
+    assert mapped.total_bits == 6
+
+
+def test_integer_codes_reconstruct_exactly():
+    """Weights that are exact multiples of the code step reconstruct exactly."""
+    mapper = BitSlicedMapper(device=CELL_2BIT, bits_per_slice=2, num_slices=2)
+    # codes 0..15, scale below makes w_max=15*scale
+    codes = np.array([[0, 3, 7], [15, -15, -8]], dtype=np.float64)
+    w = codes * 0.1
+    mapped = mapper.map_matrix(w)
+    np.testing.assert_allclose(mapped.read_back(), w, atol=1e-9)
+
+
+def test_high_slice_fault_hurts_more_than_low(rng):
+    """A stuck-on fault in the most-significant slice perturbs the weight
+    ~4x (levels) more than in the least-significant slice."""
+    mapper = BitSlicedMapper(device=CELL_2BIT, bits_per_slice=2, num_slices=3)
+    w = np.full((8, 8), 0.25)
+    w[0, 0] = 1.0  # set w_max
+    spec = StuckAtFaultSpec(1.0, ratio=(0.0, 1.0))  # every cell stuck on
+
+    low = mapper.map_matrix(w)
+    low.inject_faults_in_slice(0, spec, np.random.default_rng(0))
+    err_low = np.abs(low.read_back() - w).mean()
+
+    high = mapper.map_matrix(w)
+    high.inject_faults_in_slice(2, spec, np.random.default_rng(0))
+    err_high = np.abs(high.read_back() - w).mean()
+    assert err_high > 3 * err_low
+
+
+def test_clear_faults_then_remap(rng):
+    mapper = BitSlicedMapper(device=CELL_2BIT, bits_per_slice=2, num_slices=2)
+    w = rng.normal(size=(4, 4))
+    mapped = mapper.map_matrix(w)
+    mapped.inject_faults(StuckAtFaultSpec(0.5), rng)
+    faulty = mapped.read_back()
+    assert not np.allclose(faulty, w, atol=1e-3)
+    fresh = mapper.map_matrix(w).read_back()
+    w_max = np.max(np.abs(w))
+    assert np.max(np.abs(fresh - w)) <= w_max / (4**2 - 1) + 1e-9
+
+
+def test_zero_matrix(rng):
+    mapper = BitSlicedMapper(device=CELL_2BIT, bits_per_slice=2, num_slices=2)
+    mapped = mapper.map_matrix(np.zeros((3, 3)))
+    np.testing.assert_allclose(mapped.read_back(), 0.0, atol=1e-12)
+
+
+def test_validation(rng):
+    with pytest.raises(ValueError):
+        BitSlicedMapper(bits_per_slice=0)
+    with pytest.raises(ValueError):
+        # 1-bit device cannot hold 2-bit slices.
+        BitSlicedMapper(
+            device=ReRAMDeviceModel(levels=2), bits_per_slice=2
+        )
+    mapper = BitSlicedMapper(device=CELL_2BIT, bits_per_slice=2, num_slices=2)
+    with pytest.raises(ValueError):
+        mapper.map_matrix(np.zeros((2, 2, 2)))
+
+
+def test_default_device_matches_slice_width():
+    mapper = BitSlicedMapper(bits_per_slice=2)
+    assert mapper.device.levels == 4

@@ -1,0 +1,117 @@
+"""Tests for the crossbar array."""
+
+import numpy as np
+import pytest
+
+from repro.reram import (
+    FAULT_SA0,
+    FAULT_SA1,
+    CrossbarArray,
+    ReRAMDeviceModel,
+    StuckAtFaultSpec,
+)
+
+IDEAL = ReRAMDeviceModel(g_off=0.0, g_on=1.0, levels=1001)
+
+
+def test_initial_state_is_all_off():
+    xbar = CrossbarArray(4, 4, IDEAL)
+    np.testing.assert_allclose(xbar.read_conductances(), IDEAL.g_off)
+
+
+def test_program_and_read_roundtrip(rng):
+    xbar = CrossbarArray(8, 8, IDEAL)
+    target = rng.uniform(0, 1, size=(8, 8))
+    xbar.program(target)
+    np.testing.assert_allclose(xbar.read_conductances(), target, atol=1e-3)
+
+
+def test_program_shape_mismatch_raises():
+    xbar = CrossbarArray(4, 4, IDEAL)
+    with pytest.raises(ValueError):
+        xbar.program(np.zeros((3, 3)))
+
+
+def test_matvec_matches_numpy(rng):
+    xbar = CrossbarArray(6, 5, IDEAL)
+    g = rng.uniform(0, 1, size=(6, 5))
+    xbar.program(g)
+    v = rng.normal(size=6)
+    np.testing.assert_allclose(xbar.matvec(v), v @ xbar.read_conductances())
+
+
+def test_matvec_batched(rng):
+    xbar = CrossbarArray(6, 5, IDEAL)
+    xbar.program(rng.uniform(0, 1, size=(6, 5)))
+    v = rng.normal(size=(3, 6))
+    out = xbar.matvec(v)
+    assert out.shape == (3, 5)
+    np.testing.assert_allclose(out[0], xbar.matvec(v[0]))
+
+
+def test_matvec_validation(rng):
+    xbar = CrossbarArray(4, 4, IDEAL)
+    with pytest.raises(ValueError):
+        xbar.matvec(np.zeros(5))
+    with pytest.raises(ValueError):
+        xbar.matvec(np.zeros((2, 5)))
+    with pytest.raises(ValueError):
+        xbar.matvec(np.zeros((1, 1, 4)))
+
+
+def test_inject_faults_pins_cells(rng):
+    xbar = CrossbarArray(20, 20, IDEAL)
+    xbar.program(np.full((20, 20), 0.5))
+    xbar.inject_faults(StuckAtFaultSpec(0.5), rng)
+    g = xbar.read_conductances()
+    fmap = xbar.fault_map
+    np.testing.assert_allclose(g[fmap == FAULT_SA0], IDEAL.g_off)
+    np.testing.assert_allclose(g[fmap == FAULT_SA1], IDEAL.g_on)
+    np.testing.assert_allclose(g[fmap == 0], 0.5)
+
+
+def test_faults_survive_reprogramming(rng):
+    xbar = CrossbarArray(10, 10, IDEAL)
+    xbar.set_fault_map(np.full((10, 10), FAULT_SA1, dtype=np.int8))
+    xbar.program(np.zeros((10, 10)))
+    np.testing.assert_allclose(xbar.read_conductances(), IDEAL.g_on)
+
+
+def test_clear_faults_restores_programmability(rng):
+    xbar = CrossbarArray(5, 5, IDEAL)
+    xbar.set_fault_map(np.full((5, 5), FAULT_SA0, dtype=np.int8))
+    xbar.clear_faults()
+    xbar.program(np.full((5, 5), 0.7))
+    np.testing.assert_allclose(xbar.read_conductances(), 0.7, atol=1e-3)
+
+
+def test_fault_count():
+    xbar = CrossbarArray(4, 4, IDEAL)
+    fmap = np.zeros((4, 4), dtype=np.int8)
+    fmap[0, 0] = FAULT_SA0
+    fmap[1, 1] = FAULT_SA1
+    xbar.set_fault_map(fmap)
+    assert xbar.fault_count == 2
+
+
+def test_set_fault_map_validation():
+    xbar = CrossbarArray(4, 4, IDEAL)
+    with pytest.raises(ValueError):
+        xbar.set_fault_map(np.zeros((3, 3), dtype=np.int8))
+    with pytest.raises(ValueError):
+        xbar.set_fault_map(np.full((4, 4), 9, dtype=np.int8))
+
+
+def test_construction_validation():
+    with pytest.raises(ValueError):
+        CrossbarArray(0, 4)
+
+
+def test_default_device_quantises():
+    xbar = CrossbarArray(2, 2)  # default 16-level device
+    target = np.full((2, 2), 1e-4)
+    xbar.program(target)
+    g = xbar.read_conductances()
+    ladder = xbar.device.level_conductances()
+    for value in g.reshape(-1):
+        assert np.min(np.abs(ladder - value)) < 1e-12

@@ -1,0 +1,67 @@
+"""Tests for the ReRAM cell model."""
+
+import numpy as np
+import pytest
+
+from repro.reram import ReRAMDeviceModel
+
+
+def test_default_window_is_sane():
+    device = ReRAMDeviceModel()
+    assert device.g_off < device.g_on
+    assert device.conductance_range == pytest.approx(device.g_on - device.g_off)
+
+
+def test_level_ladder_endpoints_and_count():
+    device = ReRAMDeviceModel(g_off=0.0, g_on=1.0, levels=5)
+    ladder = device.level_conductances()
+    assert len(ladder) == 5
+    np.testing.assert_allclose(ladder, [0.0, 0.25, 0.5, 0.75, 1.0])
+
+
+def test_program_snaps_to_levels():
+    device = ReRAMDeviceModel(g_off=0.0, g_on=1.0, levels=5)
+    out = device.program(np.array([0.1, 0.3, 0.6, 0.9]))
+    np.testing.assert_allclose(out, [0.0, 0.25, 0.5, 1.0])
+
+
+def test_program_clips_out_of_window():
+    device = ReRAMDeviceModel(g_off=0.0, g_on=1.0, levels=3)
+    out = device.program(np.array([-5.0, 5.0]))
+    np.testing.assert_allclose(out, [0.0, 1.0])
+
+
+def test_program_idempotent():
+    device = ReRAMDeviceModel(g_off=0.0, g_on=1.0, levels=9)
+    rng = np.random.default_rng(0)
+    g = device.program(rng.uniform(0, 1, size=20))
+    np.testing.assert_allclose(device.program(g), g)
+
+
+def test_read_noiseless_is_exact():
+    device = ReRAMDeviceModel()
+    g = np.array([1e-5, 1e-4])
+    np.testing.assert_array_equal(device.read(g), g)
+
+
+def test_read_noise_is_multiplicative_lognormal(rng):
+    device = ReRAMDeviceModel(read_noise_sigma=0.1)
+    g = np.full(20000, 1e-4)
+    noisy = device.read(g, rng)
+    ratio = noisy / g
+    assert abs(np.log(ratio).mean()) < 0.01
+    assert abs(np.log(ratio).std() - 0.1) < 0.01
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"g_off": -1.0},
+        {"g_on": 1e-6, "g_off": 2e-6},
+        {"levels": 1},
+        {"read_noise_sigma": -0.1},
+    ],
+)
+def test_validation(kwargs):
+    with pytest.raises(ValueError):
+        ReRAMDeviceModel(**kwargs)

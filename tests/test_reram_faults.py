@@ -1,0 +1,173 @@
+"""Tests for the stuck-at-fault models."""
+
+import numpy as np
+import pytest
+
+from repro.reram import (
+    FAULT_NONE,
+    FAULT_SA0,
+    FAULT_SA1,
+    SA0_SA1_RATIO,
+    StuckAtFaultSpec,
+    WeightSpaceFaultModel,
+    sample_fault_map,
+)
+
+
+def test_spec_split_matches_paper_ratio():
+    spec = StuckAtFaultSpec(0.1079)
+    assert spec.p_sa0 == pytest.approx(0.0175)
+    assert spec.p_sa1 == pytest.approx(0.0904)
+
+
+def test_spec_components_sum_to_total():
+    spec = StuckAtFaultSpec(0.05)
+    assert spec.p_sa0 + spec.p_sa1 == pytest.approx(0.05)
+
+
+def test_spec_custom_ratio():
+    spec = StuckAtFaultSpec(0.1, ratio=(1.0, 1.0))
+    assert spec.p_sa0 == pytest.approx(0.05)
+    assert spec.p_sa1 == pytest.approx(0.05)
+
+
+@pytest.mark.parametrize("p", [-0.1, 1.1])
+def test_spec_invalid_rate(p):
+    with pytest.raises(ValueError):
+        StuckAtFaultSpec(p)
+
+
+def test_spec_invalid_ratio():
+    with pytest.raises(ValueError):
+        StuckAtFaultSpec(0.1, ratio=(0.0, 0.0))
+    with pytest.raises(ValueError):
+        StuckAtFaultSpec(0.1, ratio=(-1.0, 2.0))
+
+
+def test_sample_fault_map_statistics(rng):
+    spec = StuckAtFaultSpec(0.1)
+    fmap = sample_fault_map((200, 200), spec, rng)
+    total_rate = np.count_nonzero(fmap) / fmap.size
+    assert abs(total_rate - 0.1) < 0.01
+    sa0 = np.mean(fmap == FAULT_SA0)
+    sa1 = np.mean(fmap == FAULT_SA1)
+    # Observed split should match 1.75 : 9.04.
+    assert abs(sa0 / (sa0 + sa1) - 1.75 / 10.79) < 0.03
+
+
+def test_sample_fault_map_zero_rate(rng):
+    fmap = sample_fault_map((10, 10), StuckAtFaultSpec(0.0), rng)
+    assert np.all(fmap == FAULT_NONE)
+
+
+def test_sample_fault_map_full_rate(rng):
+    fmap = sample_fault_map((50, 50), StuckAtFaultSpec(1.0), rng)
+    assert np.all(fmap != FAULT_NONE)
+
+
+def test_sample_fault_map_deterministic_under_seed():
+    spec = StuckAtFaultSpec(0.2)
+    a = sample_fault_map((20, 20), spec, np.random.default_rng(5))
+    b = sample_fault_map((20, 20), spec, np.random.default_rng(5))
+    np.testing.assert_array_equal(a, b)
+
+
+# -- WeightSpaceFaultModel ---------------------------------------------------
+
+
+def test_apply_zero_rate_is_identity(rng):
+    model = WeightSpaceFaultModel()
+    w = rng.normal(size=(10, 10))
+    out = model.apply(w, 0.0, rng)
+    np.testing.assert_array_equal(out, w)
+
+
+def test_apply_does_not_mutate_input(rng):
+    model = WeightSpaceFaultModel()
+    w = rng.normal(size=(30, 30))
+    w_copy = w.copy()
+    model.apply(w, 0.5, rng)
+    np.testing.assert_array_equal(w, w_copy)
+
+
+def test_sa0_faults_become_zero(rng):
+    model = WeightSpaceFaultModel(ratio=(1.0, 0.0))  # SA0 only
+    w = rng.normal(size=(50, 50)) + 10.0  # no natural zeros
+    out = model.apply(w, 0.3, rng)
+    changed = out != w
+    assert np.any(changed)
+    np.testing.assert_array_equal(out[changed], 0.0)
+
+
+def test_sa1_faults_pin_to_w_max(rng):
+    model = WeightSpaceFaultModel(ratio=(0.0, 1.0))  # SA1 only
+    w = rng.normal(size=(50, 50))
+    w_max = np.max(np.abs(w))
+    out = model.apply(w, 0.3, rng)
+    changed = np.abs(out - w) > 1e-12
+    assert np.any(changed)
+    np.testing.assert_allclose(np.abs(out[changed]), w_max)
+
+
+def test_sa1_signs_are_balanced(rng):
+    model = WeightSpaceFaultModel(ratio=(0.0, 1.0))
+    w = rng.normal(size=(100, 100))
+    out = model.apply(w, 0.5, rng)
+    w_max = np.max(np.abs(w))
+    pinned = np.isclose(np.abs(out), w_max)
+    signs = np.sign(out[pinned])
+    assert abs(signs.mean()) < 0.1
+
+
+def test_untouched_weights_unchanged(rng):
+    model = WeightSpaceFaultModel()
+    w = rng.normal(size=(100, 100))
+    out = model.apply(w, 0.1, rng)
+    w_max = np.max(np.abs(w))
+    suspicious = (out == 0.0) | np.isclose(np.abs(out), w_max)
+    np.testing.assert_array_equal(out[~suspicious], w[~suspicious])
+
+
+def test_explicit_fault_map_respected(rng):
+    model = WeightSpaceFaultModel()
+    w = np.array([1.0, 2.0, 3.0])
+    fmap = np.array([FAULT_NONE, FAULT_SA0, FAULT_SA1], dtype=np.int8)
+    out = model.apply(w, 0.0, rng, fault_map=fmap)
+    assert out[0] == 1.0
+    assert out[1] == 0.0
+    assert abs(out[2]) == 3.0  # w_max of the tensor
+
+
+def test_fault_map_shape_mismatch_raises(rng):
+    model = WeightSpaceFaultModel()
+    with pytest.raises(ValueError):
+        model.apply(np.ones(4), 0.1, rng, fault_map=np.zeros(3, dtype=np.int8))
+
+
+def test_fixed_w_max_mode(rng):
+    model = WeightSpaceFaultModel(ratio=(0.0, 1.0), w_max_mode="fixed", w_max_fixed=7.0)
+    w = rng.normal(size=(40, 40)) * 0.01
+    out = model.apply(w, 0.5, rng)
+    changed = np.abs(out - w) > 0.5
+    np.testing.assert_allclose(np.abs(out[changed]), 7.0)
+
+
+def test_fault_rate_statistics(rng):
+    model = WeightSpaceFaultModel()
+    w = rng.normal(size=(300, 300))
+    out = model.apply(w, 0.05, rng)
+    changed_fraction = np.mean(np.abs(out - w) > 1e-15)
+    # Some faults coincide with the original value; allow slack.
+    assert 0.03 < changed_fraction <= 0.06
+
+
+def test_model_validation():
+    with pytest.raises(ValueError):
+        WeightSpaceFaultModel(w_max_mode="bogus")
+    with pytest.raises(ValueError):
+        WeightSpaceFaultModel(w_max_mode="fixed", w_max_fixed=0.0)
+
+
+def test_default_ratio_is_papers():
+    assert SA0_SA1_RATIO == (1.75, 9.04)
+    assert WeightSpaceFaultModel().ratio == SA0_SA1_RATIO

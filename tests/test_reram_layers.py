@@ -1,0 +1,116 @@
+"""Tests for analog inference layers."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.models import MLP, SimpleCNN, resnet8
+from repro.reram import (
+    ADCModel,
+    AnalogConv2d,
+    AnalogLinear,
+    CrossbarMapper,
+    ReRAMDeviceModel,
+    convert_to_analog,
+)
+
+FINE = ReRAMDeviceModel(g_off=1e-6, g_on=1e-4, levels=4096)
+
+
+def fine_mapper():
+    return CrossbarMapper(device=FINE, tile_size=64)
+
+
+def test_analog_linear_matches_digital(rng):
+    layer = nn.Linear(10, 6, rng=rng)
+    analog = AnalogLinear.from_linear(layer, fine_mapper())
+    x = rng.normal(size=(4, 10))
+    np.testing.assert_allclose(analog(x), layer(x), rtol=0.02, atol=0.02)
+
+
+def test_analog_linear_no_bias(rng):
+    layer = nn.Linear(5, 3, bias=False, rng=rng)
+    analog = AnalogLinear.from_linear(layer, fine_mapper())
+    x = rng.normal(size=(2, 5))
+    np.testing.assert_allclose(analog(x), layer(x), rtol=0.02, atol=0.02)
+
+
+def test_analog_conv_matches_digital(rng):
+    layer = nn.Conv2d(3, 4, 3, stride=1, padding=1, rng=rng)
+    analog = AnalogConv2d.from_conv(layer, fine_mapper())
+    x = rng.normal(size=(2, 3, 6, 6))
+    np.testing.assert_allclose(analog(x), layer(x), rtol=0.05, atol=0.05)
+
+
+def test_analog_conv_strided(rng):
+    layer = nn.Conv2d(2, 3, 3, stride=2, padding=1, bias=False, rng=rng)
+    analog = AnalogConv2d.from_conv(layer, fine_mapper())
+    x = rng.normal(size=(1, 2, 8, 8))
+    assert analog(x).shape == layer(x).shape
+
+
+def test_analog_backward_raises(rng):
+    layer = nn.Linear(4, 2, rng=rng)
+    analog = AnalogLinear.from_linear(layer, fine_mapper())
+    analog(rng.normal(size=(1, 4)))
+    with pytest.raises(RuntimeError):
+        analog.backward(np.ones((1, 2)))
+
+
+def test_analog_faults_change_output(rng):
+    layer = nn.Linear(16, 8, rng=rng)
+    analog = AnalogLinear.from_linear(layer, fine_mapper())
+    x = rng.normal(size=(3, 16))
+    clean = analog(x)
+    count = analog.inject_faults(0.3, rng)
+    assert count > 0
+    assert not np.allclose(analog(x), clean, atol=1e-6)
+
+
+def test_convert_whole_mlp(rng):
+    model = MLP(8, [12], 3, rng=rng)
+    model.eval()
+    x = rng.normal(size=(4, 1, 2, 4))
+    digital = model(x)
+    convert_to_analog(model, fine_mapper())
+    analog_out = model(x)
+    np.testing.assert_allclose(analog_out, digital, rtol=0.05, atol=0.05)
+    # No Linear layers remain.
+    assert not any(isinstance(m, nn.Linear) for m in model.modules())
+    assert any(isinstance(m, AnalogLinear) for m in model.modules())
+
+
+def test_convert_whole_cnn_predictions_agree(rng):
+    model = SimpleCNN(in_channels=1, num_classes=3, image_size=8, width=4,
+                      rng=rng)
+    model.eval()
+    x = rng.normal(size=(6, 1, 8, 8))
+    digital_pred = model(x).argmax(axis=1)
+    convert_to_analog(model, fine_mapper())
+    analog_pred = model(x).argmax(axis=1)
+    assert (digital_pred == analog_pred).mean() >= 5 / 6
+
+
+def test_convert_resnet_runs(rng):
+    model = resnet8(num_classes=4, base_width=4, rng=rng)
+    model.eval()
+    x = rng.normal(size=(2, 3, 8, 8))
+    digital = model(x)
+    convert_to_analog(model, fine_mapper())
+    analog_out = model(x)
+    assert analog_out.shape == digital.shape
+    assert not any(isinstance(m, nn.Conv2d) for m in model.modules())
+
+
+def test_convert_with_adc_path(rng):
+    model = MLP(8, [12], 3, rng=rng)
+    model.eval()
+    x = rng.normal(size=(4, 1, 2, 4))
+    digital = model(x)
+    convert_to_analog(
+        model, fine_mapper(),
+        adc=ADCModel(bits=12, full_scale=200.0), input_bits=8,
+    )
+    analog_out = model(x)
+    # Coarser path, looser agreement — predictions mostly match.
+    assert (analog_out.argmax(axis=1) == digital.argmax(axis=1)).mean() >= 0.75

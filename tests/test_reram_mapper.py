@@ -1,0 +1,120 @@
+"""Tests for differential-pair tiled crossbar mapping."""
+
+import numpy as np
+import pytest
+
+from repro.reram import (
+    CrossbarMapper,
+    ReRAMDeviceModel,
+    StuckAtFaultSpec,
+)
+
+FINE = ReRAMDeviceModel(g_off=1e-6, g_on=1e-4, levels=4096)
+
+
+def test_roundtrip_within_quantisation(rng):
+    mapper = CrossbarMapper(device=FINE, tile_size=16)
+    w = rng.normal(size=(12, 10))
+    mapped = mapper.map_matrix(w)
+    back = mapped.read_back()
+    assert back.shape == w.shape
+    step = np.max(np.abs(w)) / (FINE.levels - 1)
+    assert np.max(np.abs(back - w)) < 4 * step
+
+
+def test_tiling_splits_large_matrices(rng):
+    mapper = CrossbarMapper(device=FINE, tile_size=8)
+    w = rng.normal(size=(20, 10))
+    mapped = mapper.map_matrix(w)
+    # ceil(20/8) x ceil(10/8) = 3 x 2 pairs -> 12 physical crossbars.
+    assert mapped.num_tiles == 12
+    np.testing.assert_allclose(
+        mapped.read_back(), w, atol=4 * np.max(np.abs(w)) / (FINE.levels - 1)
+    )
+
+
+def test_matvec_matches_dense(rng):
+    mapper = CrossbarMapper(device=FINE, tile_size=8)
+    w = rng.normal(size=(12, 9))
+    mapped = mapper.map_matrix(w)
+    x = rng.normal(size=12)
+    np.testing.assert_allclose(mapped.matvec(x), x @ w, rtol=0.01, atol=0.01)
+
+
+def test_matvec_batched(rng):
+    mapper = CrossbarMapper(device=FINE, tile_size=8)
+    w = rng.normal(size=(6, 4))
+    mapped = mapper.map_matrix(w)
+    x = rng.normal(size=(3, 6))
+    out = mapped.matvec(x)
+    assert out.shape == (3, 4)
+    np.testing.assert_allclose(out, x @ w, rtol=0.01, atol=0.01)
+
+
+def test_matvec_validation(rng):
+    mapper = CrossbarMapper(device=FINE, tile_size=8)
+    mapped = mapper.map_matrix(rng.normal(size=(6, 4)))
+    with pytest.raises(ValueError):
+        mapped.matvec(np.zeros((2, 7)))
+
+
+def test_fault_injection_and_clear(rng):
+    mapper = CrossbarMapper(device=FINE, tile_size=8)
+    w = rng.normal(size=(8, 8))
+    mapped = mapper.map_matrix(w)
+    count = mapped.inject_faults(StuckAtFaultSpec(0.3), rng)
+    assert count > 0
+    faulty = mapped.read_back()
+    assert not np.allclose(faulty, w, atol=1e-3)
+    mapped.clear_faults()
+    # After clearing, cells remain at their last programmed values... they
+    # were pinned; reprogramming is not automatic, so read_back reflects
+    # pinned-then-released conductances.  Re-map to recover exactly.
+    remapped = mapper.map_matrix(w)
+    np.testing.assert_allclose(
+        remapped.read_back(), w, atol=4 * np.max(np.abs(w)) / (FINE.levels - 1)
+    )
+
+
+def test_sa1_fault_creates_large_weight(rng):
+    """A stuck-on cell in the positive array drives the weight toward +w_max."""
+    mapper = CrossbarMapper(device=FINE, tile_size=4)
+    w = np.full((4, 4), 0.01)
+    w[0, 0] = 1.0  # defines w_max = 1
+    mapped = mapper.map_matrix(w)
+    from repro.reram import FAULT_SA1
+
+    pos, _ = mapped.tile_grid[0][0]
+    fmap = np.zeros((4, 4), dtype=np.int8)
+    fmap[1, 1] = FAULT_SA1
+    pos.set_fault_map(fmap)
+    faulty = mapped.read_back()
+    assert faulty[1, 1] > 0.9  # pinned near +w_max
+
+
+def test_sa0_fault_zeroes_weight(rng):
+    from repro.reram import FAULT_SA0
+
+    mapper = CrossbarMapper(device=FINE, tile_size=4)
+    w = np.full((4, 4), 0.5)
+    mapped = mapper.map_matrix(w)
+    pos, _ = mapped.tile_grid[0][0]
+    fmap = np.zeros((4, 4), dtype=np.int8)
+    fmap[2, 2] = FAULT_SA0
+    pos.set_fault_map(fmap)
+    faulty = mapped.read_back()
+    assert abs(faulty[2, 2]) < 0.01
+
+
+def test_zero_matrix_maps_cleanly():
+    mapper = CrossbarMapper(device=FINE, tile_size=4)
+    mapped = mapper.map_matrix(np.zeros((4, 4)))
+    np.testing.assert_allclose(mapped.read_back(), 0.0, atol=1e-12)
+
+
+def test_mapper_validation(rng):
+    with pytest.raises(ValueError):
+        CrossbarMapper(tile_size=0)
+    mapper = CrossbarMapper(device=FINE, tile_size=4)
+    with pytest.raises(ValueError):
+        mapper.map_matrix(rng.normal(size=(2, 2, 2)))

@@ -1,0 +1,90 @@
+"""Tests for the non-stuck-at variation models."""
+
+import numpy as np
+import pytest
+
+from repro.reram import ConductanceDriftModel, ProgrammingVariationModel
+
+
+def test_variation_zero_sigma_identity(rng):
+    w = rng.normal(size=(10, 10))
+    out = ProgrammingVariationModel().apply(w, 0.0, rng)
+    np.testing.assert_array_equal(out, w)
+    assert out is not w  # still a copy
+
+
+def test_variation_preserves_sign(rng):
+    w = rng.normal(size=(50, 50))
+    out = ProgrammingVariationModel().apply(w, 0.3, rng)
+    np.testing.assert_array_equal(np.sign(out), np.sign(w))
+
+
+def test_variation_is_lognormal_multiplicative(rng):
+    w = np.full(20000, 2.0)
+    out = ProgrammingVariationModel().apply(w, 0.1, rng)
+    log_ratio = np.log(out / w)
+    assert abs(log_ratio.mean()) < 0.01
+    assert abs(log_ratio.std() - 0.1) < 0.01
+
+
+def test_variation_negative_sigma_raises(rng):
+    with pytest.raises(ValueError):
+        ProgrammingVariationModel().apply(np.ones(4), -0.1, rng)
+
+
+def test_variation_usable_as_fault_model_in_trainer(rng):
+    """The variation model plugs into the FT training loop unchanged."""
+    from repro import nn
+    from repro.core import OneShotFaultTolerantTrainer
+    from repro.datasets import ArrayDataset, DataLoader
+    from repro.models import MLP
+
+    n = 60
+    images = rng.normal(size=(n, 1, 2, 4))
+    labels = rng.integers(0, 3, size=n)
+    loader = DataLoader(ArrayDataset(images, labels), 30, seed=0)
+    model = MLP(8, [8], 3, rng=rng)
+    opt = nn.SGD(model.parameters(), lr=0.05)
+    trainer = OneShotFaultTolerantTrainer(
+        model, opt, p_sa_target=0.2,
+        fault_model=ProgrammingVariationModel(), rng=rng,
+    )
+    history = trainer.fit(loader, 2)
+    assert history.num_epochs == 2
+
+
+def test_drift_t0_is_identity(rng):
+    w = rng.normal(size=(5, 5))
+    out = ConductanceDriftModel().apply(w, 0.0, rng)
+    np.testing.assert_array_equal(out, w)
+    out = ConductanceDriftModel().apply(w, 1.0, rng)
+    np.testing.assert_array_equal(out, w)
+
+
+def test_drift_shrinks_magnitudes(rng):
+    w = rng.normal(size=(50, 50))
+    out = ConductanceDriftModel(nu=0.1, jitter_sigma=0.0).apply(w, 100.0, rng)
+    expected = w * 100.0 ** (-0.1)
+    np.testing.assert_allclose(out, expected)
+
+
+def test_drift_monotone_in_time(rng):
+    w = np.ones(100)
+    model = ConductanceDriftModel(nu=0.05, jitter_sigma=0.0)
+    early = model.apply(w, 10.0, rng)
+    late = model.apply(w, 1000.0, rng)
+    assert np.all(late < early)
+
+
+def test_drift_jitter_adds_spread(rng):
+    w = np.ones(5000)
+    model = ConductanceDriftModel(nu=0.05, jitter_sigma=0.1)
+    out = model.apply(w, 100.0, rng)
+    assert out.std() > 0.01
+
+
+def test_drift_validation(rng):
+    with pytest.raises(ValueError):
+        ConductanceDriftModel(nu=-0.1)
+    with pytest.raises(ValueError):
+        ConductanceDriftModel().apply(np.ones(3), -1.0, rng)

@@ -1,0 +1,65 @@
+"""Tests for symmetric weight quantisation."""
+
+import numpy as np
+import pytest
+
+from repro.reram import UniformQuantizer, quantize_symmetric
+
+
+def test_quantize_symmetric_grid():
+    w = np.array([-1.0, -0.3, 0.0, 0.3, 1.0])
+    out = quantize_symmetric(w, levels=3, w_max=1.0)  # step = 0.5
+    np.testing.assert_allclose(out, [-1.0, -0.5, 0.0, 0.5, 1.0])
+
+
+def test_quantize_clips_beyond_w_max():
+    out = quantize_symmetric(np.array([2.0, -2.0]), levels=5, w_max=1.0)
+    np.testing.assert_allclose(out, [1.0, -1.0])
+
+
+def test_quantize_error_bounded_by_half_step(rng):
+    w = rng.uniform(-1, 1, size=1000)
+    levels = 17
+    out = quantize_symmetric(w, levels=levels, w_max=1.0)
+    step = 1.0 / (levels - 1)
+    assert np.max(np.abs(out - w)) <= step / 2 + 1e-12
+
+
+def test_quantize_preserves_zero():
+    out = quantize_symmetric(np.zeros(5), levels=8, w_max=1.0)
+    np.testing.assert_array_equal(out, 0.0)
+
+
+def test_quantize_validation():
+    with pytest.raises(ValueError):
+        quantize_symmetric(np.ones(2), levels=1, w_max=1.0)
+    with pytest.raises(ValueError):
+        quantize_symmetric(np.ones(2), levels=4, w_max=0.0)
+
+
+def test_uniform_quantizer_dynamic_range(rng):
+    q = UniformQuantizer(levels=16)
+    w = rng.normal(size=100)
+    out = q(w)
+    assert np.max(np.abs(out)) <= np.max(np.abs(w)) + 1e-12
+    # The max-magnitude weight maps to itself (it defines w_max).
+    idx = np.argmax(np.abs(w))
+    assert out[idx] == pytest.approx(w[idx])
+
+
+def test_uniform_quantizer_all_zero_input():
+    q = UniformQuantizer()
+    np.testing.assert_array_equal(q(np.zeros(4)), 0.0)
+
+
+def test_quantization_step():
+    q = UniformQuantizer(levels=11)
+    assert q.quantization_step(1.0) == pytest.approx(0.1)
+
+
+def test_quantizer_idempotent(rng):
+    q = UniformQuantizer(levels=8)
+    w = rng.normal(size=50)
+    once = q(w, w_max=2.0)
+    twice = q(once, w_max=2.0)
+    np.testing.assert_allclose(once, twice)

@@ -1,0 +1,131 @@
+"""Tests for the synthetic CIFAR-analogue generator."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    SyntheticConfig,
+    SyntheticImageClassification,
+    make_synthetic_pair,
+)
+
+
+def small_config(**kwargs):
+    defaults = dict(
+        num_classes=4,
+        image_size=8,
+        train_size=64,
+        test_size=32,
+        seed=3,
+        bandwidth=3,
+    )
+    defaults.update(kwargs)
+    return SyntheticConfig(**defaults)
+
+
+def test_splits_have_requested_sizes():
+    train, test = SyntheticImageClassification(small_config()).splits()
+    assert len(train) == 64
+    assert len(test) == 32
+    assert train.num_classes == 4
+
+
+def test_image_shapes():
+    train, _ = SyntheticImageClassification(small_config()).splits()
+    image, label = train[0]
+    assert image.shape == (3, 8, 8)
+    assert 0 <= label < 4
+
+
+def test_deterministic_under_seed():
+    a_train, _ = SyntheticImageClassification(small_config()).splits()
+    b_train, _ = SyntheticImageClassification(small_config()).splits()
+    np.testing.assert_array_equal(a_train.images, b_train.images)
+    np.testing.assert_array_equal(a_train.labels, b_train.labels)
+
+
+def test_different_seeds_differ():
+    a_train, _ = SyntheticImageClassification(small_config(seed=1)).splits()
+    b_train, _ = SyntheticImageClassification(small_config(seed=2)).splits()
+    assert not np.array_equal(a_train.images, b_train.images)
+
+
+def test_prototypes_are_standardised():
+    gen = SyntheticImageClassification(small_config())
+    for cls in range(4):
+        for ch in range(3):
+            proto = gen.prototypes[cls, ch]
+            assert abs(proto.mean()) < 1e-10
+            assert abs(proto.std() - 1.0) < 1e-10
+
+
+def test_prototypes_are_distinct_across_classes():
+    gen = SyntheticImageClassification(small_config())
+    flat = gen.prototypes.reshape(4, -1)
+    for i in range(4):
+        for j in range(i + 1, 4):
+            corr = np.corrcoef(flat[i], flat[j])[0, 1]
+            assert abs(corr) < 0.9
+
+
+def test_all_classes_appear():
+    train, _ = SyntheticImageClassification(
+        small_config(train_size=400)
+    ).splits()
+    assert set(np.unique(train.labels)) == {0, 1, 2, 3}
+
+
+def test_noise_free_samples_near_prototypes():
+    config = small_config(
+        noise_sigma=0.0,
+        max_shift=0,
+        contrast_jitter=0.0,
+        brightness_jitter=0.0,
+    )
+    gen = SyntheticImageClassification(config)
+    train, _ = gen.splits()
+    image, label = train[0]
+    np.testing.assert_allclose(image, gen.prototypes[label])
+
+
+def test_task_is_learnable_by_nearest_prototype():
+    """Without nuisances beyond mild noise, nearest-prototype should win."""
+    config = small_config(
+        train_size=200, noise_sigma=0.3, max_shift=0,
+        contrast_jitter=0.0, brightness_jitter=0.0,
+    )
+    gen = SyntheticImageClassification(config)
+    train, _ = gen.splits()
+    protos = gen.prototypes.reshape(4, -1)
+    correct = 0
+    for i in range(len(train)):
+        image, label = train[i]
+        dists = np.linalg.norm(protos - image.reshape(-1), axis=1)
+        correct += int(dists.argmin() == label)
+    assert correct / len(train) > 0.95
+
+
+def test_make_synthetic_pair_convenience():
+    train, test = make_synthetic_pair(
+        num_classes=3, image_size=8, train_size=30, test_size=10, seed=0
+    )
+    assert len(train) == 30
+    assert len(test) == 10
+    assert train.num_classes == 3
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"num_classes": 1},
+        {"image_size": 2},
+        {"channels": 0},
+        {"noise_sigma": -1.0},
+        {"max_shift": 8},
+        {"bandwidth": 0},
+        {"bandwidth": 5},
+    ],
+)
+def test_config_validation(kwargs):
+    with pytest.raises(ValueError):
+        small_config(**kwargs)

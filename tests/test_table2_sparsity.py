@@ -1,0 +1,56 @@
+"""FT retraining of a pruned backbone must preserve its sparsity."""
+
+import numpy as np
+
+from repro import nn
+from repro.core import Trainer
+from repro.datasets import ArrayDataset, DataLoader
+from repro.experiments import get_scale
+from repro.experiments.runner import train_fault_tolerant
+from repro.models import MLP
+from repro.pruning import magnitude_prune, model_sparsity
+
+CI = get_scale("ci").with_overrides(ft_epochs=2)
+
+
+def make_setup(rng):
+    n = 80
+    centers = rng.normal(size=(3, 8)) * 3
+    labels = rng.integers(0, 3, size=n)
+    images = centers[labels] + rng.normal(size=(n, 8)) * 0.3
+    loader = DataLoader(
+        ArrayDataset(images.reshape(n, 1, 2, 4), labels), 40,
+        shuffle=True, seed=0,
+    )
+    model = MLP(8, [16], 3, rng=rng)
+    opt = nn.SGD(model.parameters(), lr=0.1, momentum=0.9)
+    Trainer(model, opt).fit(loader, 4)
+    return model, loader
+
+
+def test_preserve_sparsity_keeps_masks(rng):
+    model, loader = make_setup(rng)
+    magnitude_prune(model, 0.6)
+    before = model_sparsity(model)
+    retrained = train_fault_tolerant(
+        model, "one_shot", 0.05, CI, loader, rng=rng, preserve_sparsity=True
+    )
+    assert model_sparsity(retrained) >= before - 0.01
+
+
+def test_without_preserve_sparsity_weights_regrow(rng):
+    model, loader = make_setup(rng)
+    magnitude_prune(model, 0.6)
+    retrained = train_fault_tolerant(
+        model, "one_shot", 0.05, CI, loader, rng=rng, preserve_sparsity=False
+    )
+    assert model_sparsity(retrained) < 0.3  # gradients refill zeros
+
+
+def test_preserve_sparsity_noop_on_dense_model(rng):
+    model, loader = make_setup(rng)
+    retrained = train_fault_tolerant(
+        model, "progressive", 0.05, CI, loader, rng=rng,
+        preserve_sparsity=True,
+    )
+    assert model_sparsity(retrained) < 0.05

@@ -1,0 +1,109 @@
+"""Trainer edge cases and optimiser/trainer interplay."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import (
+    OneShotFaultTolerantTrainer,
+    ProgressiveFaultTolerantTrainer,
+    Trainer,
+)
+from repro.datasets import ArrayDataset, DataLoader
+from repro.models import MLP
+
+
+def loader_of(rng, n=60, batch=30):
+    centers = rng.normal(size=(3, 8)) * 3
+    labels = rng.integers(0, 3, size=n)
+    images = centers[labels] + rng.normal(size=(n, 8)) * 0.3
+    return DataLoader(ArrayDataset(images.reshape(n, 1, 2, 4), labels),
+                      batch, shuffle=True, seed=0)
+
+
+def test_trainer_with_adam(rng):
+    loader = loader_of(rng)
+    model = MLP(8, [16], 3, rng=rng)
+    opt = nn.Adam(model.parameters(), lr=0.01)
+    history = Trainer(model, opt).fit(loader, 6)
+    assert history.epoch_losses[-1] < history.epoch_losses[0]
+
+
+def test_ft_trainer_with_adam(rng):
+    loader = loader_of(rng)
+    model = MLP(8, [16], 3, rng=rng)
+    opt = nn.Adam(model.parameters(), lr=0.01)
+    trainer = OneShotFaultTolerantTrainer(model, opt, p_sa_target=0.05,
+                                          rng=rng)
+    history = trainer.fit(loader, 4)
+    assert history.num_epochs == 4
+    assert all(np.isfinite(l) for l in history.epoch_losses)
+
+
+def test_empty_loader_raises(rng):
+    empty = DataLoader(
+        ArrayDataset(np.zeros((3, 1, 2, 4)), np.zeros(3, dtype=int)),
+        10, drop_last=True,
+    )
+    model = MLP(8, [4], 3, rng=rng)
+    opt = nn.SGD(model.parameters(), lr=0.1)
+    with pytest.raises(ValueError):
+        Trainer(model, opt).fit(empty, 1)
+
+
+def test_ft_trainer_custom_loss(rng):
+    """FT trainers accept any (logits, labels) -> (loss, grad) callable."""
+    calls = []
+
+    def counting_loss(logits, labels):
+        calls.append(1)
+        return nn.CrossEntropyLoss()(logits, labels)
+
+    loader = loader_of(rng)
+    model = MLP(8, [8], 3, rng=rng)
+    opt = nn.SGD(model.parameters(), lr=0.05)
+    OneShotFaultTolerantTrainer(
+        model, opt, p_sa_target=0.02, loss_fn=counting_loss, rng=rng
+    ).fit(loader, 2)
+    assert len(calls) == 2 * len(loader)
+
+
+def test_progressive_epoch_count_matches_schedule_times_budget(rng):
+    loader = loader_of(rng)
+    model = MLP(8, [8], 3, rng=rng)
+    opt = nn.SGD(model.parameters(), lr=0.05)
+    trainer = ProgressiveFaultTolerantTrainer(
+        model, opt, p_sa_schedule=[0.01, 0.02, 0.05, 0.1], rng=rng
+    )
+    history = trainer.fit(loader, 3)
+    assert history.num_epochs == 12
+    # Rates appear in ascending blocks of 3.
+    assert history.epoch_p_sa == (
+        [0.01] * 3 + [0.02] * 3 + [0.05] * 3 + [0.1] * 3
+    )
+
+
+def test_scheduler_steps_once_per_epoch_in_progressive(rng):
+    loader = loader_of(rng)
+    model = MLP(8, [8], 3, rng=rng)
+    opt = nn.SGD(model.parameters(), lr=0.1)
+    sched = nn.CosineAnnealingLR(opt, t_max=6)
+    trainer = ProgressiveFaultTolerantTrainer(
+        model, opt, p_sa_schedule=[0.01, 0.1], rng=rng, scheduler=sched
+    )
+    trainer.fit(loader, 3)
+    assert sched.last_epoch == 6
+    assert opt.lr == pytest.approx(0.0, abs=1e-12)
+
+
+def test_val_loader_metrics_in_ft_training(rng):
+    loader = loader_of(rng)
+    model = MLP(8, [8], 3, rng=rng)
+    opt = nn.SGD(model.parameters(), lr=0.05)
+    trainer = OneShotFaultTolerantTrainer(
+        model, opt, p_sa_target=0.02, rng=rng, val_loader=loader
+    )
+    history = trainer.fit(loader, 3)
+    assert len(history.epoch_val_accuracy) == 3
+    # Validation runs on pristine weights: accuracy must be reasonable.
+    assert history.epoch_val_accuracy[-1] > 33.0

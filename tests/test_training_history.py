@@ -1,0 +1,66 @@
+"""Tests for TrainingHistory and table-rendering edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.core import AccuracyReport, TrainingHistory
+from repro.experiments import render_table1, render_series
+
+
+def test_history_empty_defaults():
+    history = TrainingHistory()
+    assert history.num_epochs == 0
+    assert history.final_val_accuracy is None
+
+
+def test_history_accumulates():
+    history = TrainingHistory()
+    history.epoch_losses.extend([1.0, 0.5])
+    history.epoch_val_accuracy.extend([50.0, 60.0])
+    assert history.num_epochs == 2
+    assert history.final_val_accuracy == 60.0
+
+
+def make_report(name, values, rates):
+    report = AccuracyReport(method=name, acc_pretrain=90.0, acc_retrain=89.0)
+    for rate, value in zip(rates, values):
+        report.add_defect(rate, value)
+    return report
+
+
+def test_render_table1_highlight_top_larger_than_rows():
+    rates = (0.0, 0.01)
+    reports = [make_report("only", [90.0, 70.0], rates)]
+    text = render_table1("T", reports, rates, highlight_top=5)
+    assert "70.00*" in text
+
+
+def test_render_table1_no_star_on_clean_column():
+    rates = (0.0, 0.01)
+    reports = [
+        make_report("a", [90.0, 70.0], rates),
+        make_report("b", [91.0, 60.0], rates),
+    ]
+    text = render_table1("T", reports, rates, highlight_top=1)
+    assert "90.00*" not in text
+    assert "91.00*" not in text
+    assert "70.00*" in text
+
+
+def test_render_table1_columns_aligned():
+    rates = (0.0, 0.01, 0.1)
+    reports = [
+        make_report("short", [90.0, 70.0, 10.0], rates),
+        make_report("a much longer method name", [90.0, 71.0, 11.0], rates),
+    ]
+    text = render_table1("T", reports, rates)
+    lines = [l for l in text.splitlines() if "|" in l]
+    pipe_positions = [tuple(i for i, c in enumerate(l) if c == "|")
+                      for l in lines]
+    # Header and all rows share the same column boundaries.
+    assert len(set(pipe_positions)) == 1
+
+
+def test_render_series_missing_rate_raises():
+    with pytest.raises(KeyError):
+        render_series("F", {"dense": {0.0: 90.0}}, rates=(0.0, 0.1))
