@@ -16,6 +16,8 @@ Quick taste::
     )
 """
 
+import logging as _logging
+
 from . import (
     baselines,
     core,
@@ -26,7 +28,12 @@ from . import (
     pruning,
     quantization,
     reram,
+    telemetry,
 )
+
+# Library convention: emit through the "repro" logger, let applications
+# (e.g. the experiments CLI) decide where it goes.
+_logging.getLogger("repro").addHandler(_logging.NullHandler())
 from .core import (
     AccuracyReport,
     DefectEvaluation,
@@ -54,6 +61,7 @@ __all__ = [
     "experiments",
     "baselines",
     "quantization",
+    "telemetry",
     "apply_fault",
     "FaultInjector",
     "Trainer",

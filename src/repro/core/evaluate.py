@@ -4,6 +4,12 @@
 (Algorithm 1, Testing): draw ``num_runs`` independent fault patterns at the
 target rate, evaluate each faulted model on the test set, and average —
 the defect accuracy ``Acc_defect`` of Section III.
+
+Provenance: when a ``seed`` is supplied (instead of a live ``rng``) every
+draw uses its own generator seeded ``seed + draw_index``, the per-draw
+seeds are emitted on the telemetry event stream, and the base seed is
+recorded on the returned :class:`DefectEvaluation` — so any individual
+fault pattern behind a reported ``Acc_defect`` can be re-materialised.
 """
 
 from __future__ import annotations
@@ -16,6 +22,7 @@ import numpy as np
 from .. import nn
 from ..datasets.loader import DataLoader
 from ..reram.faults import WeightSpaceFaultModel
+from ..telemetry import current as _telemetry
 from .injector import FaultInjector
 
 __all__ = ["evaluate_accuracy", "DefectEvaluation", "evaluate_defect_accuracy"]
@@ -51,12 +58,23 @@ class DefectEvaluation:
         Std over fault draws (%).
     run_accuracies:
         The per-draw accuracies.
+    seed:
+        Base seed of the evaluation when it was seed-driven (draw ``i``
+        used generator ``default_rng(seed + i)``); ``None`` when a live
+        ``rng`` was supplied and the per-draw patterns are not
+        reconstructable from the result alone.
     """
 
     p_sa: float
     mean_accuracy: float
     std_accuracy: float
     run_accuracies: List[float] = field(default_factory=list)
+    seed: Optional[int] = None
+
+    @property
+    def num_runs(self) -> int:
+        """Number of independent fault draws behind the mean."""
+        return len(self.run_accuracies)
 
     @property
     def min_accuracy(self) -> float:
@@ -74,27 +92,73 @@ def evaluate_defect_accuracy(
     num_runs: int = 100,
     rng: Optional[np.random.Generator] = None,
     fault_model: Optional[WeightSpaceFaultModel] = None,
+    seed: Optional[int] = None,
 ) -> DefectEvaluation:
     """Average accuracy over ``num_runs`` independent fault draws.
 
     The model's weights are restored after every draw; the function leaves
-    the model exactly as it found it.
+    the model exactly as it found it.  Pass either a live ``rng`` (one
+    stream across all draws, as before) or a ``seed`` (a fresh generator
+    per draw, seeded ``seed + draw_index``, with full provenance), not
+    both.
     """
     if num_runs < 1:
         raise ValueError("num_runs must be >= 1")
-    rng = rng if rng is not None else np.random.default_rng()
+    if rng is not None and seed is not None:
+        raise ValueError("pass either rng or seed, not both")
+    telemetry = _telemetry()
     if p_sa == 0.0:
         # No faults: a single clean evaluation suffices and is exact.
         clean = evaluate_accuracy(model, loader)
-        return DefectEvaluation(0.0, clean, 0.0, [clean])
-    injector = FaultInjector(model, fault_model=fault_model, rng=rng)
+        telemetry.emit(
+            "defect_eval",
+            p_sa=0.0,
+            num_runs=1,
+            seed=seed,
+            mean_accuracy=clean,
+            std_accuracy=0.0,
+        )
+        return DefectEvaluation(0.0, clean, 0.0, [clean], seed=seed)
+    if rng is None and seed is None:
+        rng = np.random.default_rng()
+    injector = FaultInjector(
+        model,
+        fault_model=fault_model,
+        rng=rng if rng is not None else np.random.default_rng(seed),
+    )
+    fault_draws = telemetry.metrics.counter("eval/fault_draws_total")
+    draw_hist = telemetry.metrics.histogram("eval/defect_accuracy")
     accuracies = []
-    for _ in range(num_runs):
+    for draw in range(num_runs):
+        draw_seed: Optional[int] = None
+        if seed is not None:
+            draw_seed = seed + draw
+            injector.rng = np.random.default_rng(draw_seed)
         with injector.faults(p_sa):
-            accuracies.append(evaluate_accuracy(model, loader))
-    return DefectEvaluation(
+            accuracy = evaluate_accuracy(model, loader)
+        accuracies.append(accuracy)
+        fault_draws.inc()
+        draw_hist.observe(accuracy)
+        telemetry.emit(
+            "defect_draw",
+            p_sa=p_sa,
+            draw=draw,
+            seed=draw_seed,
+            accuracy=accuracy,
+        )
+    evaluation = DefectEvaluation(
         p_sa,
         float(np.mean(accuracies)),
         float(np.std(accuracies)),
         accuracies,
+        seed=seed,
     )
+    telemetry.emit(
+        "defect_eval",
+        p_sa=p_sa,
+        num_runs=num_runs,
+        seed=seed,
+        mean_accuracy=evaluation.mean_accuracy,
+        std_accuracy=evaluation.std_accuracy,
+    )
+    return evaluation

@@ -20,6 +20,7 @@ import numpy as np
 from .. import nn
 from ..datasets.loader import DataLoader
 from ..reram.faults import WeightSpaceFaultModel
+from ..telemetry import current as _telemetry
 from .evaluate import evaluate_accuracy
 from .injector import FaultInjector
 
@@ -39,7 +40,10 @@ class FleetReport:
 
     @property
     def mean(self) -> float:
-        return float(np.mean(self.accuracies))
+        # The exact mean always lies in [worst, best]; float summation can
+        # drift one ULP outside, so clamp to keep the invariant exact.
+        mean = float(np.mean(self.accuracies))
+        return min(max(mean, self.worst), self.best)
 
     @property
     def std(self) -> float:
@@ -91,13 +95,23 @@ def simulate_fleet(
     if num_devices < 1:
         raise ValueError("num_devices must be >= 1")
     rng = rng if rng is not None else np.random.default_rng()
+    telemetry = _telemetry()
     report = FleetReport(p_sa=p_sa)
     if p_sa == 0.0:
         clean = evaluate_accuracy(model, loader)
         report.accuracies = [clean] * num_devices
         return report
     injector = FaultInjector(model, fault_model=fault_model, rng=rng)
-    for _ in range(num_devices):
-        with injector.faults(p_sa):
-            report.accuracies.append(evaluate_accuracy(model, loader))
+    devices_total = telemetry.metrics.counter("fleet/devices_total")
+    accuracy_hist = telemetry.metrics.histogram("fleet/accuracy")
+    with telemetry.span("fleet_simulation"):
+        for device in range(num_devices):
+            with injector.faults(p_sa):
+                accuracy = evaluate_accuracy(model, loader)
+            report.accuracies.append(accuracy)
+            devices_total.inc()
+            accuracy_hist.observe(accuracy)
+            telemetry.emit(
+                "fleet_device", device=device, p_sa=p_sa, accuracy=accuracy
+            )
     return report

@@ -25,6 +25,7 @@ import numpy as np
 from .. import nn
 from ..reram.faults import SA0_SA1_RATIO, WeightSpaceFaultModel
 from ..reram.deploy import crossbar_parameters
+from ..telemetry import current as _telemetry
 
 __all__ = ["apply_fault", "FaultInjector"]
 
@@ -80,10 +81,29 @@ class FaultInjector:
         """Snapshot pristine weights and overwrite with a faulted draw."""
         if self._saved is not None:
             raise RuntimeError("inject called twice without restore")
+        telemetry = _telemetry()
+        cells_faulted = 0
+        cells_total = 0
         self._saved = {}
         for name, param in self._targets:
             self._saved[name] = param.data.copy()
-            param.data[...] = self.fault_model.apply(param.data, p_sa, self.rng)
+            faulted = self.fault_model.apply(param.data, p_sa, self.rng)
+            if telemetry.enabled:
+                cells_faulted += int(np.count_nonzero(faulted != param.data))
+                cells_total += param.data.size
+            param.data[...] = faulted
+        if telemetry.enabled:
+            telemetry.metrics.counter("faults/injections_total").inc()
+            telemetry.metrics.counter("faults/cells_faulted_total").inc(
+                cells_faulted
+            )
+            telemetry.emit(
+                "fault_inject",
+                p_sa=p_sa,
+                tensors=len(self._targets),
+                cells_total=cells_total,
+                cells_faulted=cells_faulted,
+            )
 
     def restore(self) -> None:
         """Write the pristine weights back (gradients are left untouched)."""

@@ -24,12 +24,16 @@ class AccuracyReport:
     """Full accuracy picture of one trained model.
 
     ``defect`` maps testing fault rate -> mean defect accuracy (%).
+    ``metadata`` holds free-form string provenance (experiment scale,
+    training method/schedule, seed, …) and round-trips through
+    :meth:`to_dict`/:meth:`from_dict`.
     """
 
     method: str
     acc_pretrain: float
     acc_retrain: float
     defect: Dict[float, float] = field(default_factory=dict)
+    metadata: Dict[str, str] = field(default_factory=dict)
 
     def add_defect(self, p_sa: float, accuracy: float) -> None:
         """Record the mean defect accuracy at one testing rate."""
@@ -56,19 +60,24 @@ class AccuracyReport:
 
     def to_dict(self) -> dict:
         """JSON-serialisable form (inverse of :meth:`from_dict`)."""
-        return {
+        payload = {
             "method": self.method,
             "acc_pretrain": self.acc_pretrain,
             "acc_retrain": self.acc_retrain,
             "defect": {str(k): v for k, v in self.defect.items()},
         }
+        if self.metadata:
+            payload["metadata"] = dict(self.metadata)
+        return payload
 
     @classmethod
     def from_dict(cls, data: dict) -> "AccuracyReport":
-        """Rebuild a report saved with :meth:`to_dict`."""
+        """Rebuild a report saved with :meth:`to_dict` (metadata optional,
+        so files written before it existed still load)."""
         return cls(
             method=data["method"],
             acc_pretrain=data["acc_pretrain"],
             acc_retrain=data["acc_retrain"],
             defect={float(k): v for k, v in data["defect"].items()},
+            metadata=dict(data.get("metadata", {})),
         )

@@ -16,6 +16,8 @@ import numpy as np
 from .. import nn
 from ..datasets.loader import DataLoader
 from ..reram.faults import WeightSpaceFaultModel
+from ..telemetry import Stopwatch
+from ..telemetry import current as _telemetry
 from .evaluate import evaluate_accuracy
 from .injector import FaultInjector
 
@@ -37,6 +39,7 @@ class TrainingHistory:
     epoch_val_accuracy: List[float] = field(default_factory=list)
     epoch_lr: List[float] = field(default_factory=list)
     epoch_p_sa: List[float] = field(default_factory=list)
+    epoch_seconds: List[float] = field(default_factory=list)
 
     @property
     def final_val_accuracy(self) -> Optional[float]:
@@ -45,6 +48,11 @@ class TrainingHistory:
     @property
     def num_epochs(self) -> int:
         return len(self.epoch_losses)
+
+    @property
+    def total_seconds(self) -> float:
+        """Total training wall-clock over all recorded epochs."""
+        return float(sum(self.epoch_seconds))
 
 
 class Trainer:
@@ -106,6 +114,7 @@ class Trainer:
     def train_epoch(self, loader: DataLoader) -> tuple:
         """One epoch; returns (mean_loss, train_accuracy_percent)."""
         self.model.train()
+        steps_total = _telemetry().metrics.counter("train/steps_total")
         total_loss = 0.0
         total_correct = 0
         total_samples = 0
@@ -116,6 +125,7 @@ class Trainer:
             total_correct += n_correct
             total_samples += len(labels)
             num_batches += 1
+            steps_total.inc()
         if num_batches == 0:
             raise ValueError("loader yielded no batches")
         return total_loss / num_batches, 100.0 * total_correct / total_samples
@@ -124,21 +134,50 @@ class Trainer:
         """Train for ``epochs`` epochs; returns the history."""
         if epochs < 0:
             raise ValueError("epochs must be non-negative")
+        telemetry = _telemetry()
+        telemetry.emit(
+            "train_start",
+            trainer=type(self).__name__,
+            epochs=epochs,
+            p_sa=self._current_p_sa(),
+        )
         history = TrainingHistory()
         for epoch in range(epochs):
+            watch = Stopwatch().start()
             mean_loss, train_acc = self.train_epoch(loader)
+            seconds = watch.stop()
             history.epoch_losses.append(mean_loss)
             history.epoch_train_accuracy.append(train_acc)
             history.epoch_lr.append(self.optimizer.lr)
             history.epoch_p_sa.append(self._current_p_sa())
+            history.epoch_seconds.append(seconds)
             if self.val_loader is not None:
                 history.epoch_val_accuracy.append(
                     evaluate_accuracy(self.model, self.val_loader)
                 )
             if self.scheduler is not None:
                 self.scheduler.step()
+            telemetry.emit(
+                "epoch_end",
+                epoch=epoch,
+                loss=mean_loss,
+                train_accuracy=train_acc,
+                val_accuracy=history.final_val_accuracy,
+                lr=history.epoch_lr[-1],
+                p_sa=self._current_p_sa(),
+                seconds=seconds,
+            )
+            telemetry.metrics.histogram("train/epoch_seconds").observe(seconds)
+            telemetry.metrics.gauge("train/epoch_loss").set(mean_loss)
             if self.on_epoch_end is not None:
                 self.on_epoch_end(epoch, history)
+        telemetry.emit(
+            "train_end",
+            trainer=type(self).__name__,
+            epochs=history.num_epochs,
+            total_seconds=history.total_seconds,
+            final_loss=history.epoch_losses[-1] if history.epoch_losses else None,
+        )
         return history
 
     def _current_p_sa(self) -> float:
@@ -254,8 +293,14 @@ class ProgressiveFaultTolerantTrainer(OneShotFaultTolerantTrainer):
         Algorithm 1's nested loops.
         """
         history = TrainingHistory()
-        for level in self.p_sa_schedule:
+        for index, level in enumerate(self.p_sa_schedule):
             self._active_p_sa = level
+            _telemetry().emit(
+                "progressive_level",
+                level=index,
+                p_sa=level,
+                epochs_per_level=epochs_per_level,
+            )
             level_history = super().fit(loader, epochs_per_level)
             history.epoch_losses.extend(level_history.epoch_losses)
             history.epoch_train_accuracy.extend(
@@ -264,4 +309,5 @@ class ProgressiveFaultTolerantTrainer(OneShotFaultTolerantTrainer):
             history.epoch_val_accuracy.extend(level_history.epoch_val_accuracy)
             history.epoch_lr.extend(level_history.epoch_lr)
             history.epoch_p_sa.extend(level_history.epoch_p_sa)
+            history.epoch_seconds.extend(level_history.epoch_seconds)
         return history

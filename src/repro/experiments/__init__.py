@@ -8,7 +8,7 @@ from .config import (
     get_scale,
 )
 from .figure2 import Figure2Result, run_figure2
-from .io import load_reports, save_reports, save_text
+from .io import load_reports, save_json, save_reports, save_text
 from .runner import (
     build_backbone,
     clone_model,
@@ -48,6 +48,7 @@ __all__ = [
     "save_reports",
     "load_reports",
     "save_text",
+    "save_json",
     "mean_confidence_interval",
     "paired_comparison",
     "PairedComparison",

@@ -6,21 +6,31 @@ Usage::
     python -m repro.experiments table2 --scale ci --sparsity 0.7
     python -m repro.experiments figure2 --scale bench --dataset large
     python -m repro.experiments all --scale ci --out results/
+    python -m repro.experiments table1 --scale ci --telemetry-dir results/telemetry
+    python -m repro.experiments summary --run results/telemetry
 
-Each subcommand regenerates the corresponding paper artefact, prints the
-table, and (with ``--out``) writes the rendered text and raw JSON.
+Each experiment subcommand regenerates the corresponding paper artefact,
+prints the table, and (with ``--out``) writes the rendered text and raw
+JSON.  With ``--telemetry-dir`` the whole run is recorded as a structured
+JSONL event log plus a metrics snapshot (see ``docs/OBSERVABILITY.md``);
+``summary`` renders a finished run's log as a text or JSON report.
+Progress goes through the ``repro`` logger: ``-v`` for debug detail,
+``--quiet`` for warnings only.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import logging
 import os
 import sys
 from typing import List, Optional
 
+from .. import telemetry
 from .config import SCALES, get_scale
 from .figure2 import run_figure2
-from .io import save_reports, save_text
+from .io import save_json, save_reports, save_text
 from .table1 import run_table1
 from .table2 import run_table2
 
@@ -34,8 +44,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=("table1", "table2", "figure2", "all"),
-        help="which artefact to regenerate",
+        choices=("table1", "table2", "figure2", "all", "summary"),
+        help="which artefact to regenerate, or `summary` to report on a "
+        "recorded telemetry run",
     )
     parser.add_argument(
         "--scale",
@@ -64,9 +75,58 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=None, help="override the scale's seed"
     )
     parser.add_argument(
-        "--quiet", action="store_true", help="suppress progress messages"
+        "--telemetry-dir",
+        default=None,
+        help="record a structured event log + metrics snapshot for this "
+        "run under DIR/<run_id>/ (default: telemetry off)",
+    )
+    parser.add_argument(
+        "--run",
+        default=None,
+        help="run directory (or telemetry parent dir) for `summary`",
+    )
+    parser.add_argument(
+        "--json",
+        dest="as_json",
+        action="store_true",
+        help="emit the `summary` report as JSON instead of text",
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="debug-level progress output (repeatable)",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="suppress progress messages",
     )
     return parser
+
+
+def _configure_logging(quiet: bool, verbosity: int) -> None:
+    """Route ``repro.*`` progress to stderr and the telemetry event stream."""
+    logger = logging.getLogger("repro")
+    if quiet:
+        level = logging.WARNING
+    elif verbosity > 0:
+        level = logging.DEBUG
+    else:
+        level = logging.INFO
+    logger.setLevel(level)
+    if not any(
+        isinstance(h, logging.StreamHandler)
+        and not isinstance(h, telemetry.TelemetryLogHandler)
+        for h in logger.handlers
+    ):
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(logging.Formatter("%(message)s"))
+        logger.addHandler(handler)
+    if not any(
+        isinstance(h, telemetry.TelemetryLogHandler) for h in logger.handlers
+    ):
+        logger.addHandler(telemetry.TelemetryLogHandler())
 
 
 def _emit(args, name: str, text: str, reports=None) -> None:
@@ -78,13 +138,33 @@ def _emit(args, name: str, text: str, reports=None) -> None:
             save_reports(os.path.join(args.out, f"{name}.json"), reports)
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
-    scale = get_scale(args.scale)
-    if args.seed is not None:
-        scale = scale.with_overrides(seed=args.seed)
-    verbose = not args.quiet
+def _run_summary(args) -> int:
+    if args.run is None:
+        print(
+            "summary requires --run <run_dir or telemetry dir>",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        report = telemetry.summarize_run(args.run)
+    except (FileNotFoundError, NotADirectoryError) as exc:
+        print(f"summary: {exc}", file=sys.stderr)
+        return 2
+    if args.as_json:
+        text = json.dumps(report, indent=2)
+    else:
+        text = telemetry.render_summary(report)
+    print(text)
+    if args.out:
+        suffix = "json" if args.as_json else "txt"
+        if args.as_json:
+            save_json(os.path.join(args.out, f"summary.{suffix}"), report)
+        else:
+            save_text(os.path.join(args.out, f"summary.{suffix}"), text)
+    return 0
 
+
+def _run_experiments(args, scale, verbose: bool) -> None:
     if args.experiment in ("table1", "all"):
         datasets = ("small", "large") if args.experiment == "all" else (
             args.dataset,
@@ -102,6 +182,32 @@ def main(argv: Optional[List[str]] = None) -> int:
         for dataset in datasets:
             result = run_figure2(scale, dataset=dataset, verbose=verbose)
             _emit(args, f"figure2_{dataset}", result.text)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    _configure_logging(args.quiet, args.verbose)
+    if args.experiment == "summary":
+        return _run_summary(args)
+    scale = get_scale(args.scale)
+    if args.seed is not None:
+        scale = scale.with_overrides(seed=args.seed)
+    verbose = not args.quiet
+
+    if args.telemetry_dir is not None:
+        config = {
+            "experiment": args.experiment,
+            "scale": scale.name,
+            "dataset": args.dataset,
+            "seed": scale.seed,
+        }
+        with telemetry.session(args.telemetry_dir, config=config) as run:
+            _run_experiments(args, scale, verbose)
+            logging.getLogger("repro").info(
+                "telemetry written to %s", run.directory
+            )
+    else:
+        _run_experiments(args, scale, verbose)
     return 0
 
 

@@ -9,6 +9,7 @@ collapse earlier/faster.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from typing import Dict, Tuple
 
@@ -19,6 +20,8 @@ from .runner import clone_model, evaluate_defect_grid, make_loaders, pretrain_mo
 from .tables import render_series
 
 __all__ = ["Figure2Result", "run_figure2"]
+
+_log = logging.getLogger("repro.experiments")
 
 FIGURE2_SPARSITIES: Tuple[float, float] = (0.4, 0.7)
 
@@ -45,7 +48,7 @@ def run_figure2(
     train_loader, test_loader = make_loaders(scale, num_classes)
     dense, acc_dense = pretrain_model(scale, num_classes, train_loader, test_loader)
     if verbose:
-        print(f"[figure2:{dataset}] dense accuracy {acc_dense:.2f}%")
+        _log.info("[figure2:%s] dense accuracy %.2f%%", dataset, acc_dense)
 
     variants = {"Dense": dense}
     finetune_epochs = max(1, scale.ft_epochs // 2)
@@ -70,7 +73,8 @@ def run_figure2(
         ADMMPruner(admm, config).run(train_loader)
         variants[f"ADMM Pruned {sparsity:.0%}"] = admm
         if verbose:
-            print(f"[figure2:{dataset}] pruned variants at {sparsity:.0%} done")
+            _log.info("[figure2:%s] pruned variants at %.0f%% done",
+                      dataset, 100 * sparsity)
 
     curves: Dict[str, Dict[float, float]] = {}
     clean: Dict[str, float] = {}
@@ -84,7 +88,7 @@ def run_figure2(
             seed=scale.seed + 60,
         )
         if verbose:
-            print(f"[figure2:{dataset}] curve for {name} done")
+            _log.info("[figure2:%s] curve for %s done", dataset, name)
 
     text = render_series(
         f"Figure 2 ({dataset} dataset analogue, {num_classes} classes)",

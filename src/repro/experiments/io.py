@@ -8,17 +8,21 @@ from typing import List
 
 from ..core.report import AccuracyReport
 
-__all__ = ["save_reports", "load_reports", "save_text"]
+__all__ = ["save_reports", "load_reports", "save_text", "save_json"]
 
 
-def save_reports(path: str, reports: List[AccuracyReport]) -> None:
-    """Serialise a list of accuracy reports to JSON."""
-    payload = [report.to_dict() for report in reports]
+def save_json(path: str, payload) -> None:
+    """Write any JSON-serialisable payload, creating parent directories."""
     directory = os.path.dirname(path)
     if directory:
         os.makedirs(directory, exist_ok=True)
     with open(path, "w") as handle:
         json.dump(payload, handle, indent=2)
+
+
+def save_reports(path: str, reports: List[AccuracyReport]) -> None:
+    """Serialise a list of accuracy reports to JSON (metadata included)."""
+    save_json(path, [report.to_dict() for report in reports])
 
 
 def load_reports(path: str) -> List[AccuracyReport]:

@@ -10,6 +10,7 @@ The runner owns the full pipeline of the paper's Figure 1 flow:
 from __future__ import annotations
 
 import copy
+import logging
 from typing import Dict, Iterable, Optional, Tuple
 
 import numpy as np
@@ -27,7 +28,10 @@ from ..core import (
 from ..datasets import DataLoader, make_synthetic_pair
 from ..models import build_model
 from ..reram.faults import WeightSpaceFaultModel
+from ..telemetry import current as _telemetry
 from .config import ExperimentScale
+
+_log = logging.getLogger("repro.experiments")
 
 __all__ = [
     "build_backbone",
@@ -141,9 +145,20 @@ def pretrain_model(
     )
     scheduler = nn.CosineAnnealingLR(optimizer, t_max=scale.pretrain_epochs)
     trainer = Trainer(model, optimizer, scheduler=scheduler)
-    trainer.fit(train_loader, scale.pretrain_epochs)
-    eval_loader = test_loader if test_loader is not None else train_loader
-    return model, evaluate_accuracy(model, eval_loader)
+    telemetry = _telemetry()
+    with telemetry.span("pretrain"):
+        trainer.fit(train_loader, scale.pretrain_epochs)
+        eval_loader = test_loader if test_loader is not None else train_loader
+        accuracy = evaluate_accuracy(model, eval_loader)
+    telemetry.emit(
+        "pretrain_done",
+        scale=scale.name,
+        num_classes=num_classes,
+        accuracy=accuracy,
+    )
+    _log.debug("pretrained %s-class %s: %.2f%%", num_classes, scale.model,
+               accuracy)
+    return model, accuracy
 
 
 def clone_model(model: nn.Module) -> nn.Module:
@@ -178,6 +193,13 @@ def train_fault_tolerant(
     if method not in ("one_shot", "progressive"):
         raise ValueError(f"unknown method {method!r}")
     rng = rng if rng is not None else np.random.default_rng(scale.seed + 20)
+    telemetry = _telemetry()
+    telemetry.emit(
+        "ft_train_start",
+        method=method,
+        p_sa_target=p_sa_target,
+        preserve_sparsity=preserve_sparsity,
+    )
     retrained = clone_model(model)
     optimizer = nn.SGD(
         retrained.parameters(),
@@ -204,7 +226,9 @@ def train_fault_tolerant(
             rng=rng,
             scheduler=scheduler,
         )
-        trainer.fit(train_loader, scale.ft_epochs)
+        with telemetry.span("ft_train"):
+            trainer.fit(train_loader, scale.ft_epochs)
+        _log.debug("one-shot FT retraining at PsaT=%g done", p_sa_target)
         return retrained
     schedule = default_progressive_schedule(
         p_sa_target, num_levels=scale.progressive_levels
@@ -226,7 +250,13 @@ def train_fault_tolerant(
         rng=rng,
         scheduler=scheduler,
     )
-    trainer.fit(train_loader, epochs_per_level)
+    with telemetry.span("ft_train"):
+        trainer.fit(train_loader, epochs_per_level)
+    _log.debug(
+        "progressive FT retraining at PsaT=%g done (schedule %s)",
+        p_sa_target,
+        [round(p, 5) for p in schedule],
+    )
     return retrained
 
 
@@ -238,19 +268,26 @@ def evaluate_defect_grid(
     seed: int = 0,
     fault_model: Optional[WeightSpaceFaultModel] = None,
 ) -> Dict[float, float]:
-    """Mean defect accuracy at every testing rate (paper's test protocol)."""
+    """Mean defect accuracy at every testing rate (paper's test protocol).
+
+    Each rate gets its own deterministic seed block (``seed + rate·1e6``)
+    and every draw within it a per-draw seed, so any individual fault
+    pattern behind a table cell can be re-materialised from the telemetry
+    event log.
+    """
+    telemetry = _telemetry()
     results: Dict[float, float] = {}
-    for rate in rates:
-        rng = np.random.default_rng(seed + int(rate * 1e6))
-        evaluation = evaluate_defect_accuracy(
-            model,
-            loader,
-            rate,
-            num_runs=num_runs,
-            rng=rng,
-            fault_model=fault_model,
-        )
-        results[rate] = evaluation.mean_accuracy
+    with telemetry.span("defect_grid"):
+        for rate in rates:
+            evaluation = evaluate_defect_accuracy(
+                model,
+                loader,
+                rate,
+                num_runs=num_runs,
+                seed=seed + int(rate * 1e6),
+                fault_model=fault_model,
+            )
+            results[rate] = evaluation.mean_accuracy
     return results
 
 
@@ -261,11 +298,28 @@ def method_report(
     loader: DataLoader,
     scale: ExperimentScale,
     fault_model: Optional[WeightSpaceFaultModel] = None,
+    metadata: Optional[Dict[str, str]] = None,
 ) -> AccuracyReport:
-    """Assemble one table row: clean accuracy + the defect-accuracy grid."""
+    """Assemble one table row: clean accuracy + the defect-accuracy grid.
+
+    The report's ``metadata`` records run provenance — the experiment
+    scale, defect-evaluation seed and draw count — merged with any extra
+    entries the caller supplies (training method, schedule, …).
+    """
     acc_retrain = evaluate_accuracy(model, loader)
+    provenance = {
+        "scale": scale.name,
+        "method": method,
+        "seed": str(scale.seed),
+        "defect_runs": str(scale.defect_runs),
+    }
+    if metadata:
+        provenance.update(metadata)
     report = AccuracyReport(
-        method=method, acc_pretrain=acc_pretrain, acc_retrain=acc_retrain
+        method=method,
+        acc_pretrain=acc_pretrain,
+        acc_retrain=acc_retrain,
+        metadata=provenance,
     )
     grid = evaluate_defect_grid(
         model,

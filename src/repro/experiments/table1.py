@@ -12,15 +12,19 @@ For one dataset (the CIFAR-10 or CIFAR-100 analogue) the experiment:
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from typing import List
 
 from ..core.report import AccuracyReport
+from ..core.training import default_progressive_schedule
 from .config import ExperimentScale
 from .runner import make_loaders, method_report, pretrain_model, train_fault_tolerant
 from .tables import render_table1
 
 __all__ = ["Table1Result", "run_table1"]
+
+_log = logging.getLogger("repro.experiments")
 
 
 @dataclass
@@ -65,7 +69,9 @@ def run_table1(
         scale, num_classes, train_loader, test_loader
     )
     if verbose:
-        print(f"[table1:{dataset}] pretrained accuracy {acc_pretrain:.2f}%")
+        _log.info(
+            "[table1:%s] pretrained accuracy %.2f%%", dataset, acc_pretrain
+        )
 
     reports = [
         method_report(
@@ -74,6 +80,7 @@ def run_table1(
             acc_pretrain,
             test_loader,
             scale,
+            metadata={"dataset": dataset, "train_method": "none"},
         )
     ]
     for p_sa_target in scale.train_rates:
@@ -85,13 +92,28 @@ def run_table1(
                 f"{'One-Shot' if method == 'one_shot' else 'Progressive'} "
                 f"PsaT={p_sa_target:g}"
             )
+            metadata = {
+                "dataset": dataset,
+                "train_method": method,
+                "p_sa_target": f"{p_sa_target:g}",
+            }
+            if method == "progressive":
+                schedule = default_progressive_schedule(
+                    p_sa_target, num_levels=scale.progressive_levels
+                )
+                metadata["schedule"] = ",".join(f"{p:g}" for p in schedule)
             reports.append(
                 method_report(
-                    label, retrained, acc_pretrain, test_loader, scale
+                    label,
+                    retrained,
+                    acc_pretrain,
+                    test_loader,
+                    scale,
+                    metadata=metadata,
                 )
             )
             if verbose:
-                print(f"[table1:{dataset}] {label} done")
+                _log.info("[table1:%s] %s done", dataset, label)
 
     title = (
         f"Table I ({dataset} dataset analogue, {num_classes} classes, "

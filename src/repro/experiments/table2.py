@@ -9,6 +9,7 @@ reports ``Acc_defect`` and ``SS`` at the two testing rates of the paper
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from typing import List, Optional
 
@@ -28,6 +29,8 @@ from .runner import (
 from .tables import render_table2_rows
 
 __all__ = ["Table2Result", "run_table2"]
+
+_log = logging.getLogger("repro.experiments")
 
 TABLE2_TEST_RATES = (0.01, 0.02)
 
@@ -88,7 +91,7 @@ def run_table2(
         scale, num_classes, train_loader, test_loader
     )
     if verbose:
-        print(f"[table2] dense pretrained accuracy {acc_pretrain:.2f}%")
+        _log.info("[table2] dense pretrained accuracy %.2f%%", acc_pretrain)
 
     # ADMM-pruned backbone at the target sparsity.
     pruned = clone_model(dense)
@@ -103,7 +106,8 @@ def run_table2(
     ADMMPruner(pruned, admm_config).run(train_loader)
     acc_pruned = evaluate_accuracy(pruned, test_loader)
     if verbose:
-        print(f"[table2] ADMM-pruned ({sparsity:.0%}) accuracy {acc_pruned:.2f}%")
+        _log.info("[table2] ADMM-pruned (%.0f%%) accuracy %.2f%%",
+                  100 * sparsity, acc_pruned)
 
     # Sparse backbones have less redundancy to average out the injected
     # fault noise; retrain them at half the learning rate for stability.
@@ -152,7 +156,7 @@ def run_table2(
                     )
                 )
                 if verbose:
-                    print(f"[table2] {label} done")
+                    _log.info("[table2] %s done", label)
 
     text = render_table2_rows(
         "Table II (Stability Scores, CIFAR-100 analogue)", rows

@@ -29,6 +29,8 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from ..telemetry import current as _telemetry
+
 __all__ = [
     "FAULT_NONE",
     "FAULT_SA0",
@@ -176,4 +178,8 @@ class WeightSpaceFaultModel:
             w_max = self._w_max(weights)
             signs = rng.choice((-1.0, 1.0), size=n_sa1)
             faulted[sa1] = signs * w_max
+        telemetry = _telemetry()
+        if telemetry.enabled:
+            telemetry.metrics.counter("faults/sa0_total").inc(int(sa0.sum()))
+            telemetry.metrics.counter("faults/sa1_total").inc(n_sa1)
         return faulted

@@ -1,0 +1,74 @@
+"""Observability for the train/inject/evaluate pipeline.
+
+Three instruments, bundled per run and opt-in (the default is a no-op
+null run that writes nothing):
+
+* :mod:`~repro.telemetry.events`  — structured JSONL run events;
+* :mod:`~repro.telemetry.metrics` — process-local counters / gauges /
+  histograms in a :class:`MetricsRegistry`;
+* :mod:`~repro.telemetry.timing`  — :class:`Stopwatch`, nestable
+  :meth:`~TelemetryRun.span` scopes and the per-layer
+  :class:`ModuleProfiler`.
+
+The library's call-sites (trainers, fault injector, defect evaluation,
+fleet simulation, experiment runner) write to :func:`current`, so
+enabling telemetry is one line::
+
+    from repro import telemetry
+
+    with telemetry.session("results/telemetry"):
+        run_table1(get_scale("ci"))
+
+Schema and metric names are documented in ``docs/OBSERVABILITY.md``; a
+finished run is inspected with ``python -m repro.experiments summary``.
+"""
+
+from .events import (
+    EventLog,
+    EventSink,
+    JsonlSink,
+    MemorySink,
+    NullSink,
+    new_run_id,
+    read_events,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .run import (
+    NULL_RUN,
+    TelemetryLogHandler,
+    TelemetryRun,
+    current,
+    end_run,
+    session,
+    start_run,
+)
+from .summary import find_run_dir, render_summary, summarize_run
+from .timing import ModuleProfiler, SpanTracker, Stopwatch, named_modules
+
+__all__ = [
+    "EventLog",
+    "EventSink",
+    "NullSink",
+    "MemorySink",
+    "JsonlSink",
+    "new_run_id",
+    "read_events",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Stopwatch",
+    "SpanTracker",
+    "ModuleProfiler",
+    "named_modules",
+    "TelemetryRun",
+    "TelemetryLogHandler",
+    "NULL_RUN",
+    "current",
+    "start_run",
+    "end_run",
+    "session",
+    "find_run_dir",
+    "summarize_run",
+    "render_summary",
+]

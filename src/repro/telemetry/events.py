@@ -1,0 +1,160 @@
+"""Structured run events: JSONL sinks and the event log.
+
+Every telemetry event is a flat JSON object with four bookkeeping fields —
+``kind`` (event type), ``run_id``, ``seq`` (monotonic per-run sequence
+number) and ``ts`` (wall-clock epoch seconds) — plus arbitrary
+event-specific payload fields.  Events are appended to a sink:
+
+* :class:`NullSink`   — discards everything; the default, so telemetry is
+  a no-op unless a run is started explicitly;
+* :class:`JsonlSink`  — one JSON object per line, append-only, opened
+  lazily so constructing a sink never touches the filesystem;
+* :class:`MemorySink` — keeps events in a list (tests, ad-hoc inspection).
+
+``read_events`` parses a JSONL file back into the list of dicts, so a
+finished run can be reconstructed offline (see
+:mod:`repro.telemetry.summary`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import uuid
+from typing import Callable, List, Optional
+
+__all__ = [
+    "EventSink",
+    "NullSink",
+    "MemorySink",
+    "JsonlSink",
+    "EventLog",
+    "new_run_id",
+    "read_events",
+]
+
+
+def new_run_id() -> str:
+    """A sortable, collision-resistant run identifier."""
+    stamp = time.strftime("%Y%m%d-%H%M%S", time.localtime())
+    return f"run-{stamp}-{uuid.uuid4().hex[:8]}"
+
+
+class EventSink:
+    """Interface: somewhere events go."""
+
+    def write(self, event: dict) -> None:
+        raise NotImplementedError
+
+    def flush(self) -> None:  # pragma: no cover - trivial default
+        pass
+
+    def close(self) -> None:  # pragma: no cover - trivial default
+        pass
+
+
+class NullSink(EventSink):
+    """Discards every event (the disabled-telemetry default)."""
+
+    def write(self, event: dict) -> None:
+        pass
+
+
+class MemorySink(EventSink):
+    """Collects events in memory; ``sink.events`` is the list."""
+
+    def __init__(self) -> None:
+        self.events: List[dict] = []
+
+    def write(self, event: dict) -> None:
+        self.events.append(event)
+
+
+class JsonlSink(EventSink):
+    """Appends events to a JSON-lines file, one object per line.
+
+    The file (and its directory) is created lazily on the first write, so
+    merely constructing the sink writes nothing to disk.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._handle = None
+
+    def write(self, event: dict) -> None:
+        if self._handle is None:
+            directory = os.path.dirname(self.path)
+            if directory:
+                os.makedirs(directory, exist_ok=True)
+            self._handle = open(self.path, "a")
+        self._handle.write(json.dumps(event, separators=(",", ":")))
+        self._handle.write("\n")
+
+    def flush(self) -> None:
+        if self._handle is not None:
+            self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+class EventLog:
+    """Stamps and sequences events, then hands them to a sink.
+
+    Parameters
+    ----------
+    sink:
+        Destination; defaults to :class:`NullSink`.
+    run_id:
+        Identifier stamped on every event; generated when omitted.
+    clock:
+        Wall-clock source (epoch seconds); injectable for tests.
+    """
+
+    def __init__(
+        self,
+        sink: Optional[EventSink] = None,
+        run_id: Optional[str] = None,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        self.sink = sink if sink is not None else NullSink()
+        self.run_id = run_id if run_id is not None else new_run_id()
+        self._clock = clock
+        self._seq = 0
+
+    @property
+    def enabled(self) -> bool:
+        return not isinstance(self.sink, NullSink)
+
+    def emit(self, kind: str, **fields) -> dict:
+        """Record one event; returns the stamped event dict."""
+        event = {
+            "kind": kind,
+            "run_id": self.run_id,
+            "seq": self._seq,
+            "ts": self._clock(),
+        }
+        event.update(fields)
+        self._seq += 1
+        self.sink.write(event)
+        return event
+
+    def flush(self) -> None:
+        self.sink.flush()
+
+    def close(self) -> None:
+        self.sink.close()
+
+
+def read_events(path: str) -> List[dict]:
+    """Parse a JSONL event file back into a list of event dicts."""
+    events: List[dict] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events

@@ -1,0 +1,190 @@
+"""Process-local metrics: counters, gauges and histograms in a registry.
+
+The registry is deliberately tiny — no label cardinality, no exporters —
+because its job is to answer, cheaply and in-process, questions like "how
+many fault draws did this run make?" and "what is the p95 per-epoch wall
+time?".  Metric names are slash-scoped strings (``faults/sa1_total``,
+``train/epoch_seconds``); the canonical names used by the instrumented
+pipeline are listed in ``docs/OBSERVABILITY.md``.
+
+A registry constructed with ``enabled=False`` hands out shared null
+instruments whose methods do nothing, so instrumentation call-sites never
+need their own ``if telemetry:`` guards around metric updates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        self.value += amount
+
+
+class Gauge:
+    """Last-written value (e.g. the most recent epoch loss)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Collects observations; summarised by count/sum/percentiles.
+
+    Observations are kept exactly (runs at this repo's scale produce at
+    most a few hundred thousand); ``percentile`` interpolates linearly.
+    """
+
+    __slots__ = ("name", "values")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.values: List[float] = []
+
+    def observe(self, value: float) -> None:
+        self.values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def total(self) -> float:
+        return float(sum(self.values))
+
+    @property
+    def mean(self) -> float:
+        if not self.values:
+            raise ValueError(f"histogram {self.name!r} has no observations")
+        return self.total / len(self.values)
+
+    def percentile(self, q: float) -> float:
+        """Value at percentile ``q`` in [0, 100]."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("percentile must be in [0, 100]")
+        if not self.values:
+            raise ValueError(f"histogram {self.name!r} has no observations")
+        return float(np.percentile(self.values, q))
+
+    def summary(self) -> dict:
+        """JSON-friendly digest: count, sum, mean, min/p50/p95/max."""
+        if not self.values:
+            return {"count": 0, "sum": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": float(min(self.values)),
+            "p50": self.percentile(50.0),
+            "p95": self.percentile(95.0),
+            "max": float(max(self.values)),
+        }
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_COUNTER = _NullCounter("null")
+_NULL_GAUGE = _NullGauge("null")
+_NULL_HISTOGRAM = _NullHistogram("null")
+
+
+class MetricsRegistry:
+    """Get-or-create home for a run's instruments.
+
+    Asking twice for the same name returns the same instrument; asking for
+    an existing name with a different instrument type raises.  A disabled
+    registry returns shared no-op instruments and records nothing.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def _get(self, table: dict, others: tuple, name: str, factory):
+        for other in others:
+            if name in other:
+                raise ValueError(
+                    f"metric {name!r} already registered with a different type"
+                )
+        if name not in table:
+            table[name] = factory(name)
+        return table[name]
+
+    def counter(self, name: str) -> Counter:
+        if not self.enabled:
+            return _NULL_COUNTER
+        return self._get(
+            self._counters, (self._gauges, self._histograms), name, Counter
+        )
+
+    def gauge(self, name: str) -> Gauge:
+        if not self.enabled:
+            return _NULL_GAUGE
+        return self._get(
+            self._gauges, (self._counters, self._histograms), name, Gauge
+        )
+
+    def histogram(self, name: str) -> Histogram:
+        if not self.enabled:
+            return _NULL_HISTOGRAM
+        return self._get(
+            self._histograms, (self._counters, self._gauges), name, Histogram
+        )
+
+    def snapshot(self) -> dict:
+        """JSON-serialisable dump of every instrument's current state."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": {
+                n: h.summary() for n, h in sorted(self._histograms.items())
+            },
+        }
+
+    def reset(self) -> None:
+        """Drop every instrument (the next lookup re-creates them)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()

@@ -1,0 +1,191 @@
+"""The per-run telemetry aggregate and the process-wide current run.
+
+A :class:`TelemetryRun` bundles the three instruments of this package —
+an event log, a metrics registry, and a span tracker — under one run id.
+Instrumented call-sites throughout the library ask for the process-wide
+current run via :func:`current` and write to it unconditionally; when no
+run has been started, :data:`NULL_RUN` (null sink, disabled registry) is
+returned, so the default pipeline stays silent and writes no files.
+
+Starting a run against a directory produces::
+
+    <directory>/<run_id>/events.jsonl    (streamed, one event per line)
+    <directory>/<run_id>/metrics.json    (registry snapshot, on close)
+    <directory>/<run_id>/run.json        (run id + config, on close)
+
+Typical use::
+
+    from repro import telemetry
+
+    with telemetry.session("results/telemetry", config={"scale": "ci"}):
+        run_table1(scale)                    # instrumented internally
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+from contextlib import contextmanager
+from typing import Optional
+
+from .events import EventLog, EventSink, JsonlSink, NullSink, new_run_id
+from .metrics import MetricsRegistry
+from .timing import SpanTracker
+
+__all__ = [
+    "TelemetryRun",
+    "NULL_RUN",
+    "current",
+    "start_run",
+    "end_run",
+    "session",
+    "TelemetryLogHandler",
+]
+
+
+class TelemetryRun:
+    """One run's events + metrics + spans.
+
+    Parameters
+    ----------
+    directory:
+        Parent directory for run artefacts; a ``<run_id>`` subdirectory
+        is created under it.  ``None`` (with no explicit sink) makes the
+        run a no-op.
+    sink:
+        Explicit event sink (e.g. :class:`~repro.telemetry.MemorySink`
+        in tests); overrides ``directory``-based sink selection.
+    run_id:
+        Stable identifier; generated when omitted.
+    config:
+        Arbitrary JSON-serialisable run provenance (scale, seed, argv…),
+        stamped into the ``run_start`` event and ``run.json``.
+    """
+
+    def __init__(
+        self,
+        directory: Optional[str] = None,
+        sink: Optional[EventSink] = None,
+        run_id: Optional[str] = None,
+        config: Optional[dict] = None,
+    ) -> None:
+        self.run_id = run_id if run_id is not None else new_run_id()
+        self.config = dict(config) if config else {}
+        self.directory: Optional[str] = None
+        if sink is None:
+            if directory is not None:
+                self.directory = os.path.join(directory, self.run_id)
+                sink = JsonlSink(os.path.join(self.directory, "events.jsonl"))
+            else:
+                sink = NullSink()
+        self.enabled = not isinstance(sink, NullSink)
+        self.events = EventLog(sink, run_id=self.run_id)
+        self.metrics = MetricsRegistry(enabled=self.enabled)
+        self.spans = SpanTracker(self.events, self.metrics)
+        self._closed = False
+
+    def emit(self, kind: str, **fields) -> Optional[dict]:
+        """Record one event (no-op on a disabled run)."""
+        if not self.enabled:
+            return None
+        return self.events.emit(kind, **fields)
+
+    def span(self, name: str):
+        """Nestable timing scope (see :class:`SpanTracker`)."""
+        return self.spans.span(name)
+
+    def start(self) -> "TelemetryRun":
+        self.emit("run_start", config=self.config)
+        return self
+
+    def close(self) -> None:
+        """Emit ``run_end``, persist the metrics snapshot, close the sink."""
+        if self._closed or not self.enabled:
+            self._closed = True
+            return
+        self.emit("run_end")
+        if self.directory is not None:
+            os.makedirs(self.directory, exist_ok=True)
+            with open(os.path.join(self.directory, "metrics.json"), "w") as f:
+                json.dump(self.metrics.snapshot(), f, indent=2)
+            with open(os.path.join(self.directory, "run.json"), "w") as f:
+                json.dump(
+                    {"run_id": self.run_id, "config": self.config}, f, indent=2
+                )
+        self.events.close()
+        self._closed = True
+
+
+#: The shared disabled run returned by :func:`current` outside a session.
+NULL_RUN = TelemetryRun()
+
+_current: TelemetryRun = NULL_RUN
+
+
+def current() -> TelemetryRun:
+    """The active run, or :data:`NULL_RUN` when telemetry is off."""
+    return _current
+
+
+def start_run(
+    directory: Optional[str] = None,
+    sink: Optional[EventSink] = None,
+    run_id: Optional[str] = None,
+    config: Optional[dict] = None,
+) -> TelemetryRun:
+    """Begin a run and install it as the process-wide current run."""
+    global _current
+    if _current is not NULL_RUN:
+        raise RuntimeError(
+            "a telemetry run is already active; end_run() it first"
+        )
+    _current = TelemetryRun(
+        directory=directory, sink=sink, run_id=run_id, config=config
+    ).start()
+    return _current
+
+
+def end_run() -> None:
+    """Close the current run and restore the disabled default."""
+    global _current
+    if _current is not NULL_RUN:
+        _current.close()
+        _current = NULL_RUN
+
+
+@contextmanager
+def session(
+    directory: Optional[str] = None,
+    sink: Optional[EventSink] = None,
+    run_id: Optional[str] = None,
+    config: Optional[dict] = None,
+):
+    """``with telemetry.session(dir):`` — start_run/end_run bracketed."""
+    run = start_run(directory=directory, sink=sink, run_id=run_id, config=config)
+    try:
+        yield run
+    finally:
+        end_run()
+
+
+class TelemetryLogHandler(logging.Handler):
+    """Forwards ``logging`` records into the current run's event stream.
+
+    Attach it to the ``"repro"`` logger (the CLI does) so progress lines
+    land in ``events.jsonl`` alongside the structured pipeline events.
+    """
+
+    def emit(self, record: logging.LogRecord) -> None:
+        run = current()
+        if not run.enabled:
+            return
+        try:
+            run.emit(
+                "log",
+                level=record.levelname,
+                logger=record.name,
+                message=record.getMessage(),
+            )
+        except Exception:  # pragma: no cover - never break the app on logging
+            self.handleError(record)

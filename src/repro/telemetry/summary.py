@@ -1,0 +1,171 @@
+"""Offline reconstruction of a finished run from its artefact directory.
+
+``summarize_run`` re-reads ``events.jsonl`` (plus ``metrics.json`` and
+``run.json`` when present) and digests it into one JSON-friendly dict:
+training curve (per-epoch loss / accuracy / wall time), the per-rate
+defect-draw distributions (with seeds), span wall-clock totals, and event
+counts by kind.  ``render_summary`` formats that dict as a text report —
+the backing of ``python -m repro.experiments summary <run_dir>``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .events import read_events
+
+__all__ = ["find_run_dir", "summarize_run", "render_summary"]
+
+
+def find_run_dir(path: str) -> str:
+    """Resolve ``path`` to a run directory.
+
+    Accepts either a run directory itself (contains ``events.jsonl``) or
+    a telemetry parent directory, in which case the lexically last run
+    subdirectory is used (run ids sort chronologically).
+    """
+    if os.path.isfile(os.path.join(path, "events.jsonl")):
+        return path
+    candidates = sorted(
+        entry
+        for entry in os.listdir(path)
+        if os.path.isfile(os.path.join(path, entry, "events.jsonl"))
+    )
+    if not candidates:
+        raise FileNotFoundError(f"no run with an events.jsonl under {path!r}")
+    return os.path.join(path, candidates[-1])
+
+
+def _load_optional_json(path: str) -> Optional[dict]:
+    if not os.path.isfile(path):
+        return None
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def summarize_run(path: str) -> dict:
+    """Digest one run's event log into a JSON-friendly summary dict."""
+    run_dir = find_run_dir(path)
+    events = read_events(os.path.join(run_dir, "events.jsonl"))
+    summary: dict = {
+        "run_dir": run_dir,
+        "run_id": events[0]["run_id"] if events else None,
+        "num_events": len(events),
+        "events_by_kind": {},
+        "config": {},
+        "epochs": [],
+        "defect": {},
+        "spans": {},
+    }
+    run_meta = _load_optional_json(os.path.join(run_dir, "run.json"))
+    if run_meta:
+        summary["config"] = run_meta.get("config", {})
+    metrics = _load_optional_json(os.path.join(run_dir, "metrics.json"))
+    if metrics is not None:
+        summary["metrics"] = metrics
+
+    by_kind: Dict[str, int] = {}
+    draws: Dict[float, List[dict]] = {}
+    for event in events:
+        kind = event["kind"]
+        by_kind[kind] = by_kind.get(kind, 0) + 1
+        if kind == "run_start" and not summary["config"]:
+            summary["config"] = event.get("config", {})
+        elif kind == "epoch_end":
+            summary["epochs"].append(
+                {
+                    "epoch": event.get("epoch"),
+                    "loss": event.get("loss"),
+                    "train_accuracy": event.get("train_accuracy"),
+                    "p_sa": event.get("p_sa"),
+                    "seconds": event.get("seconds"),
+                }
+            )
+        elif kind == "defect_draw":
+            draws.setdefault(float(event["p_sa"]), []).append(event)
+        elif kind == "span_end":
+            entry = summary["spans"].setdefault(
+                event["path"], {"count": 0, "seconds": 0.0}
+            )
+            entry["count"] += 1
+            entry["seconds"] += float(event.get("seconds", 0.0))
+    summary["events_by_kind"] = dict(sorted(by_kind.items()))
+
+    for rate in sorted(draws):
+        accuracies = [float(d["accuracy"]) for d in draws[rate]]
+        summary["defect"][str(rate)] = {
+            "draws": len(accuracies),
+            "mean_accuracy": float(np.mean(accuracies)),
+            "std_accuracy": float(np.std(accuracies)),
+            "min_accuracy": float(np.min(accuracies)),
+            "max_accuracy": float(np.max(accuracies)),
+            "seeds": [d.get("seed") for d in draws[rate]],
+        }
+    return summary
+
+
+def _format_seconds(seconds: float) -> str:
+    if seconds >= 60.0:
+        return f"{seconds / 60.0:.1f}m"
+    return f"{seconds:.3f}s"
+
+
+def render_summary(summary: dict) -> str:
+    """Human-readable text report of a :func:`summarize_run` digest."""
+    lines = [
+        f"Telemetry summary — {summary.get('run_id')}",
+        f"  directory : {summary.get('run_dir')}",
+        f"  events    : {summary.get('num_events')}",
+    ]
+    config = summary.get("config") or {}
+    if config:
+        rendered = ", ".join(f"{k}={v}" for k, v in sorted(config.items()))
+        lines.append(f"  config    : {rendered}")
+    counts = summary.get("events_by_kind") or {}
+    if counts:
+        rendered = ", ".join(f"{k}×{v}" for k, v in counts.items())
+        lines.append(f"  by kind   : {rendered}")
+
+    epochs = summary.get("epochs") or []
+    if epochs:
+        total = sum(e["seconds"] or 0.0 for e in epochs)
+        losses = [e["loss"] for e in epochs if e["loss"] is not None]
+        lines.append("")
+        lines.append(
+            f"Training: {len(epochs)} epochs in {_format_seconds(total)}"
+            + (
+                f", loss {losses[0]:.4f} -> {losses[-1]:.4f}"
+                if losses
+                else ""
+            )
+        )
+
+    defect = summary.get("defect") or {}
+    if defect:
+        lines.append("")
+        lines.append("Defect evaluation (per testing rate):")
+        for rate, stats in defect.items():
+            lines.append(
+                f"  p_sa={rate:<8} {stats['draws']:>4} draws   "
+                f"mean {stats['mean_accuracy']:6.2f}%  "
+                f"+/- {stats['std_accuracy']:5.2f}  "
+                f"[{stats['min_accuracy']:.2f}, {stats['max_accuracy']:.2f}]"
+            )
+
+    spans = summary.get("spans") or {}
+    if spans:
+        lines.append("")
+        lines.append("Spans (wall-clock by scope):")
+        width = max(len(path) for path in spans)
+        for path, entry in sorted(
+            spans.items(), key=lambda item: -item[1]["seconds"]
+        ):
+            lines.append(
+                f"  {path:<{width}}  ×{entry['count']:<4} "
+                f"{_format_seconds(entry['seconds'])}"
+            )
+    return "\n".join(lines)

@@ -121,3 +121,20 @@ def test_defect_invalid_runs(rng):
     model, loader = real_setup(rng)
     with pytest.raises(ValueError):
         evaluate_defect_accuracy(model, loader, 0.1, num_runs=0, rng=rng)
+
+
+def test_defect_seed_provenance_recorded(rng):
+    model, loader = real_setup(rng)
+    result = evaluate_defect_accuracy(model, loader, 0.1, num_runs=3, seed=11)
+    assert result.seed == 11
+    assert result.num_runs == 3
+    again = evaluate_defect_accuracy(model, loader, 0.1, num_runs=3, seed=11)
+    assert again.run_accuracies == result.run_accuracies
+
+
+def test_defect_seed_and_rng_are_mutually_exclusive(rng):
+    model, loader = real_setup(rng)
+    with pytest.raises(ValueError):
+        evaluate_defect_accuracy(
+            model, loader, 0.1, num_runs=2, rng=rng, seed=1
+        )

@@ -41,3 +41,18 @@ def test_dict_roundtrip():
     assert clone.acc_pretrain == report.acc_pretrain
     assert clone.defect == report.defect
     assert isinstance(list(clone.defect.keys())[0], float)
+
+
+def test_metadata_round_trips_through_dict():
+    report = make_report()
+    report.metadata["scale"] = "ci"
+    report.metadata["method"] = "one_shot"
+    clone = AccuracyReport.from_dict(report.to_dict())
+    assert clone.metadata == {"scale": "ci", "method": "one_shot"}
+
+
+def test_from_dict_without_metadata_is_backward_compatible():
+    payload = make_report().to_dict()
+    payload.pop("metadata", None)
+    clone = AccuracyReport.from_dict(payload)
+    assert clone.metadata == {}

@@ -91,6 +91,34 @@ def test_standard_trainer_p_sa_is_zero(rng):
     assert history.epoch_p_sa == [0.0, 0.0]
 
 
+def test_history_records_epoch_wall_time(rng):
+    loader = learnable_task(rng)
+    _, trainer = make_trainer(rng, loader)
+    history = trainer.fit(loader, 3)
+    assert len(history.epoch_seconds) == 3
+    assert all(seconds > 0.0 for seconds in history.epoch_seconds)
+    assert history.total_seconds == pytest.approx(sum(history.epoch_seconds))
+
+
+def test_history_total_seconds_empty():
+    from repro.core import TrainingHistory
+
+    assert TrainingHistory().total_seconds == 0.0
+
+
+def test_progressive_history_accumulates_epoch_seconds(rng):
+    loader = learnable_task(rng)
+    model = MLP(8, [16], 3, rng=rng)
+    opt = nn.SGD(model.parameters(), lr=0.05)
+    trainer = ProgressiveFaultTolerantTrainer(
+        model, opt, p_sa_schedule=[0.01, 0.1], rng=rng
+    )
+    history = trainer.fit(loader, 2)
+    # epoch_seconds covers every epoch of every level, like the other lists.
+    assert len(history.epoch_seconds) == history.num_epochs == 4
+    assert history.total_seconds > 0.0
+
+
 # -- One-shot fault-tolerant training --------------------------------------------
 
 

@@ -1,0 +1,120 @@
+"""Tests for repro.telemetry.metrics: instruments and the registry."""
+
+import pytest
+
+from repro.telemetry import MetricsRegistry
+
+
+def test_counter_increments():
+    registry = MetricsRegistry()
+    counter = registry.counter("fault_draws_total")
+    counter.inc()
+    counter.inc(5)
+    assert counter.value == 6
+
+
+def test_counter_rejects_negative():
+    counter = MetricsRegistry().counter("c")
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+
+
+def test_gauge_holds_last_value():
+    gauge = MetricsRegistry().gauge("epoch_loss")
+    assert gauge.value is None
+    gauge.set(2.5)
+    gauge.set(1.25)
+    assert gauge.value == 1.25
+
+
+def test_histogram_statistics():
+    hist = MetricsRegistry().histogram("h")
+    for value in [1.0, 2.0, 3.0, 4.0]:
+        hist.observe(value)
+    assert hist.count == 4
+    assert hist.total == 10.0
+    assert hist.mean == 2.5
+    assert hist.percentile(0) == 1.0
+    assert hist.percentile(100) == 4.0
+    assert hist.percentile(50) == 2.5
+
+
+def test_histogram_percentile_validation():
+    hist = MetricsRegistry().histogram("h")
+    hist.observe(1.0)
+    with pytest.raises(ValueError):
+        hist.percentile(101)
+    empty = MetricsRegistry().histogram("empty")
+    with pytest.raises(ValueError):
+        empty.percentile(50)
+    with pytest.raises(ValueError):
+        empty.mean
+
+
+def test_histogram_summary_shape():
+    registry = MetricsRegistry()
+    hist = registry.histogram("h")
+    assert hist.summary() == {"count": 0, "sum": 0.0}
+    for value in range(1, 101):
+        hist.observe(float(value))
+    summary = hist.summary()
+    assert summary["count"] == 100
+    assert summary["min"] == 1.0
+    assert summary["max"] == 100.0
+    assert summary["p50"] == pytest.approx(50.5)
+    assert summary["p95"] > summary["p50"]
+
+
+def test_registry_get_or_create_identity():
+    registry = MetricsRegistry()
+    assert registry.counter("a") is registry.counter("a")
+    assert registry.histogram("b") is registry.histogram("b")
+    assert registry.counter("a") is not registry.counter("a2")
+
+
+def test_registry_type_conflict_raises():
+    registry = MetricsRegistry()
+    registry.counter("x")
+    with pytest.raises(ValueError):
+        registry.gauge("x")
+    with pytest.raises(ValueError):
+        registry.histogram("x")
+
+
+def test_snapshot_is_json_friendly():
+    import json
+
+    registry = MetricsRegistry()
+    registry.counter("c").inc(3)
+    registry.gauge("g").set(0.5)
+    registry.histogram("h").observe(1.0)
+    snapshot = registry.snapshot()
+    assert snapshot["counters"] == {"c": 3}
+    assert snapshot["gauges"] == {"g": 0.5}
+    assert snapshot["histograms"]["h"]["count"] == 1
+    json.dumps(snapshot)  # must serialise
+
+
+def test_reset_clears_instruments():
+    registry = MetricsRegistry()
+    registry.counter("c").inc()
+    registry.reset()
+    assert registry.counter("c").value == 0
+
+
+def test_disabled_registry_is_noop():
+    registry = MetricsRegistry(enabled=False)
+    counter = registry.counter("c")
+    counter.inc(10)
+    assert counter.value == 0
+    gauge = registry.gauge("g")
+    gauge.set(1.0)
+    assert gauge.value is None
+    hist = registry.histogram("h")
+    hist.observe(1.0)
+    assert hist.count == 0
+    assert registry.snapshot() == {
+        "counters": {},
+        "gauges": {},
+        "histograms": {},
+    }

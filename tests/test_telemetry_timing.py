@@ -1,0 +1,161 @@
+"""Tests for repro.telemetry.timing: stopwatch, spans, module profiler."""
+
+import numpy as np
+import pytest
+
+from repro.models import MLP
+from repro.telemetry import (
+    EventLog,
+    MemorySink,
+    MetricsRegistry,
+    ModuleProfiler,
+    SpanTracker,
+    Stopwatch,
+    named_modules,
+)
+
+
+# -- Stopwatch --------------------------------------------------------------
+
+
+def test_stopwatch_accumulates():
+    watch = Stopwatch()
+    assert not watch.running
+    watch.start()
+    assert watch.running
+    first = watch.stop()
+    assert first >= 0.0
+    watch.start()
+    total = watch.stop()
+    assert total >= first
+
+
+def test_stopwatch_elapsed_while_running():
+    watch = Stopwatch().start()
+    assert watch.elapsed >= 0.0
+    watch.stop()
+
+
+def test_stopwatch_misuse_raises():
+    watch = Stopwatch()
+    with pytest.raises(RuntimeError):
+        watch.stop()
+    watch.start()
+    with pytest.raises(RuntimeError):
+        watch.start()
+
+
+def test_stopwatch_context_manager_and_reset():
+    watch = Stopwatch()
+    with watch:
+        pass
+    assert watch.elapsed > 0.0
+    watch.reset()
+    assert watch.elapsed == 0.0
+
+
+# -- Spans ------------------------------------------------------------------
+
+
+def test_nested_spans_paths_and_durations():
+    sink = MemorySink()
+    registry = MetricsRegistry()
+    tracker = SpanTracker(EventLog(sink, run_id="r"), registry)
+    with tracker.span("outer"):
+        with tracker.span("inner"):
+            pass
+    kinds = [(e["kind"], e["path"]) for e in sink.events]
+    assert kinds == [
+        ("span_begin", "outer"),
+        ("span_begin", "outer/inner"),
+        ("span_end", "outer/inner"),
+        ("span_end", "outer"),
+    ]
+    ends = {e["path"]: e for e in sink.events if e["kind"] == "span_end"}
+    assert ends["outer"]["seconds"] >= ends["outer/inner"]["seconds"] >= 0.0
+    assert ends["outer"]["depth"] == 0
+    assert ends["outer/inner"]["depth"] == 1
+    assert registry.histogram("span_seconds/outer").count == 1
+    assert registry.histogram("span_seconds/inner").count == 1
+
+
+def test_span_closes_on_exception():
+    sink = MemorySink()
+    tracker = SpanTracker(EventLog(sink, run_id="r"), MetricsRegistry())
+    with pytest.raises(RuntimeError):
+        with tracker.span("broken"):
+            raise RuntimeError("boom")
+    assert tracker.depth == 0
+    assert sink.events[-1]["kind"] == "span_end"
+
+
+def test_span_rejects_slash_in_name():
+    tracker = SpanTracker()
+    with pytest.raises(ValueError):
+        with tracker.span("a/b"):
+            pass
+
+
+def test_span_tracker_defaults_are_noop():
+    tracker = SpanTracker()  # no events, disabled metrics
+    with tracker.span("quiet"):
+        pass  # must simply work
+
+
+# -- Module profiler --------------------------------------------------------
+
+
+def test_named_modules_covers_tree(rng):
+    model = MLP(8, [4], 3, rng=rng)
+    names = [name for name, _ in named_modules(model)]
+    assert names[0] == "(root)"
+    assert any("layer1" in name for name in names)
+    assert len(names) == len(list(model.modules()))
+
+
+def test_module_profiler_records_forward_and_backward(rng):
+    model = MLP(8, [4], 3, rng=rng)
+    registry = MetricsRegistry()
+    profiler = ModuleProfiler(registry)
+    images = rng.normal(size=(5, 1, 2, 4))
+    with profiler.profile(model):
+        assert profiler.attached
+        logits = model(images)
+        model.backward(np.ones_like(logits) / 5.0)
+    assert not profiler.attached
+    forward_root = registry.histogram("forward_seconds/(root)")
+    assert forward_root.count == 1
+    assert forward_root.total >= 0.0
+    backward_root = registry.histogram("backward_seconds/(root)")
+    assert backward_root.count == 1
+    # Some per-layer histogram beyond the root must have fired too.
+    per_layer = [
+        name
+        for name in registry.snapshot()["histograms"]
+        if name.startswith("forward_seconds/") and "(root)" not in name
+    ]
+    assert per_layer
+
+
+def test_module_profiler_detach_restores_behaviour(rng):
+    model = MLP(8, [4], 3, rng=rng)
+    registry = MetricsRegistry()
+    profiler = ModuleProfiler(registry).attach(model)
+    images = rng.normal(size=(2, 1, 2, 4))
+    profiled = model(images)
+    profiler.detach()
+    count_after_detach = registry.histogram("forward_seconds/(root)").count
+    plain = model(images)
+    np.testing.assert_allclose(profiled, plain)
+    assert (
+        registry.histogram("forward_seconds/(root)").count
+        == count_after_detach
+    )
+
+
+def test_module_profiler_double_attach_raises(rng):
+    model = MLP(8, [4], 3, rng=rng)
+    profiler = ModuleProfiler(MetricsRegistry()).attach(model)
+    with pytest.raises(RuntimeError):
+        profiler.attach(model)
+    profiler.detach()
