@@ -1,94 +1,70 @@
 """Microbenchmarks of the performance-critical primitives.
 
-Unlike the table/figure benches (one-shot experiment runs), these measure
-steady-state throughput of the kernels every experiment is built on, with
-full pytest-benchmark statistics.
+Thin pytest-benchmark wrappers over the cases registered in
+``repro.bench.suites`` — the same bodies ``python -m repro.bench run``
+measures, so pytest-benchmark's statistics and the ``BENCH_*.json``
+regression tracking always describe identical code.  Each test runs its
+case at the ``full`` tier (the original microbenchmark sizes).
 """
 
 import numpy as np
 import pytest
 
-from repro import apply_fault, nn
-from repro.models import resnet8
-from repro.reram import (
-    CrossbarMapper,
-    ReRAMDeviceModel,
-    StuckAtFaultSpec,
-    WeightSpaceFaultModel,
-    sample_fault_map,
-)
+import repro.bench.suites  # noqa: F401 — registers the default suite
+from repro.bench import default_registry
+
+SUITE = "full"
 
 
-@pytest.fixture(scope="module")
-def rng():
-    return np.random.default_rng(0)
+def _run_registered(benchmark, name: str) -> None:
+    case = default_registry().get(name)
+    state = case.build(SUITE, rng=np.random.default_rng(0))
+    try:
+        benchmark(lambda: case.run_once(state))
+    finally:
+        case.cleanup(state)
 
 
-def test_apply_fault_throughput(benchmark, rng):
+def test_apply_fault_throughput(benchmark):
     """Fault injection on a ResNet-20-sized weight tensor."""
-    w = rng.normal(size=(64, 64, 3, 3))
-    model = WeightSpaceFaultModel()
-    benchmark(lambda: model.apply(w, 0.05, rng))
+    _run_registered(benchmark, "faults/apply")
 
 
-def test_sample_fault_map_throughput(benchmark, rng):
-    spec = StuckAtFaultSpec(0.05)
-    benchmark(lambda: sample_fault_map((256, 256), spec, rng))
+def test_sample_fault_map_throughput(benchmark):
+    _run_registered(benchmark, "faults/sample_fault_map")
 
 
-def test_conv_forward_throughput(benchmark, rng):
-    layer = nn.Conv2d(16, 32, 3, padding=1, rng=rng)
-    x = rng.normal(size=(8, 16, 12, 12))
-    benchmark(lambda: layer(x))
+def test_conv_forward_throughput(benchmark):
+    _run_registered(benchmark, "conv2d/forward")
 
 
-def test_conv_backward_throughput(benchmark, rng):
-    layer = nn.Conv2d(16, 32, 3, padding=1, rng=rng)
-    x = rng.normal(size=(8, 16, 12, 12))
-    out = layer(x)
-    grad = np.ones_like(out)
-    benchmark(lambda: layer.backward(grad))
+def test_conv_backward_throughput(benchmark):
+    _run_registered(benchmark, "conv2d/backward")
 
 
-def test_resnet8_forward_throughput(benchmark, rng):
-    model = resnet8(num_classes=10, base_width=16, rng=rng)
-    model.eval()
-    x = rng.normal(size=(16, 3, 12, 12))
-    benchmark(lambda: model(x))
+def test_resnet8_forward_throughput(benchmark):
+    _run_registered(benchmark, "model/resnet8_forward")
 
 
-def test_crossbar_matvec_throughput(benchmark, rng):
-    device = ReRAMDeviceModel(g_off=1e-6, g_on=1e-4, levels=256)
-    mapper = CrossbarMapper(device=device, tile_size=128)
-    mapped = mapper.map_matrix(rng.normal(size=(256, 128)))
-    x = rng.normal(size=(16, 256))
-    benchmark(lambda: mapped.matvec(x))
+def test_crossbar_matvec_throughput(benchmark):
+    _run_registered(benchmark, "crossbar/matvec")
 
 
-def test_crossbar_map_matrix_latency(benchmark, rng):
-    device = ReRAMDeviceModel(g_off=1e-6, g_on=1e-4, levels=256)
-    mapper = CrossbarMapper(device=device, tile_size=128)
-    w = rng.normal(size=(256, 128))
-    benchmark(lambda: mapper.map_matrix(w))
+def test_crossbar_map_matrix_latency(benchmark):
+    _run_registered(benchmark, "crossbar/map_matrix")
 
 
-def test_bitsliced_readback_throughput(benchmark, rng):
-    from repro.reram import BitSlicedMapper
-
-    device = ReRAMDeviceModel(g_off=1e-6, g_on=1e-4, levels=4)
-    mapper = BitSlicedMapper(device=device, bits_per_slice=2, num_slices=4)
-    mapped = mapper.map_matrix(rng.normal(size=(128, 128)))
-    benchmark(mapped.read_back)
+def test_bitsliced_readback_throughput(benchmark):
+    _run_registered(benchmark, "bitslice/read_back")
 
 
-def test_bit_serial_mvm_throughput(benchmark, rng):
-    from repro.reram import ADCModel, BitSerialMVM
+def test_bit_serial_mvm_throughput(benchmark):
+    _run_registered(benchmark, "adc/bit_serial_mvm")
 
-    device = ReRAMDeviceModel(g_off=1e-6, g_on=1e-4, levels=256)
-    mapper = CrossbarMapper(device=device, tile_size=128)
-    mapped = mapper.map_matrix(rng.normal(size=(128, 64)))
-    mvm = BitSerialMVM(
-        mapped, input_bits=4, adc=ADCModel(bits=8, full_scale=50.0)
-    )
-    x = rng.normal(size=(8, 128))
-    benchmark(lambda: mvm.matvec(x))
+
+def test_defect_draw_latency(benchmark):
+    _run_registered(benchmark, "eval/defect_draw")
+
+
+def test_train_epoch_latency(benchmark):
+    _run_registered(benchmark, "train/resnet8_epoch")

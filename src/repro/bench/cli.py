@@ -1,0 +1,223 @@
+"""``python -m repro.bench`` — run, compare and list benchmarks.
+
+Usage::
+
+    python -m repro.bench run --suite fast -o BENCH_0.json
+    python -m repro.bench run --suite full --filter crossbar
+    python -m repro.bench compare BENCH_0.json BENCH_1.json
+    python -m repro.bench compare BENCH_0.json BENCH_1.json --json
+    python -m repro.bench list --suite fast
+
+Exit codes: ``run`` and ``list`` exit 0 on success and 2 on usage
+errors; ``compare`` additionally exits 1 when any case regresses beyond
+the noise threshold — the contract CI gates on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .compare import compare_benches
+from .provenance import collect_provenance
+from .registry import default_registry
+from .report import format_seconds, format_table, render_bench, render_comparison
+from .runner import RunnerConfig, run_suite
+from .schema import SchemaError, build_document, load_bench, write_bench
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench",
+        description="Statistical benchmarks over the repo's hot paths, "
+        "with BENCH_*.json regression tracking.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run a suite and write a BENCH file")
+    run.add_argument(
+        "--suite",
+        default="fast",
+        choices=("fast", "full"),
+        help="suite tier (default: fast)",
+    )
+    run.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="output path (default: BENCH_<suite>.json)",
+    )
+    run.add_argument(
+        "--filter",
+        dest="pattern",
+        default=None,
+        help="only run cases whose name contains this substring",
+    )
+    run.add_argument("--warmup", type=int, default=None, help="untimed repeats")
+    run.add_argument(
+        "--min-repeats", type=int, default=None, help="minimum measured repeats"
+    )
+    run.add_argument(
+        "--max-repeats", type=int, default=None, help="repeat ceiling"
+    )
+    run.add_argument(
+        "--min-time",
+        type=float,
+        default=None,
+        help="minimum measured seconds per case",
+    )
+    run.add_argument(
+        "--seed", type=int, default=None, help="setup generator seed"
+    )
+    run.add_argument(
+        "-q", "--quiet", action="store_true", help="suppress progress lines"
+    )
+
+    compare = sub.add_parser(
+        "compare", help="diff two BENCH files; exit 1 on regression"
+    )
+    compare.add_argument("baseline", help="baseline BENCH_*.json")
+    compare.add_argument("candidate", help="candidate BENCH_*.json")
+    compare.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="relative slowdown treated as a regression (default: 0.25)",
+    )
+    compare.add_argument(
+        "--noise-mads",
+        type=float,
+        default=3.0,
+        help="combined MADs a slowdown must clear to count (default: 3)",
+    )
+    compare.add_argument(
+        "--json",
+        dest="as_json",
+        action="store_true",
+        help="emit the comparison as JSON instead of a table",
+    )
+
+    lst = sub.add_parser("list", help="list registered benchmark cases")
+    lst.add_argument(
+        "--suite",
+        default=None,
+        choices=("fast", "full"),
+        help="only cases in this tier",
+    )
+    return parser
+
+
+def _runner_config(args) -> RunnerConfig:
+    defaults = RunnerConfig()
+    return RunnerConfig(
+        warmup=args.warmup if args.warmup is not None else defaults.warmup,
+        min_repeats=args.min_repeats
+        if args.min_repeats is not None
+        else defaults.min_repeats,
+        max_repeats=args.max_repeats
+        if args.max_repeats is not None
+        else defaults.max_repeats,
+        min_time=args.min_time
+        if args.min_time is not None
+        else defaults.min_time,
+        seed=args.seed if args.seed is not None else defaults.seed,
+    )
+
+
+def _cmd_run(args) -> int:
+    from . import suites  # noqa: F401  (imported for case registration)
+
+    config = _runner_config(args)
+    progress = None
+    if not args.quiet:
+        progress = lambda name: print(f"  running {name} ...", file=sys.stderr)
+    try:
+        results = run_suite(
+            suite=args.suite,
+            config=config,
+            pattern=args.pattern,
+            progress=progress,
+        )
+    except ValueError as exc:
+        print(f"run: {exc}", file=sys.stderr)
+        return 2
+    doc = build_document(
+        args.suite, config.to_dict(), collect_provenance(), results
+    )
+    output = args.output or f"BENCH_{args.suite}.json"
+    write_bench(output, doc)
+    print(render_bench(doc))
+    total = sum(r.stats["total"] for r in results)
+    print(
+        f"\n{len(results)} case(s), {format_seconds(total)} measured "
+        f"-> {output}"
+    )
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    try:
+        baseline = load_bench(args.baseline)
+        candidate = load_bench(args.candidate)
+    except (OSError, SchemaError) as exc:
+        print(f"compare: {exc}", file=sys.stderr)
+        return 2
+    try:
+        result = compare_benches(
+            baseline,
+            candidate,
+            threshold=args.threshold,
+            noise_mads=args.noise_mads,
+        )
+    except ValueError as exc:
+        print(f"compare: {exc}", file=sys.stderr)
+        return 2
+    if args.as_json:
+        print(json.dumps(result.to_dict(), indent=2))
+    else:
+        print(render_comparison(result))
+    return 0 if result.ok else 1
+
+
+def _cmd_list(args) -> int:
+    from . import suites  # noqa: F401  (imported for case registration)
+
+    rows = []
+    for case in default_registry().cases(suite=args.suite):
+        fast = case.params_for("fast")
+        rows.append(
+            [
+                case.name,
+                "+".join(case.suites),
+                ",".join(f"{k}={v}" for k, v in sorted(fast.items())) or "-",
+                case.description or "-",
+            ]
+        )
+    if not rows:
+        print("no registered benchmark cases", file=sys.stderr)
+        return 2
+    print(
+        format_table(
+            ["case", "suites", "fast params", "description"],
+            rows,
+            aligns=["l", "l", "l", "l"],
+        )
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    return _cmd_list(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,140 @@
+"""Plain-text tables for benchmark output.
+
+Deliberately dependency-free (no telemetry imports) so other subsystems
+can borrow the formatting — ``repro.experiments summary --top N`` renders
+its slowest-span and per-layer tables through :func:`format_table`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+__all__ = [
+    "format_seconds",
+    "format_table",
+    "render_bench",
+    "render_comparison",
+]
+
+
+def format_seconds(seconds: Optional[float]) -> str:
+    """Human scale: ns/µs/ms below a second, seconds/minutes above."""
+    if seconds is None:
+        return "-"
+    if seconds >= 60.0:
+        return f"{seconds / 60.0:.1f}m"
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.2f}ms"
+    if seconds >= 1e-6:
+        return f"{seconds * 1e6:.2f}µs"
+    return f"{seconds * 1e9:.0f}ns"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    aligns: Optional[Sequence[str]] = None,
+) -> str:
+    """Fixed-width text table.
+
+    ``aligns`` is one ``"l"``/``"r"`` per column (default: first column
+    left, the rest right — the natural shape for name + numbers).
+    """
+    if aligns is None:
+        aligns = ["l"] + ["r"] * (len(headers) - 1)
+    if len(aligns) != len(headers):
+        raise ValueError("aligns must match headers")
+    cells = [[str(h) for h in headers]] + [
+        [str(c) for c in row] for row in rows
+    ]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError("every row must match the header width")
+    widths = [
+        max(len(row[col]) for row in cells) for col in range(len(headers))
+    ]
+    lines: List[str] = []
+    for i, row in enumerate(cells):
+        parts = []
+        for col, cell in enumerate(row):
+            if aligns[col] == "l":
+                parts.append(cell.ljust(widths[col]))
+            else:
+                parts.append(cell.rjust(widths[col]))
+        lines.append("  ".join(parts).rstrip())
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def _params_brief(params: dict) -> str:
+    if not params:
+        return "-"
+    return ",".join(f"{k}={v}" for k, v in sorted(params.items()))
+
+
+def render_bench(doc: dict) -> str:
+    """Text report of one BENCH document."""
+    prov = doc["provenance"]
+    sha = prov.get("git_sha") or "unknown"
+    dirty = "+dirty" if prov.get("git_dirty") else ""
+    lines = [
+        f"Benchmark suite {doc['suite']!r} — schema v{doc['schema_version']}",
+        f"  commit   : {sha[:12]}{dirty}",
+        f"  python   : {prov.get('python')}  numpy {prov.get('numpy')}",
+        f"  platform : {prov.get('platform')} "
+        f"({prov.get('cpu_count')} CPUs)",
+        "",
+    ]
+    rows = []
+    for name, case in sorted(doc["cases"].items()):
+        stats = case["stats"]
+        rows.append(
+            [
+                name,
+                case["repeats"],
+                case["rejected"],
+                format_seconds(stats["median"]),
+                format_seconds(stats["mad"]),
+                format_seconds(stats["mean"]),
+                format_seconds(stats["p95"]),
+            ]
+        )
+    lines.append(
+        format_table(
+            ["case", "n", "rej", "median", "mad", "mean", "p95"], rows
+        )
+    )
+    return "\n".join(lines)
+
+
+def render_comparison(result) -> str:
+    """Text report of a :class:`~repro.bench.compare.ComparisonResult`."""
+    rows = []
+    for delta in result.deltas:
+        ratio = f"{delta.ratio:.3f}" if delta.ratio is not None else "-"
+        rows.append(
+            [
+                delta.name,
+                delta.status,
+                format_seconds(delta.baseline_median),
+                format_seconds(delta.candidate_median),
+                ratio,
+                delta.note or "-",
+            ]
+        )
+    table = format_table(
+        ["case", "status", "baseline", "candidate", "ratio", "note"],
+        rows,
+        aligns=["l", "l", "r", "r", "r", "l"],
+    )
+    verdict = (
+        "OK — no regressions beyond "
+        f"{result.threshold:.0%} + {result.noise_mads:g} MADs of noise"
+        if result.ok
+        else f"REGRESSION — {len(result.regressions)} case(s) slowed down "
+        f"beyond {result.threshold:.0%}"
+    )
+    return table + "\n\n" + verdict

@@ -1,0 +1,175 @@
+"""The statistical benchmark runner.
+
+Each case runs untimed warm-up repeats first (JIT-free numpy still pays
+one-off costs: lazy allocations, cache warming), then measured repeats
+until *both* a minimum repeat count and a minimum total measured time are
+reached, so fast bodies get enough samples for stable percentiles while
+slow bodies stop after a bounded number of repeats.  Per-repeat timings
+come from :class:`repro.telemetry.Stopwatch` and are mirrored into a
+``bench_seconds/<case>`` histogram on a
+:class:`~repro.telemetry.MetricsRegistry`, so a benchmark run is
+introspectable with the same tools as any other instrumented run.
+
+Statistics are robust (median/MAD-centred) with one-sided outlier
+rejection; see :mod:`repro.bench.stats`.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import asdict, dataclass
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from ..telemetry import MetricsRegistry, Stopwatch
+from .registry import BenchmarkCase, BenchmarkRegistry, default_registry
+from .stats import describe, reject_outliers
+
+__all__ = ["RunnerConfig", "CaseResult", "run_case", "run_suite"]
+
+logger = logging.getLogger("repro.bench")
+
+
+@dataclass(frozen=True)
+class RunnerConfig:
+    """Knobs of the measurement loop.
+
+    Attributes
+    ----------
+    warmup:
+        Untimed repeats before measurement starts.
+    min_repeats:
+        Minimum measured repeats per case.
+    max_repeats:
+        Hard ceiling on measured repeats (bounds total runtime).
+    min_time:
+        Keep repeating (up to ``max_repeats``) until this many seconds
+        of measured time have accumulated.
+    outlier_threshold:
+        One-sided MAD fence for rejecting slow stragglers; see
+        :func:`repro.bench.stats.reject_outliers`.
+    seed:
+        Base seed for each case's setup generator.
+    """
+
+    warmup: int = 3
+    min_repeats: int = 10
+    max_repeats: int = 1000
+    min_time: float = 0.2
+    outlier_threshold: float = 5.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.warmup < 0:
+            raise ValueError("warmup must be >= 0")
+        if self.min_repeats < 1:
+            raise ValueError("min_repeats must be >= 1")
+        if self.max_repeats < self.min_repeats:
+            raise ValueError("max_repeats must be >= min_repeats")
+        if self.min_time < 0:
+            raise ValueError("min_time must be >= 0")
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+@dataclass
+class CaseResult:
+    """One case's measured outcome."""
+
+    name: str
+    suite: str
+    params: dict
+    repeats: int
+    rejected: int
+    warmup: int
+    stats: dict
+
+    def to_dict(self) -> dict:
+        return {
+            "suite": self.suite,
+            "params": self.params,
+            "repeats": self.repeats,
+            "rejected": self.rejected,
+            "warmup": self.warmup,
+            "stats": self.stats,
+        }
+
+
+def run_case(
+    case: BenchmarkCase,
+    suite: str = "fast",
+    config: Optional[RunnerConfig] = None,
+    metrics: Optional[MetricsRegistry] = None,
+) -> CaseResult:
+    """Measure one case and return its robust timing digest."""
+    config = config if config is not None else RunnerConfig()
+    metrics = metrics if metrics is not None else MetricsRegistry()
+    histogram = metrics.histogram(f"bench_seconds/{case.name}")
+    params = case.params_for(suite)
+    state = case.build(suite, rng=np.random.default_rng(config.seed))
+    try:
+        for _ in range(config.warmup):
+            case.func(state)
+        samples: List[float] = []
+        total = 0.0
+        while len(samples) < config.max_repeats and (
+            len(samples) < config.min_repeats or total < config.min_time
+        ):
+            watch = Stopwatch().start()
+            case.func(state)
+            seconds = watch.stop()
+            samples.append(seconds)
+            histogram.observe(seconds)
+            total += seconds
+    finally:
+        case.cleanup(state)
+    kept, rejected = reject_outliers(samples, config.outlier_threshold)
+    result = CaseResult(
+        name=case.name,
+        suite=suite,
+        params=params,
+        repeats=len(samples),
+        rejected=len(rejected),
+        warmup=config.warmup,
+        stats=describe(kept),
+    )
+    logger.debug(
+        "bench %s: %d repeats (%d rejected), median %.6fs",
+        case.name,
+        result.repeats,
+        result.rejected,
+        result.stats["median"],
+    )
+    return result
+
+
+def run_suite(
+    suite: str = "fast",
+    config: Optional[RunnerConfig] = None,
+    registry: Optional[BenchmarkRegistry] = None,
+    pattern: Optional[str] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[CaseResult]:
+    """Run every registered case in ``suite`` (optionally filtered).
+
+    ``progress`` (when given) is called with each case name before it
+    runs — the CLI uses it for live output.
+    """
+    registry = registry if registry is not None else default_registry()
+    cases = list(registry.cases(suite=suite, pattern=pattern))
+    if not cases:
+        raise ValueError(
+            f"no benchmark cases match suite {suite!r}"
+            + (f" and pattern {pattern!r}" if pattern else "")
+        )
+    results = []
+    for case in cases:
+        if progress is not None:
+            progress(case.name)
+        results.append(
+            run_case(case, suite=suite, config=config, metrics=metrics)
+        )
+    return results

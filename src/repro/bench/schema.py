@@ -1,0 +1,174 @@
+"""The versioned ``BENCH_*.json`` document.
+
+Shape (version 1)::
+
+    {
+      "schema": "repro.bench",
+      "schema_version": 1,
+      "suite": "fast",
+      "config": { ...RunnerConfig... },
+      "provenance": { timestamp, git_sha, git_dirty, python, numpy,
+                      platform, machine, cpu_count },
+      "cases": {
+        "conv2d/forward": {
+          "suite": "fast",
+          "params": {"batch": 4, ...},
+          "repeats": 32, "rejected": 1, "warmup": 3,
+          "stats": { count, total, mean, std, median, mad,
+                     min, p95, p99, max }
+        },
+        ...
+      }
+    }
+
+``validate_bench`` collects *every* problem before raising, so a
+corrupted file reports all its defects at once; ``load_bench`` validates
+on read, which is what makes ``compare`` trustworthy.  Bump
+``SCHEMA_VERSION`` on any incompatible change and teach ``load_bench``
+to migrate or reject old versions explicitly.
+"""
+
+from __future__ import annotations
+
+import json
+import numbers
+from typing import List
+
+__all__ = [
+    "SCHEMA_NAME",
+    "SCHEMA_VERSION",
+    "SchemaError",
+    "build_document",
+    "validate_bench",
+    "write_bench",
+    "load_bench",
+]
+
+SCHEMA_NAME = "repro.bench"
+SCHEMA_VERSION = 1
+
+#: Stats every case must carry (the output of ``stats.describe``).
+_STAT_KEYS = (
+    "count",
+    "total",
+    "mean",
+    "std",
+    "median",
+    "mad",
+    "min",
+    "p95",
+    "p99",
+    "max",
+)
+
+_PROVENANCE_KEYS = (
+    "timestamp",
+    "git_sha",
+    "git_dirty",
+    "python",
+    "numpy",
+    "platform",
+    "machine",
+    "cpu_count",
+)
+
+
+class SchemaError(ValueError):
+    """A BENCH document that does not conform to the schema.
+
+    ``problems`` lists every violation found.
+    """
+
+    def __init__(self, problems: List[str]) -> None:
+        self.problems = list(problems)
+        super().__init__(
+            "invalid BENCH document: " + "; ".join(self.problems)
+        )
+
+
+def build_document(
+    suite: str, config: dict, provenance: dict, results
+) -> dict:
+    """Assemble a schema-valid document from runner output."""
+    return {
+        "schema": SCHEMA_NAME,
+        "schema_version": SCHEMA_VERSION,
+        "suite": suite,
+        "config": dict(config),
+        "provenance": dict(provenance),
+        "cases": {r.name: r.to_dict() for r in results},
+    }
+
+
+def _check_number(problems, obj, key, where) -> None:
+    value = obj.get(key)
+    if not isinstance(value, numbers.Real) or isinstance(value, bool):
+        problems.append(f"{where}.{key} must be a number, got {value!r}")
+
+
+def validate_bench(doc: dict) -> dict:
+    """Raise :class:`SchemaError` unless ``doc`` conforms; returns it."""
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        raise SchemaError(["document must be a JSON object"])
+    if doc.get("schema") != SCHEMA_NAME:
+        problems.append(
+            f"schema must be {SCHEMA_NAME!r}, got {doc.get('schema')!r}"
+        )
+    if doc.get("schema_version") != SCHEMA_VERSION:
+        problems.append(
+            f"schema_version must be {SCHEMA_VERSION}, "
+            f"got {doc.get('schema_version')!r}"
+        )
+    if not isinstance(doc.get("suite"), str) or not doc.get("suite"):
+        problems.append("suite must be a non-empty string")
+    if not isinstance(doc.get("config"), dict):
+        problems.append("config must be an object")
+    provenance = doc.get("provenance")
+    if not isinstance(provenance, dict):
+        problems.append("provenance must be an object")
+    else:
+        for key in _PROVENANCE_KEYS:
+            if key not in provenance:
+                problems.append(f"provenance.{key} is missing")
+    cases = doc.get("cases")
+    if not isinstance(cases, dict) or not cases:
+        problems.append("cases must be a non-empty object")
+    else:
+        for name, case in cases.items():
+            where = f"cases[{name!r}]"
+            if not isinstance(case, dict):
+                problems.append(f"{where} must be an object")
+                continue
+            if not isinstance(case.get("params"), dict):
+                problems.append(f"{where}.params must be an object")
+            for key in ("repeats", "rejected", "warmup"):
+                _check_number(problems, case, key, where)
+            stats = case.get("stats")
+            if not isinstance(stats, dict):
+                problems.append(f"{where}.stats must be an object")
+                continue
+            for key in _STAT_KEYS:
+                _check_number(problems, stats, key, f"{where}.stats")
+    if problems:
+        raise SchemaError(problems)
+    return doc
+
+
+def write_bench(path: str, doc: dict) -> dict:
+    """Validate and write ``doc`` to ``path`` (pretty-printed JSON)."""
+    validate_bench(doc)
+    with open(path, "w") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return doc
+
+
+def load_bench(path: str) -> dict:
+    """Read and validate a BENCH file."""
+    with open(path) as handle:
+        try:
+            doc = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise SchemaError([f"{path} is not valid JSON: {exc}"]) from exc
+    return validate_bench(doc)

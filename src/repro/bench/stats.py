@@ -1,0 +1,80 @@
+"""Robust statistics for benchmark timings.
+
+Wall-clock samples are right-skewed: the floor is the true cost of the
+code, while scheduler preemption, page faults and lazily-triggered
+allocations push individual repeats arbitrarily high.  Mean/std are
+fragile under that contamination, so the digest here centres on the
+median and the MAD (median absolute deviation), and outlier rejection is
+one-sided — only implausibly *slow* samples (warm-up stragglers) are
+dropped; a sample can never be "too fast" by accident.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["mad", "reject_outliers", "describe"]
+
+#: Scale factor that makes the MAD a consistent estimator of the standard
+#: deviation under normality (1 / Phi^-1(3/4)).
+MAD_TO_SIGMA = 1.4826
+
+
+def mad(values: Sequence[float]) -> float:
+    """Median absolute deviation from the median (unscaled)."""
+    if len(values) == 0:
+        raise ValueError("mad of an empty sample")
+    arr = np.asarray(values, dtype=float)
+    return float(np.median(np.abs(arr - np.median(arr))))
+
+
+def reject_outliers(
+    values: Sequence[float], threshold: float = 5.0
+) -> Tuple[List[float], List[float]]:
+    """Split ``values`` into ``(kept, rejected)`` by one-sided MAD fences.
+
+    A sample is rejected when it exceeds
+    ``median + threshold * MAD_TO_SIGMA * mad``.  When the MAD is zero
+    (more than half the samples are identical, common for very fast
+    bodies at clock resolution) nothing can be distinguished from noise
+    and everything is kept.
+    """
+    if len(values) == 0:
+        raise ValueError("cannot reject outliers from an empty sample")
+    if threshold <= 0:
+        raise ValueError("threshold must be positive")
+    arr = np.asarray(values, dtype=float)
+    centre = float(np.median(arr))
+    spread = mad(arr) * MAD_TO_SIGMA
+    if spread == 0.0:
+        return [float(v) for v in arr], []
+    fence = centre + threshold * spread
+    kept = [float(v) for v in arr if v <= fence]
+    rejected = [float(v) for v in arr if v > fence]
+    return kept, rejected
+
+
+def describe(values: Sequence[float]) -> dict:
+    """JSON-friendly digest of a timing sample.
+
+    Keys: ``count``, ``total``, ``mean``, ``std``, ``median``, ``mad``,
+    ``min``, ``p95``, ``p99``, ``max`` — the schema of each case's
+    ``stats`` object in a ``BENCH_*.json``.
+    """
+    if len(values) == 0:
+        raise ValueError("cannot describe an empty sample")
+    arr = np.asarray(values, dtype=float)
+    return {
+        "count": int(arr.size),
+        "total": float(arr.sum()),
+        "mean": float(arr.mean()),
+        "std": float(arr.std()),
+        "median": float(np.median(arr)),
+        "mad": mad(arr),
+        "min": float(arr.min()),
+        "p95": float(np.percentile(arr, 95.0)),
+        "p99": float(np.percentile(arr, 99.0)),
+        "max": float(arr.max()),
+    }

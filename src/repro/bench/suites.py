@@ -1,0 +1,303 @@
+"""The default benchmark suite: the repo's real hot paths.
+
+Importing this module registers every case on the default registry (the
+CLI and the pytest-benchmark wrappers both import it).  Cases cover the
+kernels the paper's pipeline spends its time in:
+
+* ``conv2d/forward`` / ``conv2d/backward`` — the numpy convolution every
+  model forward/backward bottoms out in;
+* ``faults/sample_fault_map`` / ``faults/apply`` — the per-step fault
+  draw that stochastic fault-tolerant training performs on *every*
+  forward pass;
+* ``crossbar/map_matrix`` / ``crossbar/matvec`` — differential-pair
+  weight programming and the Kirchhoff MVM;
+* ``adc/bit_serial_mvm`` — the bit-serial input-DAC/column-ADC MVM;
+* ``eval/defect_draw`` — one full draw of the paper's testing protocol
+  (inject → evaluate → restore), the unit repeated 100× per reported
+  accuracy;
+* ``train/resnet8_epoch`` — one epoch of standard training on synthetic
+  data, the unit pretraining repeats for 160 epochs.
+
+The ``fast`` tier sizes each case for CI (whole suite well under two
+minutes); ``full`` uses the microbenchmark sizes for real optimisation
+work.  Input sizes live in each case's ``params`` and are recorded in
+the BENCH document, so files measured at different sizes refuse to
+compare.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..core.evaluate import evaluate_defect_accuracy
+from ..core.training import Trainer
+from ..datasets import DataLoader, make_synthetic_pair
+from ..models import resnet8
+from ..reram import (
+    ADCModel,
+    BitSerialMVM,
+    BitSlicedMapper,
+    CrossbarMapper,
+    ReRAMDeviceModel,
+    StuckAtFaultSpec,
+    WeightSpaceFaultModel,
+    sample_fault_map,
+)
+from .registry import benchmark
+
+__all__: list = []
+
+
+def _conv_setup(params: dict, rng: np.random.Generator) -> dict:
+    layer = nn.Conv2d(
+        params["cin"], params["cout"], 3, padding=1, rng=rng
+    )
+    x = rng.normal(size=(params["batch"], params["cin"], params["size"], params["size"]))
+    out = layer(x)
+    return {"layer": layer, "x": x, "grad": np.ones_like(out)}
+
+
+@benchmark(
+    "conv2d/forward",
+    params={
+        "fast": {"batch": 4, "cin": 8, "cout": 16, "size": 10},
+        "full": {"batch": 8, "cin": 16, "cout": 32, "size": 12},
+    },
+    setup=_conv_setup,
+    description="Conv2d forward pass (3x3, padded)",
+)
+def _conv_forward(state):
+    return state["layer"](state["x"])
+
+
+@benchmark(
+    "conv2d/backward",
+    params={
+        "fast": {"batch": 4, "cin": 8, "cout": 16, "size": 10},
+        "full": {"batch": 8, "cin": 16, "cout": 32, "size": 12},
+    },
+    setup=_conv_setup,
+    description="Conv2d backward pass (input + weight gradients)",
+)
+def _conv_backward(state):
+    return state["layer"].backward(state["grad"])
+
+
+def _fault_map_setup(params: dict, rng: np.random.Generator) -> dict:
+    return {
+        "shape": tuple(params["shape"]),
+        "spec": StuckAtFaultSpec(params["p_sa"]),
+        "rng": rng,
+    }
+
+
+@benchmark(
+    "faults/sample_fault_map",
+    params={
+        "fast": {"shape": [128, 128], "p_sa": 0.05},
+        "full": {"shape": [256, 256], "p_sa": 0.05},
+    },
+    setup=_fault_map_setup,
+    description="Stuck-at fault-map draw over a crossbar tile",
+)
+def _sample_fault_map(state):
+    return sample_fault_map(state["shape"], state["spec"], state["rng"])
+
+
+def _fault_apply_setup(params: dict, rng: np.random.Generator) -> dict:
+    return {
+        "model": WeightSpaceFaultModel(),
+        "w": rng.normal(size=tuple(params["shape"])),
+        "p_sa": params["p_sa"],
+        "rng": rng,
+    }
+
+
+@benchmark(
+    "faults/apply",
+    params={
+        "fast": {"shape": [32, 32, 3, 3], "p_sa": 0.05},
+        "full": {"shape": [64, 64, 3, 3], "p_sa": 0.05},
+    },
+    setup=_fault_apply_setup,
+    description="WeightSpaceFaultModel.apply on a conv weight tensor",
+)
+def _fault_apply(state):
+    return state["model"].apply(state["w"], state["p_sa"], state["rng"])
+
+
+def _mapper_setup(params: dict, rng: np.random.Generator) -> dict:
+    device = ReRAMDeviceModel(g_off=1e-6, g_on=1e-4, levels=256)
+    mapper = CrossbarMapper(device=device, tile_size=params["tile"])
+    w = rng.normal(size=(params["rows"], params["cols"]))
+    mapped = mapper.map_matrix(w)
+    x = rng.normal(size=(params["batch"], params["rows"]))
+    return {"mapper": mapper, "w": w, "mapped": mapped, "x": x}
+
+
+@benchmark(
+    "crossbar/map_matrix",
+    params={
+        "fast": {"rows": 128, "cols": 64, "tile": 64, "batch": 8},
+        "full": {"rows": 256, "cols": 128, "tile": 128, "batch": 16},
+    },
+    setup=_mapper_setup,
+    description="Differential-pair tiled weight mapping",
+)
+def _map_matrix(state):
+    return state["mapper"].map_matrix(state["w"])
+
+
+@benchmark(
+    "crossbar/matvec",
+    params={
+        "fast": {"rows": 128, "cols": 64, "tile": 64, "batch": 8},
+        "full": {"rows": 256, "cols": 128, "tile": 128, "batch": 16},
+    },
+    setup=_mapper_setup,
+    description="Kirchhoff MVM through the mapped crossbar tiles",
+)
+def _matvec(state):
+    return state["mapped"].matvec(state["x"])
+
+
+def _bit_serial_setup(params: dict, rng: np.random.Generator) -> dict:
+    device = ReRAMDeviceModel(g_off=1e-6, g_on=1e-4, levels=256)
+    mapper = CrossbarMapper(device=device, tile_size=params["tile"])
+    mapped = mapper.map_matrix(
+        rng.normal(size=(params["rows"], params["cols"]))
+    )
+    mvm = BitSerialMVM(
+        mapped,
+        input_bits=params["input_bits"],
+        adc=ADCModel(bits=8, full_scale=50.0),
+    )
+    return {"mvm": mvm, "x": rng.normal(size=(params["batch"], params["rows"]))}
+
+
+@benchmark(
+    "adc/bit_serial_mvm",
+    params={
+        "fast": {"rows": 64, "cols": 32, "tile": 64, "batch": 4, "input_bits": 4},
+        "full": {"rows": 128, "cols": 64, "tile": 128, "batch": 8, "input_bits": 4},
+    },
+    setup=_bit_serial_setup,
+    description="Bit-serial MVM with input DAC and column ADC",
+)
+def _bit_serial_mvm(state):
+    return state["mvm"].matvec(state["x"])
+
+
+def _bitslice_setup(params: dict, rng: np.random.Generator) -> dict:
+    device = ReRAMDeviceModel(g_off=1e-6, g_on=1e-4, levels=4)
+    mapper = BitSlicedMapper(
+        device=device,
+        bits_per_slice=params["bits_per_slice"],
+        num_slices=params["num_slices"],
+    )
+    mapped = mapper.map_matrix(
+        rng.normal(size=(params["rows"], params["cols"]))
+    )
+    return {"mapped": mapped}
+
+
+@benchmark(
+    "bitslice/read_back",
+    params={
+        "fast": {"rows": 64, "cols": 64, "bits_per_slice": 2, "num_slices": 4},
+        "full": {"rows": 128, "cols": 128, "bits_per_slice": 2, "num_slices": 4},
+    },
+    setup=_bitslice_setup,
+    description="Bit-sliced weight readback and recombination",
+)
+def _bitslice_read_back(state):
+    return state["mapped"].read_back()
+
+
+def _resnet_forward_setup(params: dict, rng: np.random.Generator) -> dict:
+    model = resnet8(
+        num_classes=params["classes"], base_width=params["width"], rng=rng
+    )
+    model.eval()
+    x = rng.normal(
+        size=(params["batch"], 3, params["image"], params["image"])
+    )
+    return {"model": model, "x": x}
+
+
+@benchmark(
+    "model/resnet8_forward",
+    params={
+        "fast": {"classes": 10, "width": 8, "image": 8, "batch": 8},
+        "full": {"classes": 10, "width": 16, "image": 12, "batch": 16},
+    },
+    setup=_resnet_forward_setup,
+    description="ResNet-8 inference forward pass",
+)
+def _resnet8_forward(state):
+    return state["model"](state["x"])
+
+
+def _eval_setup(params: dict, rng: np.random.Generator) -> dict:
+    model = resnet8(
+        num_classes=params["classes"], base_width=params["width"], rng=rng
+    )
+    model.eval()
+    _, test = make_synthetic_pair(
+        num_classes=params["classes"],
+        image_size=params["image"],
+        train_size=params["samples"],
+        test_size=params["samples"],
+        seed=0,
+    )
+    loader = DataLoader(test, params["samples"], shuffle=False)
+    return {"model": model, "loader": loader, "p_sa": params["p_sa"]}
+
+
+@benchmark(
+    "eval/defect_draw",
+    params={
+        "fast": {"classes": 10, "width": 8, "image": 8, "samples": 32, "p_sa": 0.05},
+        "full": {"classes": 10, "width": 16, "image": 12, "samples": 128, "p_sa": 0.05},
+    },
+    setup=_eval_setup,
+    description="One defect-evaluation draw: inject, evaluate, restore",
+)
+def _defect_draw(state):
+    return evaluate_defect_accuracy(
+        state["model"],
+        state["loader"],
+        state["p_sa"],
+        num_runs=1,
+        seed=0,
+    )
+
+
+def _train_setup(params: dict, rng: np.random.Generator) -> dict:
+    model = resnet8(
+        num_classes=params["classes"], base_width=params["width"], rng=rng
+    )
+    train, _ = make_synthetic_pair(
+        num_classes=params["classes"],
+        image_size=params["image"],
+        train_size=params["samples"],
+        test_size=params["classes"],
+        seed=0,
+    )
+    loader = DataLoader(train, params["batch"], shuffle=True, seed=0)
+    optimizer = nn.SGD(model.parameters(), lr=0.05, momentum=0.9)
+    return {"trainer": Trainer(model, optimizer), "loader": loader}
+
+
+@benchmark(
+    "train/resnet8_epoch",
+    params={
+        "fast": {"classes": 10, "width": 8, "image": 8, "samples": 64, "batch": 32},
+        "full": {"classes": 10, "width": 16, "image": 12, "samples": 256, "batch": 64},
+    },
+    setup=_train_setup,
+    description="One standard training epoch of resnet8 on synthetic data",
+)
+def _train_epoch(state):
+    return state["trainer"].train_epoch(state["loader"])

@@ -8,6 +8,7 @@ Usage::
     python -m repro.experiments all --scale ci --out results/
     python -m repro.experiments table1 --scale ci --telemetry-dir results/telemetry
     python -m repro.experiments summary --run results/telemetry
+    python -m repro.experiments summary --run results/telemetry --top 10
 
 Each experiment subcommand regenerates the corresponding paper artefact,
 prints the table, and (with ``--out``) writes the rendered text and raw
@@ -92,6 +93,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the `summary` report as JSON instead of text",
     )
     parser.add_argument(
+        "--top",
+        type=int,
+        default=None,
+        metavar="N",
+        help="append the N slowest spans and per-layer forward/backward "
+        "times to the `summary` report",
+    )
+    parser.add_argument(
         "-v",
         "--verbose",
         action="count",
@@ -150,10 +159,13 @@ def _run_summary(args) -> int:
     except (FileNotFoundError, NotADirectoryError) as exc:
         print(f"summary: {exc}", file=sys.stderr)
         return 2
+    if args.top is not None and args.top < 1:
+        print("summary: --top must be >= 1", file=sys.stderr)
+        return 2
     if args.as_json:
         text = json.dumps(report, indent=2)
     else:
-        text = telemetry.render_summary(report)
+        text = telemetry.render_summary(report, top=args.top)
     print(text)
     if args.out:
         suffix = "json" if args.as_json else "txt"

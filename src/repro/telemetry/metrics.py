@@ -14,6 +14,7 @@ need their own ``if telemetry:`` guards around metric updates.
 
 from __future__ import annotations
 
+import operator
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -31,6 +32,24 @@ class Counter:
         self.value = 0
 
     def inc(self, amount: int = 1) -> None:
+        # Coerce index-like amounts (numpy ints) and integral floats so
+        # `value` stays an exact int; anything fractional is a bug at the
+        # call-site, not something to accumulate silently.
+        if isinstance(amount, float):
+            if not amount.is_integer():
+                raise TypeError(
+                    f"counter {self.name!r} increments must be whole "
+                    f"numbers, got {amount!r}"
+                )
+            amount = int(amount)
+        else:
+            try:
+                amount = operator.index(amount)
+            except TypeError:
+                raise TypeError(
+                    f"counter {self.name!r} increments must be integers, "
+                    f"got {type(amount).__name__}"
+                ) from None
         if amount < 0:
             raise ValueError("counters only go up; use a Gauge")
         self.value += amount
@@ -88,16 +107,18 @@ class Histogram:
         return float(np.percentile(self.values, q))
 
     def summary(self) -> dict:
-        """JSON-friendly digest: count, sum, mean, min/p50/p95/max."""
+        """JSON-friendly digest: count/sum/mean/std, min/p50/p95/p99/max."""
         if not self.values:
             return {"count": 0, "sum": 0.0}
         return {
             "count": self.count,
             "sum": self.total,
             "mean": self.mean,
+            "std": float(np.std(self.values)),
             "min": float(min(self.values)),
             "p50": self.percentile(50.0),
             "p95": self.percentile(95.0),
+            "p99": self.percentile(99.0),
             "max": float(max(self.values)),
         }
 

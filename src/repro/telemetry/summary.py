@@ -114,8 +114,83 @@ def _format_seconds(seconds: float) -> str:
     return f"{seconds:.3f}s"
 
 
-def render_summary(summary: dict) -> str:
-    """Human-readable text report of a :func:`summarize_run` digest."""
+def _top_tables(summary: dict, top: int) -> List[str]:
+    """``--top N`` detail: slowest spans + per-layer forward/backward.
+
+    Rendered through the bench reporter's table formatting so the two
+    CLIs read the same.  (Imported lazily: ``repro.bench`` itself imports
+    telemetry, so a module-level import here would be circular.)
+    """
+    from ..bench.report import format_seconds, format_table
+
+    lines: List[str] = []
+    spans = summary.get("spans") or {}
+    if spans:
+        ranked = sorted(spans.items(), key=lambda item: -item[1]["seconds"])
+        rows = [
+            [
+                path,
+                entry["count"],
+                format_seconds(entry["seconds"]),
+                format_seconds(entry["seconds"] / max(entry["count"], 1)),
+            ]
+            for path, entry in ranked[:top]
+        ]
+        lines += [
+            "",
+            f"Slowest spans (top {min(top, len(ranked))} of {len(ranked)}):",
+            format_table(["span", "count", "total", "mean"], rows),
+        ]
+
+    histograms = (summary.get("metrics") or {}).get("histograms") or {}
+    layers: Dict[str, Dict[str, dict]] = {}
+    for name, digest in histograms.items():
+        for kind in ("forward", "backward"):
+            prefix = f"{kind}_seconds/"
+            if name.startswith(prefix) and digest.get("count"):
+                layers.setdefault(name[len(prefix):], {})[kind] = digest
+    if layers:
+        def _total(entry: Dict[str, dict]) -> float:
+            return sum(d.get("sum", 0.0) for d in entry.values())
+
+        ranked_layers = sorted(
+            layers.items(), key=lambda item: -_total(item[1])
+        )
+        rows = []
+        for layer, entry in ranked_layers[:top]:
+            fwd = entry.get("forward", {})
+            bwd = entry.get("backward", {})
+            rows.append(
+                [
+                    layer,
+                    fwd.get("count", 0),
+                    format_seconds(fwd.get("sum")) if fwd else "-",
+                    format_seconds(fwd.get("mean")) if fwd else "-",
+                    format_seconds(bwd.get("sum")) if bwd else "-",
+                    format_seconds(bwd.get("mean")) if bwd else "-",
+                ]
+            )
+        lines += [
+            "",
+            f"Per-layer forward/backward "
+            f"(top {min(top, len(ranked_layers))} of {len(ranked_layers)}):",
+            format_table(
+                ["layer", "calls", "fwd total", "fwd mean", "bwd total",
+                 "bwd mean"],
+                rows,
+            ),
+        ]
+    if not lines:
+        lines = ["", "(no span or per-layer timings recorded)"]
+    return lines
+
+
+def render_summary(summary: dict, top: Optional[int] = None) -> str:
+    """Human-readable text report of a :func:`summarize_run` digest.
+
+    ``top`` appends the slowest-``N`` spans and per-layer
+    forward/backward tables (the CLI's ``--top N``).
+    """
     lines = [
         f"Telemetry summary — {summary.get('run_id')}",
         f"  directory : {summary.get('run_dir')}",
@@ -168,4 +243,9 @@ def render_summary(summary: dict) -> str:
                 f"  {path:<{width}}  ×{entry['count']:<4} "
                 f"{_format_seconds(entry['seconds'])}"
             )
+
+    if top is not None:
+        if top < 1:
+            raise ValueError("top must be >= 1")
+        lines.extend(_top_tables(summary, top))
     return "\n".join(lines)

@@ -6,7 +6,9 @@ Three layers of timing granularity:
   (used by the trainers to record per-epoch wall time);
 * :class:`SpanTracker` — nestable ``with tracker.span("pretrain"):``
   scopes that emit ``span_begin``/``span_end`` events (with the full
-  ``outer/inner`` path) and feed a ``span_seconds/<name>`` histogram;
+  ``outer/inner`` path) and feed a ``span_seconds/<full/path>``
+  histogram, so identically-named spans under different parents stay
+  distinct;
 * :class:`ModuleProfiler` — wraps every submodule's ``forward`` and
   ``backward`` with timing shims, recording per-layer
   ``forward_seconds/<layer>`` and ``backward_seconds/<layer>``
@@ -110,7 +112,7 @@ class SpanTracker:
                 depth=depth,
                 seconds=seconds,
             )
-            self.metrics.histogram(f"span_seconds/{name}").observe(seconds)
+            self.metrics.histogram(f"span_seconds/{path}").observe(seconds)
 
 
 def named_modules(module, prefix: str = "") -> Iterator[Tuple[str, object]]:

@@ -1,0 +1,161 @@
+"""Tests for repro.bench.compare and the compare CLI's exit codes."""
+
+import copy
+
+import pytest
+
+from repro.bench import RunnerConfig, compare_benches, render_comparison
+from repro.bench.cli import main as bench_main
+from repro.bench.runner import CaseResult
+from repro.bench.schema import build_document, write_bench
+from repro.bench.stats import describe
+
+
+def _case(name, timings, params=None):
+    return CaseResult(
+        name=name,
+        suite="fast",
+        params=params if params is not None else {"n": 10},
+        repeats=len(timings),
+        rejected=0,
+        warmup=1,
+        stats=describe(timings),
+    )
+
+
+def _doc(cases):
+    provenance = {
+        "timestamp": "2026-08-05T00:00:00",
+        "git_sha": "0" * 40,
+        "git_dirty": False,
+        "python": "3.11.7",
+        "numpy": "2.0",
+        "platform": "test",
+        "machine": "x86_64",
+        "cpu_count": 1,
+    }
+    return build_document(
+        "fast", RunnerConfig().to_dict(), provenance, cases
+    )
+
+
+BASE_TIMINGS = [0.010, 0.0101, 0.0099, 0.0102, 0.0098, 0.010, 0.0101]
+
+
+def test_parity_is_ok():
+    doc = _doc([_case("a", BASE_TIMINGS)])
+    result = compare_benches(doc, copy.deepcopy(doc))
+    assert result.ok
+    assert [d.status for d in result.deltas] == ["ok"]
+
+
+def test_3x_regression_is_flagged():
+    baseline = _doc([_case("a", BASE_TIMINGS)])
+    candidate = _doc([_case("a", [t * 3 for t in BASE_TIMINGS])])
+    result = compare_benches(baseline, candidate)
+    assert not result.ok
+    (delta,) = result.regressions
+    assert delta.name == "a"
+    assert delta.ratio == pytest.approx(3.0)
+    assert "slower" in delta.note
+
+
+def test_3x_improvement_is_flagged_but_ok():
+    baseline = _doc([_case("a", [t * 3 for t in BASE_TIMINGS])])
+    candidate = _doc([_case("a", BASE_TIMINGS)])
+    result = compare_benches(baseline, candidate)
+    assert result.ok
+    assert [d.status for d in result.deltas] == ["improvement"]
+
+
+def test_slowdown_within_noise_is_not_a_regression():
+    # 50% slower nominally, but the samples are so noisy (huge MAD) that
+    # the absolute gap does not clear the noise floor.
+    noisy = [0.01, 0.03, 0.005, 0.04, 0.02, 0.035, 0.008]
+    baseline = _doc([_case("a", noisy)])
+    candidate = _doc([_case("a", [t * 1.5 for t in noisy])])
+    result = compare_benches(baseline, candidate, noise_mads=3.0)
+    assert result.ok
+    assert result.deltas[0].note == "slower, but within measurement noise"
+
+
+def test_threshold_is_respected():
+    baseline = _doc([_case("a", BASE_TIMINGS)])
+    candidate = _doc([_case("a", [t * 1.2 for t in BASE_TIMINGS])])
+    assert compare_benches(baseline, candidate, threshold=0.25).ok
+    assert not compare_benches(baseline, candidate, threshold=0.1).ok
+
+
+def test_differing_params_are_incomparable():
+    baseline = _doc([_case("a", BASE_TIMINGS, params={"n": 10})])
+    candidate = _doc(
+        [_case("a", [t * 5 for t in BASE_TIMINGS], params={"n": 99})]
+    )
+    result = compare_benches(baseline, candidate)
+    assert result.ok  # not a regression: sizes differ
+    assert result.deltas[0].status == "incomparable"
+
+
+def test_missing_and_new_cases_reported_but_ok():
+    baseline = _doc([_case("old", BASE_TIMINGS)])
+    candidate = _doc([_case("new", BASE_TIMINGS)])
+    result = compare_benches(baseline, candidate)
+    assert result.ok
+    statuses = {d.name: d.status for d in result.deltas}
+    assert statuses == {"old": "missing", "new": "new"}
+
+
+def test_validation():
+    doc = _doc([_case("a", BASE_TIMINGS)])
+    with pytest.raises(ValueError):
+        compare_benches(doc, doc, threshold=0.0)
+    with pytest.raises(ValueError):
+        compare_benches(doc, doc, noise_mads=-1.0)
+
+
+def test_render_comparison_mentions_verdict():
+    baseline = _doc([_case("a", BASE_TIMINGS)])
+    candidate = _doc([_case("a", [t * 3 for t in BASE_TIMINGS])])
+    text = render_comparison(compare_benches(baseline, candidate))
+    assert "REGRESSION" in text
+    text = render_comparison(compare_benches(baseline, baseline))
+    assert "OK" in text
+
+
+# -- CLI exit codes ---------------------------------------------------------
+
+
+def test_cli_compare_exit_codes(tmp_path, capsys):
+    base_path = str(tmp_path / "BENCH_base.json")
+    good_path = str(tmp_path / "BENCH_good.json")
+    bad_path = str(tmp_path / "BENCH_bad.json")
+    write_bench(base_path, _doc([_case("a", BASE_TIMINGS)]))
+    write_bench(good_path, _doc([_case("a", BASE_TIMINGS)]))
+    write_bench(
+        bad_path, _doc([_case("a", [t * 3 for t in BASE_TIMINGS])])
+    )
+
+    assert bench_main(["compare", base_path, good_path]) == 0
+    assert bench_main(["compare", base_path, bad_path]) == 1
+    out = capsys.readouterr().out
+    assert "REGRESSION" in out
+
+
+def test_cli_compare_json_output(tmp_path, capsys):
+    import json
+
+    base_path = str(tmp_path / "BENCH_base.json")
+    write_bench(base_path, _doc([_case("a", BASE_TIMINGS)]))
+    assert bench_main(["compare", base_path, base_path, "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is True
+    assert payload["deltas"][0]["name"] == "a"
+
+
+def test_cli_compare_rejects_invalid_files(tmp_path, capsys):
+    bad = tmp_path / "BENCH_x.json"
+    bad.write_text("{}")
+    ok = tmp_path / "BENCH_ok.json"
+    write_bench(str(ok), _doc([_case("a", BASE_TIMINGS)]))
+    assert bench_main(["compare", str(bad), str(ok)]) == 2
+    assert bench_main(["compare", str(tmp_path / "nope.json"), str(ok)]) == 2

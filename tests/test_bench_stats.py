@@ -1,0 +1,95 @@
+"""Tests for repro.bench.stats: robust timing statistics."""
+
+import numpy as np
+import pytest
+
+from repro.bench import describe, mad, reject_outliers
+from repro.bench.stats import MAD_TO_SIGMA
+
+
+def test_mad_of_symmetric_sample():
+    assert mad([1.0, 2.0, 3.0, 4.0, 5.0]) == 1.0
+
+
+def test_mad_is_shift_invariant():
+    base = [0.1, 0.2, 0.3, 0.4, 0.7]
+    shifted = [v + 100.0 for v in base]
+    assert mad(base) == pytest.approx(mad(shifted))
+
+
+def test_mad_empty_raises():
+    with pytest.raises(ValueError):
+        mad([])
+
+
+def test_reject_outliers_drops_only_slow_stragglers():
+    # A tight cluster plus two wildly slow warm-up samples.
+    values = [1.0, 1.01, 0.99, 1.02, 0.98, 1.0, 1.01, 10.0, 25.0]
+    kept, rejected = reject_outliers(values, threshold=5.0)
+    assert sorted(rejected) == [10.0, 25.0]
+    assert len(kept) == 7
+    assert max(kept) <= 1.02
+
+
+def test_reject_outliers_is_one_sided():
+    # An implausibly *fast* sample is kept: timings can't lie low by noise.
+    values = [1.0, 1.01, 0.99, 1.02, 0.98, 1.0, 1.01, 0.001]
+    kept, rejected = reject_outliers(values, threshold=5.0)
+    assert rejected == []
+    assert 0.001 in kept
+
+
+def test_reject_outliers_zero_mad_keeps_everything():
+    values = [1.0] * 10 + [50.0]
+    kept, rejected = reject_outliers(values)
+    # Median spread is zero: nothing is distinguishable, keep all.
+    assert rejected == []
+    assert len(kept) == 11
+
+
+def test_reject_outliers_validation():
+    with pytest.raises(ValueError):
+        reject_outliers([])
+    with pytest.raises(ValueError):
+        reject_outliers([1.0], threshold=0.0)
+
+
+def test_reject_outliers_fence_position():
+    rng = np.random.default_rng(0)
+    values = list(rng.normal(1.0, 0.01, size=200))
+    centre = float(np.median(values))
+    spread = mad(values) * MAD_TO_SIGMA
+    just_inside = centre + 2.9 * spread
+    just_outside = centre + 3.1 * spread
+    kept, rejected = reject_outliers(
+        values + [just_inside, just_outside], threshold=3.0
+    )
+    assert just_inside in kept
+    assert just_outside in rejected
+
+
+def test_describe_matches_numpy():
+    rng = np.random.default_rng(1)
+    values = list(rng.exponential(0.01, size=500))
+    digest = describe(values)
+    assert digest["count"] == 500
+    assert digest["median"] == pytest.approx(np.median(values))
+    assert digest["mean"] == pytest.approx(np.mean(values))
+    assert digest["std"] == pytest.approx(np.std(values))
+    assert digest["p95"] == pytest.approx(np.percentile(values, 95))
+    assert digest["p99"] == pytest.approx(np.percentile(values, 99))
+    assert digest["min"] == min(values)
+    assert digest["max"] == max(values)
+    assert digest["total"] == pytest.approx(sum(values))
+    assert digest["mad"] == pytest.approx(mad(values))
+
+
+def test_describe_empty_raises():
+    with pytest.raises(ValueError):
+        describe([])
+
+
+def test_describe_is_json_friendly():
+    import json
+
+    json.dumps(describe([0.1, 0.2, 0.3]))

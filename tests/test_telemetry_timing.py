@@ -76,7 +76,26 @@ def test_nested_spans_paths_and_durations():
     assert ends["outer"]["depth"] == 0
     assert ends["outer/inner"]["depth"] == 1
     assert registry.histogram("span_seconds/outer").count == 1
-    assert registry.histogram("span_seconds/inner").count == 1
+    assert registry.histogram("span_seconds/outer/inner").count == 1
+
+
+def test_duplicate_leaf_names_get_distinct_histograms():
+    # Regression: spans named identically under different parents used to
+    # collapse into one `span_seconds/<leaf>` histogram.
+    registry = MetricsRegistry()
+    tracker = SpanTracker(EventLog(MemorySink(), run_id="r"), registry)
+    with tracker.span("pretrain"):
+        with tracker.span("epoch"):
+            pass
+    with tracker.span("ft_train"):
+        with tracker.span("epoch"):
+            pass
+        with tracker.span("epoch"):
+            pass
+    histograms = registry.snapshot()["histograms"]
+    assert "span_seconds/epoch" not in histograms
+    assert histograms["span_seconds/pretrain/epoch"]["count"] == 1
+    assert histograms["span_seconds/ft_train/epoch"]["count"] == 2
 
 
 def test_span_closes_on_exception():
