@@ -28,6 +28,7 @@ from . import (
     pruning,
     quantization,
     reram,
+    seeding,
     telemetry,
 )
 
@@ -61,6 +62,7 @@ __all__ = [
     "experiments",
     "baselines",
     "quantization",
+    "seeding",
     "telemetry",
     "apply_fault",
     "FaultInjector",

@@ -22,6 +22,7 @@ from .. import nn
 from ..core.training import Trainer
 from ..datasets.loader import DataLoader
 from ..reram.deploy import crossbar_parameters
+from ..seeding import resolve_rng
 from ..reram.faults import (
     StuckAtFaultSpec,
     WeightSpaceFaultModel,
@@ -107,7 +108,7 @@ class DeviceSpecificRetrainer:
         self.model = model
         self.fault_map = fault_map
         self.fault_model = fault_model or WeightSpaceFaultModel()
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = resolve_rng(rng)
         # Freeze the stuck values once (a real device's SA1 cell has one
         # fixed polarity, not a fresh coin flip per step).
         self._stuck_values: Dict[str, np.ndarray] = {}

@@ -26,6 +26,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from .. import nn
+from ..seeding import resolve_rng
 from ..datasets.loader import DataLoader
 
 __all__ = [
@@ -68,7 +69,7 @@ def generate_codebook(
             f"code_length {code_length} cannot distinguish "
             f"{num_classes} classes"
         )
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = resolve_rng(rng)
     best_book: Optional[np.ndarray] = None
     best_distance = -1
     for _ in range(tries):

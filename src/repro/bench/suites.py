@@ -27,12 +27,15 @@ compare.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 from .. import nn
 from ..core.evaluate import evaluate_defect_accuracy
 from ..core.training import Trainer
 from ..datasets import DataLoader, make_synthetic_pair
+from ..lint import lint_paths
 from ..models import resnet8
 from ..reram import (
     ADCModel,
@@ -301,3 +304,25 @@ def _train_setup(params: dict, rng: np.random.Generator) -> dict:
 )
 def _train_epoch(state):
     return state["trainer"].train_epoch(state["loader"])
+
+
+def _lint_setup(params: dict, rng: np.random.Generator) -> dict:
+    # Resolve the analysis root from this file's location so the case
+    # works from any cwd: src/ for the whole tree, a subpackage for the
+    # fast tier.
+    src_root = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+    scope = params["scope"]
+    path = src_root if scope == "all" else os.path.join(src_root, "repro", scope)
+    from ..lint import rules as _rules  # noqa: F401  (register once, untimed)
+
+    return {"paths": [path]}
+
+
+@benchmark(
+    "lint/analyze_tree",
+    params={"fast": {"scope": "nn"}, "full": {"scope": "all"}},
+    setup=_lint_setup,
+    description="repro.lint self-check: parse + all 8 rules over the tree",
+)
+def _lint_analyze(state):
+    return lint_paths(state["paths"])

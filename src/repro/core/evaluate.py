@@ -22,6 +22,7 @@ import numpy as np
 from .. import nn
 from ..datasets.loader import DataLoader
 from ..reram.faults import WeightSpaceFaultModel
+from ..seeding import resolve_rng
 from ..telemetry import current as _telemetry
 from .injector import FaultInjector
 
@@ -120,7 +121,7 @@ def evaluate_defect_accuracy(
         )
         return DefectEvaluation(0.0, clean, 0.0, [clean], seed=seed)
     if rng is None and seed is None:
-        rng = np.random.default_rng()
+        rng = resolve_rng()
     injector = FaultInjector(
         model,
         fault_model=fault_model,

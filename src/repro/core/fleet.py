@@ -20,6 +20,7 @@ import numpy as np
 from .. import nn
 from ..datasets.loader import DataLoader
 from ..reram.faults import WeightSpaceFaultModel
+from ..seeding import resolve_rng
 from ..telemetry import current as _telemetry
 from .evaluate import evaluate_accuracy
 from .injector import FaultInjector
@@ -94,7 +95,7 @@ def simulate_fleet(
     """
     if num_devices < 1:
         raise ValueError("num_devices must be >= 1")
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = resolve_rng(rng)
     telemetry = _telemetry()
     report = FleetReport(p_sa=p_sa)
     if p_sa == 0.0:

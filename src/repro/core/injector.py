@@ -23,6 +23,7 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from .. import nn
+from ..seeding import resolve_rng
 from ..reram.faults import SA0_SA1_RATIO, WeightSpaceFaultModel
 from ..reram.deploy import crossbar_parameters
 from ..telemetry import current as _telemetry
@@ -67,7 +68,7 @@ class FaultInjector:
         self.fault_model = (
             fault_model if fault_model is not None else WeightSpaceFaultModel()
         )
-        self.rng = rng if rng is not None else np.random.default_rng()
+        self.rng = resolve_rng(rng)
         self._targets = crossbar_parameters(model)
         if not self._targets:
             raise ValueError("model has no crossbar-resident weight tensors")

@@ -18,6 +18,7 @@ from .. import nn
 from ..datasets.loader import DataLoader
 from ..reram.deploy import crossbar_parameters
 from ..reram.faults import WeightSpaceFaultModel
+from ..seeding import resolve_rng
 from .evaluate import evaluate_accuracy
 
 __all__ = ["LayerSensitivity", "layer_sensitivity"]
@@ -48,7 +49,7 @@ def layer_sensitivity(
     """
     if num_runs < 1:
         raise ValueError("num_runs must be >= 1")
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = resolve_rng(rng)
     fault_model = fault_model or WeightSpaceFaultModel()
     clean = evaluate_accuracy(model, loader)
     results: List[LayerSensitivity] = []

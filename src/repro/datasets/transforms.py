@@ -11,6 +11,8 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from ..seeding import resolve_rng
+
 __all__ = [
     "Compose",
     "Normalize",
@@ -63,7 +65,7 @@ class RandomCrop:
             raise ValueError("size must be positive and padding non-negative")
         self.size = size
         self.padding = padding
-        self.rng = rng if rng is not None else np.random.default_rng()
+        self.rng = resolve_rng(rng)
 
     def __call__(self, image: np.ndarray) -> np.ndarray:
         if image.shape[1] != self.size or image.shape[2] != self.size:
@@ -89,7 +91,7 @@ class RandomHorizontalFlip:
         if not 0.0 <= p <= 1.0:
             raise ValueError("p must be in [0, 1]")
         self.p = p
-        self.rng = rng if rng is not None else np.random.default_rng()
+        self.rng = resolve_rng(rng)
 
     def __call__(self, image: np.ndarray) -> np.ndarray:
         if self.rng.random() < self.p:
@@ -104,7 +106,7 @@ class GaussianNoise:
         if sigma < 0:
             raise ValueError("sigma must be non-negative")
         self.sigma = sigma
-        self.rng = rng if rng is not None else np.random.default_rng()
+        self.rng = resolve_rng(rng)
 
     def __call__(self, image: np.ndarray) -> np.ndarray:
         if self.sigma == 0:

@@ -1,0 +1,14 @@
+"""Entry point for ``python -m repro.lint``."""
+
+import os
+import sys
+
+from .cli import main
+
+try:
+    sys.exit(main())
+except BrokenPipeError:
+    # e.g. `python -m repro.lint rules | head`.  Point stdout at devnull
+    # so the interpreter's shutdown flush doesn't raise a second time.
+    os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    sys.exit(0)

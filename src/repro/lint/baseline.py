@@ -1,0 +1,136 @@
+"""Baseline file: accepted pre-existing findings that don't gate CI.
+
+The committed baseline (``LINT_BASELINE.json`` at the repo root) is a
+ratchet: ``repro.lint run`` subtracts baselined findings from its
+output, so new code is held to the rules while old debt is paid down
+deliberately.  Entries match by *(rule, path, fingerprint)* — the
+fingerprint hashes the stripped source line, so entries survive edits
+that only move code around — and matching is count-aware: two identical
+violations need two entries.
+
+``repro.lint baseline`` regenerates the file from the current findings;
+``run`` reports entries that no longer match anything as *stale* so the
+ratchet visibly tightens.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Dict, List, Tuple
+
+from .findings import Finding
+
+__all__ = ["Baseline", "BaselineError"]
+
+SCHEMA_VERSION = 1
+
+_Key = Tuple[str, str, str]
+
+
+class BaselineError(ValueError):
+    """Raised when a baseline file is unreadable or malformed."""
+
+
+class Baseline:
+    """In-memory multiset of accepted findings."""
+
+    def __init__(self, entries: List[Dict[str, object]]) -> None:
+        self.entries = entries
+        self._counts: Counter = Counter(
+            (str(e["rule"]), str(e["path"]), str(e["fingerprint"]))
+            for e in entries
+        )
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @classmethod
+    def empty(cls) -> "Baseline":
+        return cls([])
+
+    @classmethod
+    def from_findings(cls, findings: List[Finding]) -> "Baseline":
+        entries = [
+            {
+                "rule": f.rule,
+                "path": f.path,
+                "fingerprint": f.fingerprint,
+                # line/message are informational — matching ignores them,
+                # so the file stays reviewable without churning on edits.
+                "line": f.line,
+                "message": f.message,
+            }
+            for f in sorted(findings, key=lambda f: f.sort_key)
+        ]
+        return cls(entries)
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                doc = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise BaselineError(f"{path}: not valid JSON ({exc})") from exc
+        if not isinstance(doc, dict) or doc.get("tool") != "repro.lint":
+            raise BaselineError(f"{path}: not a repro.lint baseline file")
+        if doc.get("schema") != SCHEMA_VERSION:
+            raise BaselineError(
+                f"{path}: schema {doc.get('schema')!r} unsupported "
+                f"(expected {SCHEMA_VERSION})"
+            )
+        entries = doc.get("entries")
+        if not isinstance(entries, list):
+            raise BaselineError(f"{path}: 'entries' must be a list")
+        for index, entry in enumerate(entries):
+            if not isinstance(entry, dict) or not {
+                "rule",
+                "path",
+                "fingerprint",
+            } <= set(entry):
+                raise BaselineError(
+                    f"{path}: entry {index} missing rule/path/fingerprint"
+                )
+        return cls(entries)
+
+    def write(self, path: str) -> None:
+        """Serialise the baseline to ``path`` as versioned JSON."""
+        doc = {
+            "schema": SCHEMA_VERSION,
+            "tool": "repro.lint",
+            "entries": self.entries,
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(doc, handle, indent=2, sort_keys=False)
+            handle.write("\n")
+
+    def split(
+        self, findings: List[Finding]
+    ) -> Tuple[List[Finding], List[Finding], List[Dict[str, object]]]:
+        """Partition findings against the baseline.
+
+        Returns ``(new, baselined, stale_entries)``: findings not covered
+        by the baseline, findings absorbed by it, and baseline entries
+        that matched nothing (debt already paid — prune them).
+        """
+        remaining = Counter(self._counts)
+        new: List[Finding] = []
+        baselined: List[Finding] = []
+        for finding in findings:
+            key: _Key = (finding.rule, finding.path, finding.fingerprint)
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                baselined.append(finding)
+            else:
+                new.append(finding)
+        stale: List[Dict[str, object]] = []
+        for entry in self.entries:
+            key = (
+                str(entry["rule"]),
+                str(entry["path"]),
+                str(entry["fingerprint"]),
+            )
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                stale.append(entry)
+        return new, baselined, stale

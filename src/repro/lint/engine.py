@@ -1,0 +1,178 @@
+"""The analysis engine: file discovery, parsing, rule dispatch.
+
+The engine is deliberately dumb plumbing: it finds ``.py`` files, parses
+each one once into a :class:`~repro.lint.sources.SourceFile`, hands the
+lot to every registered rule, stamps rule id/severity onto the raw
+``(anchor, message)`` pairs the rules yield, applies inline
+suppressions, and returns sorted
+:class:`~repro.lint.findings.Finding` objects.  All project knowledge
+lives in the rules.
+
+Everything here is stdlib-only so the linter can run in CI before any
+dependency is installed.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from .findings import ERROR, Finding
+from .registry import RuleRegistry, default_registry
+from .sources import Anchor, Project, SourceFile, module_name
+from .suppressions import Suppressions
+
+__all__ = [
+    "SourceFile",
+    "Project",
+    "load_project",
+    "lint_paths",
+    "lint_sources",
+]
+
+
+def _iter_py_files(paths: Sequence[str]) -> Iterable[str]:
+    for path in paths:
+        if os.path.isfile(path):
+            yield path
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = [
+                d
+                for d in sorted(dirnames)
+                if d != "__pycache__" and not d.startswith(".")
+            ]
+            for name in sorted(filenames):
+                if name.endswith(".py"):
+                    yield os.path.join(dirpath, name)
+
+
+def _relpath(filepath: str, roots: Sequence[str]) -> Tuple[str, str]:
+    """``(report_path, module_name)`` for a discovered file."""
+    norm = filepath.replace("\\", "/")
+    for root in roots:
+        root_norm = root.rstrip("/").replace("\\", "/")
+        if norm == root_norm or norm.startswith(root_norm + "/"):
+            inside = norm[len(root_norm) :].lstrip("/")
+            return norm, module_name(inside)
+    return norm, module_name(norm)
+
+
+def load_project(paths: Sequence[str]) -> Tuple[Project, List[Finding]]:
+    """Discover and parse every ``.py`` file under ``paths``.
+
+    Unparsable files become RL000 findings (always-on, not suppressible
+    via comments — a file that does not parse cannot carry comments the
+    engine trusts).
+    """
+    sources: List[SourceFile] = []
+    errors: List[Finding] = []
+    for filepath in _iter_py_files(paths):
+        report_path, module = _relpath(filepath, paths)
+        try:
+            with open(filepath, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError as exc:
+            errors.append(
+                Finding(
+                    rule="RL000",
+                    severity=ERROR,
+                    path=report_path,
+                    line=1,
+                    col=0,
+                    message=f"cannot read file: {exc}",
+                )
+            )
+            continue
+        try:
+            sources.append(
+                SourceFile.from_text(
+                    text,
+                    path=report_path,
+                    module=module,
+                    is_package=filepath.endswith("__init__.py"),
+                )
+            )
+        except SyntaxError as exc:
+            errors.append(
+                Finding(
+                    rule="RL000",
+                    severity=ERROR,
+                    path=report_path,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1) - 1,
+                    message=f"syntax error: {exc.msg}",
+                )
+            )
+    return Project(sources), errors
+
+
+def _selected_rules(
+    registry: RuleRegistry,
+    select: Optional[Sequence[str]],
+    ignore: Optional[Sequence[str]],
+):
+    for rule in registry.rules():
+        if select and rule.id not in select:
+            continue
+        if ignore and rule.id in ignore:
+            continue
+        yield rule
+
+
+def lint_sources(
+    project: Project,
+    registry: Optional[RuleRegistry] = None,
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """Run the (selected) registered rules over an in-memory project."""
+    registry = registry if registry is not None else default_registry()
+    suppressions = {s.path: Suppressions(s.lines) for s in project.sources}
+    findings: List[Finding] = []
+    for rule in _selected_rules(registry, select, ignore):
+        raw: List[Tuple[SourceFile, Anchor, str]] = []
+        if rule.scope == "project":
+            raw.extend(rule.check(project))
+        else:
+            for source in project.sources:
+                raw.extend(
+                    (source, anchor, message)
+                    for anchor, message in rule.check(source)
+                )
+        for source, anchor, message in raw:
+            line, col = source.anchor(anchor)
+            finding = Finding(
+                rule=rule.id,
+                severity=rule.severity,
+                path=source.path,
+                line=line,
+                col=col,
+                message=message,
+                snippet=source.snippet(line),
+            )
+            if suppressions[source.path].suppresses(finding):
+                continue
+            findings.append(finding)
+    findings.sort(key=lambda f: f.sort_key)
+    return findings
+
+
+def lint_paths(
+    paths: Sequence[str],
+    registry: Optional[RuleRegistry] = None,
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """Discover, parse and lint ``paths``; the one-call entry point."""
+    # Importing the rules package registers the built-in rules on the
+    # default registry; explicit registries are used as-is.
+    if registry is None:
+        from . import rules  # noqa: F401  (imported for registration)
+
+    project, errors = load_project(paths)
+    findings = errors + lint_sources(
+        project, registry=registry, select=select, ignore=ignore
+    )
+    findings.sort(key=lambda f: f.sort_key)
+    return findings

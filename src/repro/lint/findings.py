@@ -1,0 +1,88 @@
+"""Finding model shared by every lint rule, the engine and the reports.
+
+A :class:`Finding` is one diagnostic anchored to a file position.  Its
+*fingerprint* — a short hash of the rule, the path and the stripped
+source line — is what the baseline file stores, so baselined findings
+survive unrelated edits that only shift line numbers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = ["ERROR", "WARNING", "SEVERITIES", "Finding"]
+
+#: Severity levels, most severe first.  Both gate the exit code — the
+#: split exists so reports can rank output, not so warnings can be
+#: ignored.
+ERROR = "error"
+WARNING = "warning"
+SEVERITIES = (ERROR, WARNING)
+
+
+def _fingerprint(rule: str, path: str, snippet: str) -> str:
+    digest = hashlib.sha1(
+        f"{rule}:{path}:{snippet.strip()}".encode("utf-8", "replace")
+    )
+    return digest.hexdigest()[:12]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic: a rule firing at a position in a file.
+
+    Attributes
+    ----------
+    rule:
+        Rule identifier (``RL001`` ... ``RL008``).
+    severity:
+        ``"error"`` or ``"warning"``.
+    path:
+        Repo-relative posix path of the offending file.
+    line, col:
+        1-based line and 0-based column of the anchor.
+    message:
+        Human-readable description of the violation.
+    snippet:
+        The stripped source line the finding anchors to (fingerprint
+        input; shown in text reports).
+    """
+
+    rule: str
+    severity: str
+    path: str
+    line: int
+    col: int
+    message: str
+    snippet: str = ""
+    fingerprint: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r}")
+        if not self.fingerprint:
+            object.__setattr__(
+                self,
+                "fingerprint",
+                _fingerprint(self.rule, self.path, self.snippet),
+            )
+
+    @property
+    def sort_key(self):
+        """Stable report order: path, then position, then rule."""
+        return (self.path, self.line, self.col, self.rule, self.message)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready representation (the ``findings[]`` report entry)."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "snippet": self.snippet,
+            "fingerprint": self.fingerprint,
+        }

@@ -1,0 +1,150 @@
+"""Rule declaration: :class:`LintRule` and the registry.
+
+Mirrors ``repro.bench.registry``: rules are declared once with the
+:func:`rule` decorator and every consumer — the engine, the CLI's
+``rules`` listing, the docs test — iterates the same registry.
+
+A rule has one of two *scopes*:
+
+* ``"file"`` — ``check(source)`` is called once per parsed
+  :class:`~repro.lint.engine.SourceFile` and yields
+  ``(anchor, message)`` pairs, where ``anchor`` is an ``ast`` node or a
+  1-based line number.
+* ``"project"`` — ``check(project)`` is called once with the whole
+  :class:`~repro.lint.engine.Project` and yields
+  ``(source, anchor, message)`` triples; used by cross-file rules such
+  as import-cycle detection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, Optional
+
+from .findings import SEVERITIES
+
+__all__ = ["LintRule", "RuleRegistry", "rule", "default_registry"]
+
+#: Recognised rule scopes.
+SCOPES = ("file", "project")
+
+
+@dataclass(frozen=True)
+class LintRule:
+    """One registered static-analysis rule.
+
+    Attributes
+    ----------
+    id:
+        Stable identifier (``RL001``); what suppressions and baselines
+        reference.
+    name:
+        Short kebab-case slug (``unseeded-rng``).
+    severity:
+        Default severity stamped on the rule's findings.
+    scope:
+        ``"file"`` or ``"project"`` (see module docstring).
+    check:
+        The rule body; signature depends on ``scope``.
+    description:
+        One-line summary (shown by ``repro.lint rules``).
+    rationale:
+        Why the rule exists in *this* codebase — surfaced in the docs.
+    """
+
+    id: str
+    name: str
+    severity: str
+    scope: str
+    check: Callable
+    description: str
+    rationale: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.id or not self.id.startswith("RL"):
+            raise ValueError(f"rule ids look like 'RL001', got {self.id!r}")
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r}")
+        if self.scope not in SCOPES:
+            raise ValueError(f"unknown scope {self.scope!r}")
+
+
+class RuleRegistry:
+    """Id-keyed collection of :class:`LintRule` objects."""
+
+    def __init__(self) -> None:
+        self._rules: Dict[str, LintRule] = {}
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __contains__(self, rule_id: str) -> bool:
+        return rule_id in self._rules
+
+    def register(self, rule: LintRule) -> LintRule:
+        """Add ``rule``; duplicate ids are a programming error."""
+        if rule.id in self._rules:
+            raise ValueError(f"lint rule {rule.id!r} already registered")
+        self._rules[rule.id] = rule
+        return rule
+
+    def get(self, rule_id: str) -> LintRule:
+        """Look up a rule by id; KeyError lists what is registered."""
+        try:
+            return self._rules[rule_id]
+        except KeyError:
+            known = ", ".join(sorted(self._rules)) or "<none>"
+            raise KeyError(
+                f"unknown lint rule {rule_id!r}; registered: {known}"
+            ) from None
+
+    def rules(self, scope: Optional[str] = None) -> Iterator[LintRule]:
+        """Registered rules, id-ordered, optionally filtered by scope."""
+        for rule_id in sorted(self._rules):
+            rule = self._rules[rule_id]
+            if scope is not None and rule.scope != scope:
+                continue
+            yield rule
+
+    def rule(
+        self,
+        rule_id: str,
+        *,
+        name: str,
+        severity: str,
+        scope: str = "file",
+        description: str = "",
+        rationale: str = "",
+    ) -> Callable:
+        """Decorator form of :meth:`register`; returns the rule."""
+
+        def decorate(check: Callable) -> LintRule:
+            return self.register(
+                LintRule(
+                    id=rule_id,
+                    name=name,
+                    severity=severity,
+                    scope=scope,
+                    check=check,
+                    description=description or (check.__doc__ or "").strip(),
+                    rationale=rationale,
+                )
+            )
+
+        return decorate
+
+
+_DEFAULT = RuleRegistry()
+
+
+def default_registry() -> RuleRegistry:
+    """The process-wide registry the engine and CLI use.
+
+    Importing :mod:`repro.lint.rules` populates it.
+    """
+    return _DEFAULT
+
+
+def rule(rule_id: str, **kwargs) -> Callable:
+    """``@rule("RL001", ...)`` against the default registry."""
+    return _DEFAULT.rule(rule_id, **kwargs)

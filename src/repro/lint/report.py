@@ -1,0 +1,97 @@
+"""Text and JSON rendering for lint results.
+
+The JSON document is the machine contract CI consumes; the text report
+is the same information for humans.  Both are produced from a
+:func:`build_document` dict so they can never disagree.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional, Sequence
+
+from .findings import Finding
+
+__all__ = ["build_document", "render_text", "render_rules"]
+
+SCHEMA_VERSION = 1
+
+
+def build_document(
+    paths: Sequence[str],
+    findings: List[Finding],
+    baselined: List[Finding],
+    stale_baseline: List[Dict[str, object]],
+    baseline_path: Optional[str],
+) -> Dict[str, object]:
+    """The versioned ``run --format json`` document."""
+    by_rule = Counter(f.rule for f in findings)
+    return {
+        "schema": SCHEMA_VERSION,
+        "tool": "repro.lint",
+        "paths": list(paths),
+        "baseline": baseline_path,
+        "summary": {
+            "new": len(findings),
+            "errors": sum(1 for f in findings if f.severity == "error"),
+            "warnings": sum(1 for f in findings if f.severity == "warning"),
+            "baselined": len(baselined),
+            "stale_baseline": len(stale_baseline),
+            "by_rule": dict(sorted(by_rule.items())),
+        },
+        "findings": [f.to_dict() for f in findings],
+        "stale_baseline": list(stale_baseline),
+    }
+
+
+def render_text(doc: Dict[str, object]) -> str:
+    """Human-readable report for a ``run`` document."""
+    lines: List[str] = []
+    for item in doc["findings"]:  # type: ignore[index]
+        lines.append(
+            "{path}:{line}:{col}: {rule} [{severity}] {message}".format(**item)
+        )
+        if item.get("snippet"):
+            lines.append(f"    {item['snippet']}")
+    summary = doc["summary"]  # type: ignore[index]
+    if summary["new"]:
+        by_rule = ", ".join(
+            f"{rule}: {count}" for rule, count in summary["by_rule"].items()
+        )
+        lines.append("")
+        lines.append(
+            f"{summary['new']} finding(s) "
+            f"({summary['errors']} error(s), {summary['warnings']} "
+            f"warning(s)) — {by_rule}"
+        )
+    else:
+        lines.append("no findings")
+    if summary["baselined"]:
+        lines.append(f"{summary['baselined']} baselined finding(s) hidden")
+    if summary["stale_baseline"]:
+        lines.append(
+            f"{summary['stale_baseline']} stale baseline entr(ies) — "
+            "regenerate with `python -m repro.lint baseline`"
+        )
+    return "\n".join(lines)
+
+
+def render_rules(rules, as_json: bool = False):
+    """Rows (or a JSON list) describing registered rules."""
+    if as_json:
+        return [
+            {
+                "id": r.id,
+                "name": r.name,
+                "severity": r.severity,
+                "scope": r.scope,
+                "description": r.description,
+                "rationale": r.rationale,
+            }
+            for r in rules
+        ]
+    lines = []
+    for r in rules:
+        lines.append(f"{r.id}  {r.name}  [{r.severity}, {r.scope}]")
+        lines.append(f"      {r.description}")
+    return "\n".join(lines)

@@ -1,0 +1,10 @@
+"""Built-in rule modules; importing this package registers them all.
+
+The engine imports this lazily (``lint_paths`` with the default
+registry), mirroring how ``repro.bench.cli`` imports ``suites`` for
+case registration.
+"""
+
+from . import api, docs, hygiene, imports, mutation, rng
+
+__all__ = ["api", "docs", "hygiene", "imports", "mutation", "rng"]

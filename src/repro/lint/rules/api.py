@@ -1,0 +1,124 @@
+"""RL004 — public-API drift between ``__all__`` and the module body.
+
+Both directions are drift:
+
+* ``__all__`` names nothing in the module binds — ``from mod import *``
+  raises AttributeError and the docs promise an export that is not there;
+* a public top-level ``def``/``class`` missing from ``__all__`` — the
+  symbol silently falls out of the star-import/doc surface.
+
+Modules without an ``__all__`` declare no contract and are skipped.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple
+
+from ..sources import SourceFile
+from ..registry import rule
+from ..findings import ERROR
+from .common import string_elements
+
+__all__ = ["check_public_api"]
+
+
+def _bound_names(body: List[ast.stmt], bound: Set[str]) -> bool:
+    """Collect module-level bindings; returns True when a star import
+    makes the namespace open-ended."""
+    star = False
+    for node in body:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                bound.add(alias.asname or alias.name.partition(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                if alias.name == "*":
+                    star = True
+                else:
+                    bound.add(alias.asname or alias.name)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            bound.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                for leaf in ast.walk(target):
+                    if isinstance(leaf, ast.Name):
+                        bound.add(leaf.id)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            if isinstance(node.target, ast.Name):
+                bound.add(node.target.id)
+        elif isinstance(node, (ast.If, ast.Try)):
+            # Conditional imports (TYPE_CHECKING / optional deps) still
+            # bind names on some path; count every branch.
+            branches = [node.body, node.orelse]
+            if isinstance(node, ast.Try):
+                branches.extend(h.body for h in node.handlers)
+                branches.append(node.finalbody)
+            for branch in branches:
+                star |= _bound_names(branch, bound)
+    return star
+
+
+def _find_all(tree: ast.Module) -> Optional[Tuple[ast.stmt, List[str]]]:
+    for node in tree.body:
+        value = None
+        if isinstance(node, ast.Assign):
+            names = [
+                t.id for t in node.targets if isinstance(t, ast.Name)
+            ]
+            if "__all__" in names:
+                value = node.value
+        elif isinstance(node, ast.AnnAssign):
+            if (
+                isinstance(node.target, ast.Name)
+                and node.target.id == "__all__"
+            ):
+                value = node.value
+        if value is None:
+            continue
+        elements = string_elements(value)
+        if elements is None:
+            return None  # computed __all__ — nothing to check statically
+        return node, [e.value for e in elements]
+    return None
+
+
+@rule(
+    "RL004",
+    name="public-api-drift",
+    severity=ERROR,
+    description="__all__ names a missing symbol, or a public def/class "
+    "is absent from __all__",
+    rationale="the __init__ re-export surface is the library's contract; "
+    "drift means star imports break or public symbols silently vanish",
+)
+def check_public_api(source: SourceFile) -> Iterator[Tuple[ast.AST, str]]:
+    """RL004: ``__all__`` vs module-body drift."""
+    found = _find_all(source.tree)
+    if found is None:
+        return
+    all_node, exported = found
+    bound: Set[str] = set()
+    has_star = _bound_names(source.tree.body, bound)
+    if not has_star:
+        for name in exported:
+            if name not in bound and name not in ("__version__",):
+                yield (
+                    all_node,
+                    f"__all__ exports {name!r} but the module never "
+                    "binds it",
+                )
+    exported_set = set(exported)
+    for node in source.tree.body:
+        if not isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue
+        if node.name.startswith("_"):
+            continue
+        if node.name not in exported_set:
+            kind = "class" if isinstance(node, ast.ClassDef) else "function"
+            yield (
+                node,
+                f"public {kind} {node.name!r} missing from __all__",
+            )

@@ -1,0 +1,68 @@
+"""Small AST helpers shared by the rule modules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional
+
+__all__ = [
+    "dotted_name",
+    "attribute_chain",
+    "walk_functions",
+    "string_elements",
+]
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def attribute_chain(node: ast.AST) -> List[str]:
+    """Attribute names along a target chain, outermost last.
+
+    Subscripts are looked through, so ``layer.weight.data[mask]`` yields
+    ``["layer", "weight", "data"]`` (the leading name included when
+    present).
+    """
+    parts: List[str] = []
+    while True:
+        if isinstance(node, ast.Subscript):
+            node = node.value
+        elif isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        elif isinstance(node, ast.Name):
+            parts.append(node.id)
+            return list(reversed(parts))
+        else:
+            return list(reversed(parts))
+
+
+def walk_functions(
+    tree: ast.AST,
+) -> Iterator[ast.AST]:
+    """Every function/method definition in the tree (incl. nested)."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def string_elements(node: ast.AST) -> Optional[List[ast.Constant]]:
+    """The string constants of a list/tuple literal, else ``None``."""
+    if not isinstance(node, (ast.List, ast.Tuple)):
+        return None
+    elements: List[ast.Constant] = []
+    for element in node.elts:
+        if isinstance(element, ast.Constant) and isinstance(element.value, str):
+            elements.append(element)
+        else:
+            return None
+    return elements

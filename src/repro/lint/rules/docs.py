@@ -1,0 +1,139 @@
+"""RL007 — docstring Parameters sections that drift from the signature.
+
+The repo documents arguments numpydoc-style (a ``Parameters`` header
+underlined with dashes).  When a parameter is renamed or removed but the
+docstring keeps describing the old name, callers copy dead keyword
+arguments out of the docs.  The rule parses every ``Parameters`` section
+— on functions, and on classes (where it documents ``__init__``) — and
+flags documented names missing from the actual signature.
+
+Only the documented-but-absent direction is checked; requiring every
+parameter to be documented is a coverage policy, not a drift check.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, List, Optional, Set, Tuple
+
+from ..sources import SourceFile
+from ..registry import rule
+from ..findings import WARNING
+
+__all__ = ["check_docstring_parameters"]
+
+_SECTION_HEADERS = {
+    "Parameters",
+    "Returns",
+    "Yields",
+    "Receives",
+    "Raises",
+    "Warns",
+    "See Also",
+    "Notes",
+    "References",
+    "Examples",
+    "Attributes",
+    "Methods",
+    "Other Parameters",
+}
+
+#: ``name :`` / ``name1, name2:`` / ``*args :`` definition lines.
+_PARAM_LINE = re.compile(r"^\s*(\*{0,2}[A-Za-z_][\w]*(?:\s*,\s*\*{0,2}[A-Za-z_][\w]*)*)\s*(?::.*)?$")
+
+
+def _documented_params(docstring: str) -> List[Tuple[str, int]]:
+    """``(name, line_offset)`` pairs from the Parameters section.
+
+    ``line_offset`` is 0-based from the docstring's first line, so the
+    caller can anchor findings near the stale entry.
+    """
+    lines = docstring.splitlines()
+    out: List[Tuple[str, int]] = []
+    in_section = False
+    for index, line in enumerate(lines):
+        stripped = line.strip()
+        underlined = (
+            index + 1 < len(lines)
+            and set(lines[index + 1].strip()) == {"-"}
+            and len(lines[index + 1].strip()) >= 3
+        )
+        if underlined and stripped in _SECTION_HEADERS:
+            in_section = stripped in ("Parameters", "Other Parameters")
+            continue
+        if not in_section or not stripped or set(stripped) == {"-"}:
+            continue
+        # Description lines are indented deeper than their definition
+        # line; a definition line is followed by a deeper-indented line.
+        match = _PARAM_LINE.match(line)
+        if not match:
+            continue
+        indent = len(line) - len(line.lstrip())
+        next_line = lines[index + 1] if index + 1 < len(lines) else ""
+        next_indent = len(next_line) - len(next_line.lstrip())
+        if not (next_line.strip() and next_indent > indent):
+            continue
+        for name in match.group(1).split(","):
+            out.append((name.strip().lstrip("*"), index))
+    return out
+
+
+def _signature_names(func) -> Set[str]:
+    args = func.args
+    names = {
+        a.arg for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)
+    }
+    if args.vararg is not None:
+        names.add(args.vararg.arg)
+    if args.kwarg is not None:
+        names.add(args.kwarg.arg)
+    return names
+
+
+def _find_init(cls: ast.ClassDef):
+    for node in cls.body:
+        if isinstance(node, ast.FunctionDef) and node.name == "__init__":
+            return node
+    return None
+
+
+def _targets(tree: ast.Module):
+    """``(owner_node, docstring, signature_names)`` triples to check."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            doc = ast.get_docstring(node, clean=False)
+            if doc:
+                yield node, doc, _signature_names(node)
+        elif isinstance(node, ast.ClassDef):
+            doc = ast.get_docstring(node, clean=False)
+            init = _find_init(node)
+            if doc and init is not None:
+                # Class docstrings document the constructor; dataclass-
+                # style classes without __init__ are skipped.
+                yield node, doc, _signature_names(init)
+
+
+@rule(
+    "RL007",
+    name="docstring-param-drift",
+    severity=WARNING,
+    description="docstring Parameters section documents a name missing "
+    "from the signature",
+    rationale="renamed arguments leave stale docs behind; callers copy "
+    "dead keyword arguments straight out of the docstring",
+)
+def check_docstring_parameters(
+    source: SourceFile,
+) -> Iterator[Tuple[ast.AST, str]]:
+    """RL007: stale names in numpydoc Parameters sections."""
+    for owner, doc, names in _targets(source.tree):
+        names = names - {"self", "cls"}
+        for documented, _offset in _documented_params(doc):
+            if documented and documented not in names:
+                label = getattr(owner, "name", "<anonymous>")
+                yield (
+                    owner,
+                    f"docstring of {label!r} documents parameter "
+                    f"{documented!r} which is not in the signature",
+                )

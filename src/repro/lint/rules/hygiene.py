@@ -1,0 +1,127 @@
+"""RL005/RL008 — general hygiene rules with project-sized teeth.
+
+* **RL005** — mutable default arguments.  A shared default list/dict on
+  a layer or config constructor aliases state across instances; in a
+  framework whose objects are long-lived models, that is a data-
+  corruption bug, not a style nit.
+* **RL008** — bare ``except:`` and swallowed exceptions.  A fault-
+  injection run that silently eats an exception reports a *clean*
+  accuracy number for a draw that never happened.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Tuple
+
+from ..sources import SourceFile
+from ..registry import rule
+from ..findings import ERROR, WARNING
+
+__all__ = ["check_mutable_defaults", "check_swallowed_exceptions"]
+
+_MUTABLE_CALLS = {"list", "dict", "set"}
+
+
+def _is_mutable_literal(node: ast.AST) -> bool:
+    if isinstance(
+        node,
+        (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp),
+    ):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in _MUTABLE_CALLS
+    )
+
+
+def _default_pairs(func) -> List[Tuple[str, ast.AST]]:
+    args = func.args
+    positional = [*args.posonlyargs, *args.args]
+    pairs: List[Tuple[str, ast.AST]] = []
+    for arg, default in zip(
+        positional[len(positional) - len(args.defaults) :], args.defaults
+    ):
+        pairs.append((arg.arg, default))
+    for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+        if default is not None:
+            pairs.append((arg.arg, default))
+    return pairs
+
+
+@rule(
+    "RL005",
+    name="mutable-default",
+    severity=ERROR,
+    description="mutable default argument (list/dict/set literal or "
+    "constructor)",
+    rationale="defaults are evaluated once; a shared mutable default on "
+    "long-lived model/config objects aliases state across instances",
+)
+def check_mutable_defaults(
+    source: SourceFile,
+) -> Iterator[Tuple[ast.AST, str]]:
+    """RL005: mutable default argument values."""
+    for node in ast.walk(source.tree):
+        if not isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            continue
+        name = getattr(node, "name", "<lambda>")
+        for arg_name, default in _default_pairs(node):
+            if _is_mutable_literal(default):
+                yield (
+                    default,
+                    f"parameter {arg_name!r} of {name!r} has a mutable "
+                    "default; use None and create it in the body",
+                )
+
+
+def _is_broad(handler_type) -> bool:
+    if handler_type is None:
+        return True
+    if isinstance(handler_type, ast.Name):
+        return handler_type.id in ("Exception", "BaseException")
+    if isinstance(handler_type, ast.Tuple):
+        return any(_is_broad(e) for e in handler_type.elts)
+    return False
+
+
+@rule(
+    "RL008",
+    name="swallowed-exception",
+    severity=WARNING,
+    description="bare except:, or a broad handler whose body is only "
+    "pass/...",
+    rationale="a swallowed exception inside an evaluation loop reports a "
+    "clean accuracy for a draw that never ran",
+)
+def check_swallowed_exceptions(
+    source: SourceFile,
+) -> Iterator[Tuple[ast.AST, str]]:
+    """RL008: bare/broad exception handlers that discard the error."""
+    for node in ast.walk(source.tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        body_is_noop = all(
+            isinstance(stmt, ast.Pass)
+            or (
+                isinstance(stmt, ast.Expr)
+                and isinstance(stmt.value, ast.Constant)
+                and stmt.value.value is Ellipsis
+            )
+            for stmt in node.body
+        )
+        if node.type is None:
+            yield (
+                node,
+                "bare except: also catches SystemExit/KeyboardInterrupt; "
+                "name the exception type",
+            )
+        elif _is_broad(node.type) and body_is_noop:
+            yield (
+                node,
+                "broad exception handler silently discards the error; "
+                "log it or narrow the type",
+            )

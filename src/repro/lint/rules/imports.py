@@ -1,0 +1,159 @@
+"""RL003 — import cycles across project modules.
+
+Builds the module import graph from absolute and relative imports,
+resolves ``from pkg import name`` to the submodule when ``name`` is one,
+and reports every strongly-connected component with more than one module
+(or a self-import).  Each cycle is reported once, anchored at the import
+statement of its alphabetically-first member, so a cycle does not spray
+one finding per participant.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Set, Tuple
+
+from ..sources import Project, SourceFile
+from ..registry import rule
+from ..findings import WARNING
+
+__all__ = ["check_import_cycles"]
+
+
+def _package_of(source: SourceFile) -> str:
+    """The package a relative import with level=1 resolves against."""
+    if source.is_package:
+        return source.module
+    return source.module.rpartition(".")[0]
+
+
+def _resolve_relative(source: SourceFile, node: ast.ImportFrom) -> str:
+    base = _package_of(source)
+    for _ in range(node.level - 1):
+        base = base.rpartition(".")[0]
+    if node.module:
+        return f"{base}.{node.module}" if base else node.module
+    return base
+
+
+def _edges(
+    source: SourceFile, known: Set[str]
+) -> Iterator[Tuple[str, ast.stmt]]:
+    """(target_module, import_statement) pairs for one file."""
+    for node in ast.walk(source.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                target = alias.name
+                while target and target not in known:
+                    target = target.rpartition(".")[0]
+                if target:
+                    yield target, node
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                base = _resolve_relative(source, node)
+            else:
+                base = node.module or ""
+            if not base:
+                continue
+            for alias in node.names:
+                candidate = f"{base}.{alias.name}"
+                if candidate in known:
+                    # `from pkg import submodule` — depend on the
+                    # submodule, not the whole package __init__.
+                    yield candidate, node
+                elif base in known:
+                    yield base, node
+
+
+def _strongly_connected(graph: Dict[str, Set[str]]) -> List[List[str]]:
+    """Tarjan's SCC, iterative; returns components of size > 1 and
+    self-loops."""
+    index: Dict[str, int] = {}
+    lowlink: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    counter = [0]
+    components: List[List[str]] = []
+
+    def visit(root: str) -> None:
+        work = [(root, iter(sorted(graph.get(root, ()))))]
+        index[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, children = work[-1]
+            advanced = False
+            for child in children:
+                if child not in graph:
+                    continue
+                if child not in index:
+                    index[child] = lowlink[child] = counter[0]
+                    counter[0] += 1
+                    stack.append(child)
+                    on_stack.add(child)
+                    work.append((child, iter(sorted(graph.get(child, ())))))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    lowlink[node] = min(lowlink[node], index[child])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                if len(component) > 1 or node in graph.get(node, ()):
+                    components.append(sorted(component))
+
+    for node in sorted(graph):
+        if node not in index:
+            visit(node)
+    return components
+
+
+@rule(
+    "RL003",
+    name="import-cycle",
+    severity=WARNING,
+    scope="project",
+    description="cycle in the project import graph",
+    rationale="cyclic modules import fine or explode depending on entry "
+    "order — exactly the kind of latent breakage a growing codebase ships",
+)
+def check_import_cycles(
+    project: Project,
+) -> Iterator[Tuple[SourceFile, ast.stmt, str]]:
+    """RL003: strongly-connected components in the import graph."""
+    known = set(project.by_module)
+    graph: Dict[str, Set[str]] = {m: set() for m in known}
+    anchors: Dict[Tuple[str, str], ast.stmt] = {}
+    for module, source in project.by_module.items():
+        for target, stmt in _edges(source, known):
+            if target == module:
+                continue  # `import __init__ of self` noise
+            graph[module].add(target)
+            anchors.setdefault((module, target), stmt)
+    for component in _strongly_connected(graph):
+        members = set(component)
+        first = component[0]
+        # Anchor on first's import that stays inside the cycle.
+        target = next(
+            (t for t in sorted(graph[first]) if t in members), component[-1]
+        )
+        stmt = anchors.get((first, target))
+        source = project.by_module[first]
+        chain = " -> ".join(component + [first])
+        yield (
+            source,
+            stmt if stmt is not None else 1,
+            f"import cycle: {chain}",
+        )

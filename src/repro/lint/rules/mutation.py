@@ -1,0 +1,97 @@
+"""RL006 — in-place mutation of module parameters outside sanctioned code.
+
+The fault injector restores weights after every draw by contract
+("leaves the model exactly as it found it"), and optimizers/pruners own
+the update step.  Anything *else* writing into ``.weight`` / ``.bias`` /
+``.data`` storage in place corrupts state that callers believe is
+immutable between draws — the classic source of "accuracy drifts after
+the first evaluation" bugs.
+
+Flagged shapes (in files outside the allowlist):
+
+* subscript stores through a parameter chain — ``p.data[mask] = 0``,
+  ``layer.weight.data[i, j] += eps``;
+* augmented assignment onto a parameter chain — ``p.data -= lr * g``.
+
+Rebinding (``self.weight = Parameter(...)``, ``p.data = backup``) is
+deliberate replacement, not in-place mutation, and stays legal.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from ..sources import SourceFile
+from ..registry import rule
+from ..findings import WARNING
+from .common import attribute_chain
+
+__all__ = ["check_parameter_mutation", "ALLOWED_PATH_PARTS"]
+
+#: Path fragments whose files legitimately write parameter storage:
+#: optimizers, the fault injector, pruning masks, device programming,
+#: and checkpoint loading.
+ALLOWED_PATH_PARTS = (
+    "nn/optim.py",
+    "nn/serialization.py",
+    "core/injector.py",
+    "pruning/",
+    "reram/",
+)
+
+_PARAM_ATTRS = {"weight", "bias", "data"}
+
+
+def _is_parameter_chain(target: ast.AST) -> bool:
+    chain = attribute_chain(target)
+    # The leading segment is the local variable; only attribute accesses
+    # after it can name parameter storage.  Gradient buffers are scratch
+    # space the backward pass legitimately accumulates into — the restore
+    # contract covers values, not grads.
+    if "grad" in chain[1:]:
+        return False
+    return any(part in _PARAM_ATTRS for part in chain[1:])
+
+
+def _has_subscript(target: ast.AST) -> bool:
+    node = target
+    while True:
+        if isinstance(node, ast.Subscript):
+            return True
+        if isinstance(node, ast.Attribute):
+            node = node.value
+        else:
+            return False
+
+
+@rule(
+    "RL006",
+    name="param-mutation",
+    severity=WARNING,
+    description="in-place write to .weight/.bias/.data storage outside "
+    "optimizer/injector/pruning/device code",
+    rationale="the injector's restore contract assumes nothing else "
+    "mutates parameter storage between draws",
+)
+def check_parameter_mutation(
+    source: SourceFile,
+) -> Iterator[Tuple[ast.AST, str]]:
+    """RL006: parameter storage mutated outside sanctioned modules."""
+    if any(part in source.path for part in ALLOWED_PATH_PARTS):
+        return
+    for node in ast.walk(source.tree):
+        targets = []
+        if isinstance(node, ast.Assign):
+            targets = [t for t in node.targets if _has_subscript(t)]
+        elif isinstance(node, ast.AugAssign):
+            if isinstance(node.target, (ast.Attribute, ast.Subscript)):
+                targets = [node.target]
+        for target in targets:
+            if _is_parameter_chain(target):
+                yield (
+                    node,
+                    "in-place write to parameter storage outside "
+                    "optimizer/injector code; copy first or move the "
+                    "logic into the owning module",
+                )

@@ -1,0 +1,177 @@
+"""RL001/RL002 — RNG discipline.
+
+The paper's defect-accuracy numbers are means over 100 *seeded* fault
+draws, so hidden entropy anywhere in the pipeline silently breaks
+reproducibility.  Two rules police it:
+
+* **RL001** — an unseeded generator is created (``np.random.default_rng()``
+  with no arguments) or the legacy global-state API
+  (``np.random.<dist>(...)``) is called.  Defaults must come from
+  ``repro.seeding.resolve_rng`` so they follow the documented policy.
+* **RL002** — a function *takes* an ``rng`` parameter but still reaches
+  for a fresh generator or the global API instead of threading the
+  parameter through.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Tuple
+
+from ..sources import SourceFile
+from ..registry import rule
+from ..findings import ERROR
+from .common import dotted_name
+
+__all__ = ["LEGACY_NP_RANDOM", "check_rl001", "check_rl002"]
+
+#: ``np.random.<name>`` module-level calls that consume hidden global
+#: state.  ``default_rng`` / ``Generator`` / ``SeedSequence`` are the
+#: sanctioned constructors and are handled separately.
+LEGACY_NP_RANDOM = frozenset(
+    {
+        "seed",
+        "random",
+        "random_sample",
+        "ranf",
+        "sample",
+        "rand",
+        "randn",
+        "randint",
+        "random_integers",
+        "bytes",
+        "choice",
+        "shuffle",
+        "permutation",
+        "uniform",
+        "normal",
+        "standard_normal",
+        "lognormal",
+        "binomial",
+        "poisson",
+        "beta",
+        "gamma",
+        "exponential",
+        "laplace",
+        "multinomial",
+        "multivariate_normal",
+        "get_state",
+        "set_state",
+    }
+)
+
+_RANDOM_PREFIXES = ("np.random.", "numpy.random.")
+
+
+def _np_random_member(call: ast.Call) -> str:
+    """``default_rng`` / ``normal`` / ... for an np.random call, else ''."""
+    name = dotted_name(call.func)
+    if name is None:
+        return ""
+    for prefix in _RANDOM_PREFIXES:
+        if name.startswith(prefix):
+            member = name[len(prefix) :]
+            if "." not in member:
+                return member
+    return ""
+
+
+def _references_rng(call: ast.Call) -> bool:
+    """True when the call passes the ``rng`` name through in any form."""
+    for node in ast.walk(call):
+        if isinstance(node, ast.Name) and node.id == "rng":
+            return True
+    return False
+
+
+def _function_has_rng_param(func: ast.AST) -> bool:
+    args = func.args
+    names = [
+        a.arg
+        for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)
+    ]
+    if args.vararg is not None:
+        names.append(args.vararg.arg)
+    if args.kwarg is not None:
+        names.append(args.kwarg.arg)
+    return "rng" in names
+
+
+def _rng_context_stack(tree: ast.Module) -> List[Tuple[ast.Call, bool]]:
+    """Every np.random call paired with ``enclosing function takes rng``."""
+    out: List[Tuple[ast.Call, bool]] = []
+
+    def visit(node: ast.AST, in_rng_function: bool) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            in_rng_function = _function_has_rng_param(node)
+        elif isinstance(node, ast.Call) and _np_random_member(node):
+            out.append((node, in_rng_function))
+        for child in ast.iter_child_nodes(node):
+            visit(child, in_rng_function)
+
+    visit(tree, False)
+    return out
+
+
+@rule(
+    "RL001",
+    name="unseeded-rng",
+    severity=ERROR,
+    description="unseeded np.random.default_rng() or legacy global "
+    "np.random.<dist> call outside an explicit-seed context",
+    rationale="defect accuracy is the mean over 100 seeded fault draws; "
+    "hidden entropy makes the headline numbers unreproducible",
+)
+def check_rl001(source: SourceFile) -> Iterator[Tuple[ast.AST, str]]:
+    """RL001: unseeded or global-state randomness."""
+    for call, in_rng_function in _rng_context_stack(source.tree):
+        if in_rng_function:
+            continue  # RL002 territory — one finding per call, not two
+        member = _np_random_member(call)
+        if member == "default_rng":
+            if not call.args and not call.keywords:
+                yield (
+                    call,
+                    "np.random.default_rng() without a seed draws OS "
+                    "entropy; pass a seed or use "
+                    "repro.seeding.resolve_rng()",
+                )
+        elif member in LEGACY_NP_RANDOM:
+            yield (
+                call,
+                f"np.random.{member}() uses hidden global RNG state; "
+                "accept an np.random.Generator instead",
+            )
+
+
+@rule(
+    "RL002",
+    name="rng-not-threaded",
+    severity=ERROR,
+    description="function takes an `rng` parameter but creates a fresh "
+    "generator or calls the global RNG instead of threading it",
+    rationale="an rng parameter that is accepted but not used silently "
+    "decouples callers' seeds from the randomness they think they control",
+)
+def check_rl002(source: SourceFile) -> Iterator[Tuple[ast.AST, str]]:
+    """RL002: accepted ``rng`` parameter bypassed inside the body."""
+    for call, in_rng_function in _rng_context_stack(source.tree):
+        if not in_rng_function:
+            continue
+        if _references_rng(call):
+            continue  # e.g. default_rng(rng) spawning, resolve via rng
+        member = _np_random_member(call)
+        if member == "default_rng":
+            if not call.args and not call.keywords:
+                yield (
+                    call,
+                    "function takes `rng` but builds a fresh unseeded "
+                    "generator; thread the parameter (or "
+                    "repro.seeding.resolve_rng(rng))",
+                )
+        elif member in LEGACY_NP_RANDOM:
+            yield (
+                call,
+                f"function takes `rng` but calls global np.random."
+                f"{member}(); use the rng parameter",
+            )

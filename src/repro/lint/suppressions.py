@@ -1,0 +1,56 @@
+"""Inline suppression comments.
+
+Two forms, both anchored on comments so they survive reformatting:
+
+* line scope — ``x = risky()  # repro-lint: disable=RL005`` silences the
+  named rules (comma-separated, or ``all``) for findings on that
+  physical line;
+* file scope — a ``# repro-lint: disable-file=RL003`` comment anywhere
+  in the file silences the named rules for the whole file.
+
+Suppressions are deliberate, reviewable exceptions; pre-existing debt
+belongs in the baseline file instead (see :mod:`repro.lint.baseline`).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterable, Set
+
+from .findings import Finding
+
+__all__ = ["Suppressions"]
+
+_LINE_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+)")
+_FILE_RE = re.compile(r"#\s*repro-lint:\s*disable-file=([A-Za-z0-9_,\s]+)")
+
+
+def _parse_rule_list(raw: str) -> Set[str]:
+    return {token.strip() for token in raw.split(",") if token.strip()}
+
+
+class Suppressions:
+    """Parsed suppression comments for one source file."""
+
+    def __init__(self, lines: Iterable[str]) -> None:
+        self.by_line: Dict[int, Set[str]] = {}
+        self.file_wide: Set[str] = set()
+        for lineno, line in enumerate(lines, start=1):
+            if "repro-lint" not in line:
+                continue
+            match = _FILE_RE.search(line)
+            if match:
+                self.file_wide |= _parse_rule_list(match.group(1))
+                continue
+            match = _LINE_RE.search(line)
+            if match:
+                self.by_line.setdefault(lineno, set()).update(
+                    _parse_rule_list(match.group(1))
+                )
+
+    def suppresses(self, finding: Finding) -> bool:
+        """True when an inline comment silences this finding."""
+        for scope in (self.file_wide, self.by_line.get(finding.line, ())):
+            if finding.rule in scope or "all" in scope:
+                return True
+        return False

@@ -14,6 +14,7 @@ from typing import Optional
 import numpy as np
 
 from .. import nn
+from ..seeding import resolve_rng
 
 __all__ = [
     "BasicBlock",
@@ -42,7 +43,7 @@ class BasicBlock(nn.Module):
         rng: Optional[np.random.Generator] = None,
     ) -> None:
         super().__init__()
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = resolve_rng(rng)
         self.conv1 = nn.Conv2d(
             in_channels, out_channels, 3, stride=stride, padding=1, bias=False,
             rng=rng,
@@ -109,7 +110,7 @@ class ResNet(nn.Module):
         super().__init__()
         if blocks_per_stage < 1:
             raise ValueError("blocks_per_stage must be >= 1")
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = resolve_rng(rng)
         self.depth = 6 * blocks_per_stage + 2
         self.num_classes = num_classes
 

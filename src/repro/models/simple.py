@@ -7,6 +7,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from .. import nn
+from ..seeding import resolve_rng
 
 __all__ = ["MLP", "SimpleCNN"]
 
@@ -35,7 +36,7 @@ class MLP(nn.Module):
         rng: Optional[np.random.Generator] = None,
     ) -> None:
         super().__init__()
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = resolve_rng(rng)
         layers = [nn.Flatten()]
         width = in_features
         for h in hidden:
@@ -75,7 +76,7 @@ class SimpleCNN(nn.Module):
         super().__init__()
         if image_size % 4 != 0:
             raise ValueError("image_size must be divisible by 4")
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = resolve_rng(rng)
         self.features = nn.Sequential(
             nn.Conv2d(in_channels, width, 3, padding=1, bias=False, rng=rng),
             nn.BatchNorm2d(width),

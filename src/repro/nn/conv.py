@@ -6,6 +6,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from ..seeding import resolve_rng
 from . import init
 from .functional import col2im, im2col
 from .module import Module, Parameter
@@ -49,7 +50,7 @@ class Conv2d(Module):
             raise ValueError("channels, kernel_size and stride must be positive")
         if padding < 0:
             raise ValueError("padding must be non-negative")
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = resolve_rng(rng)
         self.in_channels = in_channels
         self.out_channels = out_channels
         self.kernel_size = kernel_size

@@ -6,6 +6,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..seeding import resolve_rng
 from . import init
 from .module import Module, Parameter
 
@@ -36,7 +37,7 @@ class Linear(Module):
         super().__init__()
         if in_features <= 0 or out_features <= 0:
             raise ValueError("in_features and out_features must be positive")
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = resolve_rng(rng)
         self.in_features = in_features
         self.out_features = out_features
         self.weight = Parameter(init.kaiming_normal((out_features, in_features), rng))

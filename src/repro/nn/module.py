@@ -182,7 +182,9 @@ class Module:
                     f"shape mismatch for {name!r}: "
                     f"model {param.data.shape}, state {value.shape}"
                 )
-            param.data[...] = value
+            # In-place so optimizer state keeps aliasing the same arrays;
+            # checkpoint loading owns this write.
+            param.data[...] = value  # repro-lint: disable=RL006
         # Buffers are keyed by owning module; walk the tree to update in place.
         buffer_owners = self._collect_buffer_owners()
         for name, (owner, local) in buffer_owners.items():

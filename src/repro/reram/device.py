@@ -15,6 +15,8 @@ from typing import Optional
 
 import numpy as np
 
+from ..seeding import resolve_rng
+
 __all__ = ["ReRAMDeviceModel"]
 
 
@@ -75,8 +77,7 @@ class ReRAMDeviceModel:
         """Read conductances, applying lognormal read variation if enabled."""
         if self.read_noise_sigma == 0.0:
             return np.asarray(conductances, dtype=np.float64)
-        if rng is None:
-            rng = np.random.default_rng()
+        rng = resolve_rng(rng)
         noise = rng.lognormal(
             mean=0.0, sigma=self.read_noise_sigma, size=np.shape(conductances)
         )

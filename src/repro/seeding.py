@@ -1,0 +1,73 @@
+"""Process-wide seed policy for default random generators.
+
+The paper's headline numbers are means over 100 *seeded* fault draws
+(P_sa0:P_sa1 = 1.75:9.04), so nothing in this library is allowed to fall
+back to OS entropy.  Every layer, device model and evaluation loop that
+takes an optional ``rng`` resolves its default through this module:
+
+* When the caller supplies a generator, it is used unchanged — explicit
+  seeding always wins.
+* When the caller supplies nothing, :func:`resolve_rng` returns a fresh
+  generator spawned from a process-wide :class:`numpy.random.SeedSequence`
+  rooted at :data:`DEFAULT_SEED`.  Successive defaults are *distinct*
+  streams (two ``Conv2d`` layers built without an ``rng`` do not share
+  weights) but the whole sequence is deterministic: the same construction
+  order reproduces the same streams in every process.
+
+Tests that need a pristine default stream call :func:`reseed`, which
+rewinds the root sequence (optionally to a different seed).
+
+This module is the single sanctioned home of an ``np.random.default_rng``
+call with a derived seed; ``repro.lint`` rule RL001 flags any *unseeded*
+``np.random.default_rng()`` elsewhere in the tree.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["DEFAULT_SEED", "resolve_rng", "reseed"]
+
+#: Root seed for every default generator in the library.  Chosen once,
+#: documented here, and never read from the environment — reproducibility
+#: must not depend on shell state.
+DEFAULT_SEED = 0
+
+_root = np.random.SeedSequence(DEFAULT_SEED)
+
+
+def resolve_rng(
+    rng: Optional[np.random.Generator] = None,
+    seed: Optional[int] = None,
+) -> np.random.Generator:
+    """Return ``rng`` if given, else a generator from the seed policy.
+
+    Parameters
+    ----------
+    rng:
+        An explicit generator; returned unchanged when not ``None``.
+    seed:
+        An explicit seed; when given (and ``rng`` is not), the result is
+        ``np.random.default_rng(seed)`` — independent of the process-wide
+        stream.
+    """
+    if rng is not None:
+        return rng
+    if seed is not None:
+        return np.random.default_rng(seed)
+    # Spawning advances the root sequence, so each default resolution
+    # gets its own deterministic stream.
+    return np.random.default_rng(_root.spawn(1)[0])
+
+
+def reseed(seed: int = DEFAULT_SEED) -> None:
+    """Rewind the process-wide default stream to ``seed``.
+
+    Subsequent :func:`resolve_rng` defaults replay from the start of the
+    (possibly new) root sequence.  Intended for tests that need the
+    default-construction order to be independent of what ran before.
+    """
+    global _root
+    _root = np.random.SeedSequence(seed)

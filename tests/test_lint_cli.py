@@ -1,0 +1,213 @@
+"""Tests for the `python -m repro.lint` CLI: exit codes, formats,
+baseline round-trip."""
+
+import json
+import os
+import textwrap
+
+import pytest
+
+from repro.lint import Baseline, BaselineError
+from repro.lint.cli import build_parser, main as lint_main
+
+CLEAN = textwrap.dedent(
+    """
+    import numpy as np
+
+    __all__ = ["sample"]
+
+
+    def sample(rng):
+        return rng.random()
+    """
+).lstrip()
+
+VIOLATION = textwrap.dedent(
+    """
+    import numpy as np
+
+    __all__ = ["sample"]
+
+
+    def sample():
+        rng = np.random.default_rng()
+        return rng.random()
+    """
+).lstrip()
+
+
+@pytest.fixture()
+def tree(tmp_path, monkeypatch):
+    """A tmp project dir the CLI runs against, as cwd (like CI does)."""
+    (tmp_path / "src").mkdir()
+    monkeypatch.chdir(tmp_path)
+    return tmp_path
+
+
+def write(tree, relpath, text):
+    path = tree / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text)
+
+
+# -- parser -----------------------------------------------------------------
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_parser_rejects_unknown_format():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "--format", "xml"])
+
+
+# -- run --------------------------------------------------------------------
+
+
+def test_run_clean_tree_exits_zero(tree, capsys):
+    write(tree, "src/mod.py", CLEAN)
+    assert lint_main(["run"]) == 0
+    assert "no findings" in capsys.readouterr().out
+
+
+def test_run_violation_exits_one(tree, capsys):
+    write(tree, "src/mod.py", VIOLATION)
+    assert lint_main(["run"]) == 1
+    out = capsys.readouterr().out
+    assert "RL001" in out and "src/mod.py" in out
+
+
+def test_run_missing_path_exits_two(tree, capsys):
+    assert lint_main(["run", "no/such/dir"]) == 2
+
+
+def test_run_json_document_schema(tree, capsys):
+    write(tree, "src/mod.py", VIOLATION)
+    assert lint_main(["run", "--format", "json"]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["schema"] == 1
+    assert doc["tool"] == "repro.lint"
+    assert doc["summary"]["new"] == len(doc["findings"]) == 1
+    finding = doc["findings"][0]
+    assert finding["rule"] == "RL001"
+    assert finding["severity"] == "error"
+    assert finding["path"] == "src/mod.py"
+    assert finding["fingerprint"]
+    assert finding["line"] > 0
+
+
+def test_run_select_and_ignore(tree, capsys):
+    write(tree, "src/mod.py", VIOLATION)
+    assert lint_main(["run", "--select", "RL005"]) == 0
+    assert lint_main(["run", "--ignore", "RL001"]) == 0
+    assert lint_main(["run", "--select", "RL001"]) == 1
+
+
+def test_run_reports_syntax_error_as_rl000(tree, capsys):
+    write(tree, "src/bad.py", "def broken(:\n")
+    assert lint_main(["run"]) == 1
+    assert "RL000" in capsys.readouterr().out
+
+
+# -- baseline round-trip ----------------------------------------------------
+
+
+def test_baseline_roundtrip_hides_known_findings(tree, capsys):
+    write(tree, "src/mod.py", VIOLATION)
+    assert lint_main(["run"]) == 1
+    capsys.readouterr()
+
+    assert lint_main(["baseline"]) == 0
+    assert os.path.exists("LINT_BASELINE.json")
+
+    # The same tree is now clean; a fresh violation still gates.
+    assert lint_main(["run"]) == 0
+    assert "baselined" in capsys.readouterr().out
+    write(
+        tree,
+        "src/fresh.py",
+        "import numpy as np\nrng = np.random.default_rng()\n",
+    )
+    assert lint_main(["run"]) == 1
+    out = capsys.readouterr().out
+    assert "src/fresh.py" in out and "src/mod.py" not in out
+
+
+def test_run_flags_stale_baseline_entries(tree, capsys):
+    write(tree, "src/mod.py", VIOLATION)
+    assert lint_main(["baseline"]) == 0
+    write(tree, "src/mod.py", CLEAN)
+    capsys.readouterr()
+    assert lint_main(["run"]) == 0
+    assert "stale" in capsys.readouterr().out
+
+
+def test_run_no_baseline_flag_reports_everything(tree, capsys):
+    write(tree, "src/mod.py", VIOLATION)
+    assert lint_main(["baseline"]) == 0
+    assert lint_main(["run"]) == 0
+    assert lint_main(["run", "--no-baseline"]) == 1
+
+
+def test_run_rejects_corrupt_baseline(tree, capsys):
+    write(tree, "src/mod.py", CLEAN)
+    (tree / "LINT_BASELINE.json").write_text("{not json")
+    assert lint_main(["run"]) == 2
+
+
+def test_baseline_load_validates_schema(tree):
+    (tree / "b.json").write_text(json.dumps({"tool": "other", "entries": []}))
+    with pytest.raises(BaselineError):
+        Baseline.load(str(tree / "b.json"))
+    (tree / "c.json").write_text(
+        json.dumps({"tool": "repro.lint", "schema": 99, "entries": []})
+    )
+    with pytest.raises(BaselineError):
+        Baseline.load(str(tree / "c.json"))
+
+
+def test_baseline_matching_is_count_aware(tree, capsys):
+    two = VIOLATION + "\n\ndef again():\n    rng = np.random.default_rng()\n    return rng\n"
+    write(tree, "src/mod.py", two)
+    assert lint_main(["baseline"]) == 0
+    baseline = Baseline.load("LINT_BASELINE.json")
+    # Drop one of the two identical-fingerprint entries: one violation
+    # stays baselined, the other gates again.
+    baseline.entries.pop()
+    Baseline(baseline.entries).write("LINT_BASELINE.json")
+    assert lint_main(["run"]) == 1
+
+
+# -- rules ------------------------------------------------------------------
+
+
+def test_rules_lists_all_eight(capsys):
+    assert lint_main(["rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in [f"RL00{i}" for i in range(1, 9)]:
+        assert rule_id in out
+
+
+def test_rules_json(capsys):
+    assert lint_main(["rules", "--format", "json"]) == 0
+    rules = json.loads(capsys.readouterr().out)
+    assert len(rules) == 8
+    assert {r["id"] for r in rules} == {f"RL00{i}" for i in range(1, 9)}
+    for entry in rules:
+        assert entry["severity"] in ("error", "warning")
+        assert entry["description"]
+
+
+# -- the repo itself --------------------------------------------------------
+
+
+def test_repo_tree_is_lint_clean(monkeypatch):
+    """The acceptance contract: `repro.lint run` exits 0 on the repo
+    with its committed baseline."""
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    # Baseline entries are keyed by repo-relative paths, so run from the
+    # repo root exactly as CI does.
+    monkeypatch.chdir(repo_root)
+    assert lint_main(["run"]) == 0

@@ -2,6 +2,7 @@
 
 import importlib
 import inspect
+import os
 
 import pytest
 
@@ -17,6 +18,8 @@ SUBPACKAGES = [
     "repro.quantization",
     "repro.baselines",
     "repro.experiments",
+    "repro.lint",
+    "repro.seeding",
 ]
 
 
@@ -69,6 +72,26 @@ def test_public_classes_methods_documented(module_name):
             if not _documented_somewhere(obj, meth_name):
                 undocumented.append(f"{name}.{meth_name}")
     assert not undocumented, f"undocumented methods: {undocumented}"
+
+
+@pytest.mark.parametrize("module_name", SUBPACKAGES + ["repro"])
+def test_all_has_no_duplicates(module_name):
+    module = importlib.import_module(module_name)
+    assert len(module.__all__) == len(set(module.__all__)), (
+        f"{module_name}.__all__ has duplicate entries"
+    )
+
+
+def test_public_api_matches_lint_rule():
+    """RL004 (public-api-drift) holds for the whole tree: every __all__
+    name is bound, every public top-level def/class is exported."""
+    from repro.lint import lint_paths
+
+    root = os.path.join(os.path.dirname(__file__), "..", "src")
+    findings = lint_paths([root], select=["RL004"])
+    assert not findings, "\n".join(
+        f"{f.path}:{f.line}: {f.message}" for f in findings
+    )
 
 
 def test_version_string():
