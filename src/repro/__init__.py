@@ -25,6 +25,7 @@ from . import (
     experiments,
     models,
     nn,
+    parallel,
     pruning,
     quantization,
     reram,
@@ -46,6 +47,7 @@ from .core import (
     default_progressive_schedule,
     evaluate_accuracy,
     evaluate_defect_accuracy,
+    evaluate_one_draw,
     stability_score,
 )
 from .reram import SA0_SA1_RATIO, StuckAtFaultSpec, WeightSpaceFaultModel
@@ -58,6 +60,7 @@ __all__ = [
     "models",
     "reram",
     "core",
+    "parallel",
     "pruning",
     "experiments",
     "baselines",
@@ -72,6 +75,7 @@ __all__ = [
     "default_progressive_schedule",
     "evaluate_accuracy",
     "evaluate_defect_accuracy",
+    "evaluate_one_draw",
     "DefectEvaluation",
     "stability_score",
     "AccuracyReport",

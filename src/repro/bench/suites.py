@@ -15,6 +15,11 @@ kernels the paper's pipeline spends its time in:
 * ``eval/defect_draw`` — one full draw of the paper's testing protocol
   (inject → evaluate → restore), the unit repeated 100× per reported
   accuracy;
+* ``parallel/defect_eval_serial`` / ``parallel/defect_eval_workers2`` —
+  the same multi-draw evaluation serial vs. through a 2-worker
+  ``repro.parallel`` pool, so BENCH comparisons track the
+  parallelisation overhead/speedup (pool start-up is inside the timed
+  region; the speedup needs at least two free cores);
 * ``train/resnet8_epoch`` — one epoch of standard training on synthetic
   data, the unit pretraining repeats for 160 epochs.
 
@@ -277,6 +282,61 @@ def _defect_draw(state):
     )
 
 
+def _parallel_eval_setup(params: dict, rng: np.random.Generator) -> dict:
+    state = _eval_setup(params, rng)
+    state["runs"] = params["runs"]
+    state["workers"] = params["workers"]
+    return state
+
+
+def _defect_eval_at_workers(state):
+    """Shared body: a full multi-draw defect evaluation at a worker count.
+
+    The pool (when ``workers > 1``) is created and torn down inside the
+    timed region — that is the honest per-call cost a caller pays, and
+    exactly what the serial case amortises away.
+    """
+    return evaluate_defect_accuracy(
+        state["model"],
+        state["loader"],
+        state["p_sa"],
+        num_runs=state["runs"],
+        seed=0,
+        workers=state["workers"],
+    )
+
+
+@benchmark(
+    "parallel/defect_eval_serial",
+    params={
+        "fast": {"classes": 10, "width": 8, "image": 8, "samples": 32,
+                 "p_sa": 0.05, "runs": 6, "workers": 0},
+        "full": {"classes": 10, "width": 16, "image": 12, "samples": 128,
+                 "p_sa": 0.05, "runs": 12, "workers": 0},
+    },
+    setup=_parallel_eval_setup,
+    description="Multi-draw defect evaluation, serial in-process baseline",
+)
+def _defect_eval_serial(state):
+    return _defect_eval_at_workers(state)
+
+
+@benchmark(
+    "parallel/defect_eval_workers2",
+    params={
+        "fast": {"classes": 10, "width": 8, "image": 8, "samples": 32,
+                 "p_sa": 0.05, "runs": 6, "workers": 2},
+        "full": {"classes": 10, "width": 16, "image": 12, "samples": 128,
+                 "p_sa": 0.05, "runs": 12, "workers": 2},
+    },
+    setup=_parallel_eval_setup,
+    description="Same evaluation through a 2-worker repro.parallel pool "
+    "(pool start-up included; the speedup needs >= 2 free cores)",
+)
+def _defect_eval_workers2(state):
+    return _defect_eval_at_workers(state)
+
+
 def _train_setup(params: dict, rng: np.random.Generator) -> dict:
     model = resnet8(
         num_classes=params["classes"], base_width=params["width"], rng=rng
@@ -322,7 +382,7 @@ def _lint_setup(params: dict, rng: np.random.Generator) -> dict:
     "lint/analyze_tree",
     params={"fast": {"scope": "nn"}, "full": {"scope": "all"}},
     setup=_lint_setup,
-    description="repro.lint self-check: parse + all 8 rules over the tree",
+    description="repro.lint self-check: parse + all 9 rules over the tree",
 )
 def _lint_analyze(state):
     return lint_paths(state["paths"])

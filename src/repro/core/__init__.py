@@ -3,8 +3,10 @@ evaluation and the Stability Score."""
 
 from .evaluate import (
     DefectEvaluation,
+    FaultDrawSpec,
     evaluate_accuracy,
     evaluate_defect_accuracy,
+    evaluate_one_draw,
 )
 from .injector import FaultInjector, apply_fault
 from .analysis import FaultImpact, expected_fault_impact
@@ -31,6 +33,8 @@ __all__ = [
     "default_progressive_schedule",
     "evaluate_accuracy",
     "evaluate_defect_accuracy",
+    "evaluate_one_draw",
+    "FaultDrawSpec",
     "DefectEvaluation",
     "stability_score",
     "StabilityResult",

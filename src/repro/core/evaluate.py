@@ -15,18 +15,25 @@ fault pattern behind a reported ``Acc_defect`` can be re-materialised.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Any, Dict, List, Optional, Union
 
 import numpy as np
 
 from .. import nn
 from ..datasets.loader import DataLoader
+from ..parallel import Broadcast, ModelBroadcast, ParallelMap
 from ..reram.faults import WeightSpaceFaultModel
-from ..seeding import resolve_rng
+from ..seeding import draw_streams, resolve_base_seed
 from ..telemetry import current as _telemetry
 from .injector import FaultInjector
 
-__all__ = ["evaluate_accuracy", "DefectEvaluation", "evaluate_defect_accuracy"]
+__all__ = [
+    "evaluate_accuracy",
+    "FaultDrawSpec",
+    "evaluate_one_draw",
+    "DefectEvaluation",
+    "evaluate_defect_accuracy",
+]
 
 
 def evaluate_accuracy(model: nn.Module, loader: DataLoader) -> float:
@@ -43,6 +50,67 @@ def evaluate_accuracy(model: nn.Module, loader: DataLoader) -> float:
     if total == 0:
         raise ValueError("loader yielded no samples")
     return 100.0 * correct / total
+
+
+@dataclass(frozen=True)
+class FaultDrawSpec:
+    """What one Monte Carlo fault draw injects (picklable task config).
+
+    ``fault_model=None`` means the paper's default
+    :class:`~repro.reram.faults.WeightSpaceFaultModel` (1.75 : 9.04
+    SA0:SA1 split), resolved inside the injector.
+    """
+
+    p_sa: float
+    fault_model: Optional[WeightSpaceFaultModel] = None
+
+
+def evaluate_one_draw(
+    model: nn.Module,
+    loader: DataLoader,
+    fault_cfg: FaultDrawSpec,
+    seed_stream: Union[int, np.random.SeedSequence, np.random.Generator],
+) -> float:
+    """One fault draw: inject, evaluate, restore.  The pure per-draw unit.
+
+    This is the function both the serial loops and ``repro.parallel``
+    workers execute: accuracy is a deterministic function of the model
+    weights, the loader, ``fault_cfg`` and ``seed_stream`` alone.
+    ``seed_stream`` is anything ``np.random.default_rng`` accepts — an
+    int or :class:`~numpy.random.SeedSequence` for an independent
+    per-draw stream (the parallel contract), or a live ``Generator``,
+    which is used *in place* and advanced (the legacy shared-stream
+    protocol).  The model is restored before returning.
+    """
+    rng = np.random.default_rng(seed_stream)
+    injector = FaultInjector(model, fault_model=fault_cfg.fault_model, rng=rng)
+    with injector.faults(fault_cfg.p_sa):
+        return evaluate_accuracy(model, loader)
+
+
+def _defect_draw_task(task: tuple, context: Dict[str, Any]) -> float:
+    """Per-draw task body shared by the serial and pool paths.
+
+    ``task`` is ``(draw_index, draw_seed, seed_stream)``; ``draw_seed``
+    is the scalar provenance value emitted on the ``defect_draw`` event
+    (``None`` on the legacy shared-``rng`` path, where the stream *is*
+    the shared generator).
+    """
+    draw, draw_seed, seed_stream = task
+    accuracy = evaluate_one_draw(
+        context["model"], context["loader"], context["cfg"], seed_stream
+    )
+    telemetry = _telemetry()
+    telemetry.metrics.counter("eval/fault_draws_total").inc()
+    telemetry.metrics.histogram("eval/defect_accuracy").observe(accuracy)
+    telemetry.emit(
+        "defect_draw",
+        p_sa=context["cfg"].p_sa,
+        draw=draw,
+        seed=draw_seed,
+        accuracy=accuracy,
+    )
+    return accuracy
 
 
 @dataclass
@@ -94,14 +162,28 @@ def evaluate_defect_accuracy(
     rng: Optional[np.random.Generator] = None,
     fault_model: Optional[WeightSpaceFaultModel] = None,
     seed: Optional[int] = None,
+    workers: Optional[int] = None,
 ) -> DefectEvaluation:
     """Average accuracy over ``num_runs`` independent fault draws.
 
-    The model's weights are restored after every draw; the function leaves
-    the model exactly as it found it.  Pass either a live ``rng`` (one
-    stream across all draws, as before) or a ``seed`` (a fresh generator
-    per draw, seeded ``seed + draw_index``, with full provenance), not
-    both.
+    The paper's testing protocol uses ``num_runs=100`` (Algorithm 1,
+    Testing; Section III reports ``Acc_defect`` as the mean over 100
+    random fault patterns) — the default here.  The model's weights are
+    restored after every draw; the function leaves the model exactly as
+    it found it.
+
+    Pass either a live ``rng`` (one stream shared across draws, the
+    legacy protocol) or a ``seed``: draw ``i`` then uses its own stream
+    ``SeedSequence(seed + i)``, with full provenance.  With neither, a
+    base seed is drawn from the process-wide policy stream and recorded
+    on the result, so every evaluation is re-materialisable.
+
+    ``workers`` distributes the draws over a ``repro.parallel`` process
+    pool (``None`` defers to ``REPRO_WORKERS``; 0/1 run serial).  Results
+    are bit-identical at any worker count and chunk size.  The shared
+    ``rng`` protocol is order-dependent by construction, so it always
+    runs serial — asking for workers with an ``rng`` records a telemetry
+    fallback rather than silently changing the stream discipline.
     """
     if num_runs < 1:
         raise ValueError("num_runs must be >= 1")
@@ -120,45 +202,45 @@ def evaluate_defect_accuracy(
             std_accuracy=0.0,
         )
         return DefectEvaluation(0.0, clean, 0.0, [clean], seed=seed)
-    if rng is None and seed is None:
-        rng = resolve_rng()
-    injector = FaultInjector(
-        model,
-        fault_model=fault_model,
-        rng=rng if rng is not None else np.random.default_rng(seed),
-    )
-    fault_draws = telemetry.metrics.counter("eval/fault_draws_total")
-    draw_hist = telemetry.metrics.histogram("eval/defect_accuracy")
-    accuracies = []
-    for draw in range(num_runs):
-        draw_seed: Optional[int] = None
-        if seed is not None:
-            draw_seed = seed + draw
-            injector.rng = np.random.default_rng(draw_seed)
-        with injector.faults(p_sa):
-            accuracy = evaluate_accuracy(model, loader)
-        accuracies.append(accuracy)
-        fault_draws.inc()
-        draw_hist.observe(accuracy)
-        telemetry.emit(
-            "defect_draw",
-            p_sa=p_sa,
-            draw=draw,
-            seed=draw_seed,
-            accuracy=accuracy,
+    cfg = FaultDrawSpec(p_sa=p_sa, fault_model=fault_model)
+    pmap = ParallelMap(workers)
+    if rng is not None:
+        base_seed = None
+        tasks = [(draw, None, rng) for draw in range(num_runs)]
+        if pmap.workers > 1:
+            telemetry.metrics.counter("parallel/fallbacks_total").inc()
+            telemetry.emit(
+                "parallel_fallback",
+                reason="shared rng stream is order-dependent",
+                workers=pmap.workers,
+            )
+    else:
+        base_seed = resolve_base_seed(seed)
+        streams = draw_streams(base_seed, num_runs)
+        tasks = [
+            (draw, base_seed + draw, streams[draw]) for draw in range(num_runs)
+        ]
+    if rng is None and pmap.workers > 1:
+        accuracies = pmap.map(
+            _defect_draw_task,
+            tasks,
+            Broadcast(model=ModelBroadcast(model), loader=loader, cfg=cfg),
         )
+    else:
+        context = {"model": model, "loader": loader, "cfg": cfg}
+        accuracies = [_defect_draw_task(task, context) for task in tasks]
     evaluation = DefectEvaluation(
         p_sa,
         float(np.mean(accuracies)),
         float(np.std(accuracies)),
         accuracies,
-        seed=seed,
+        seed=base_seed,
     )
     telemetry.emit(
         "defect_eval",
         p_sa=p_sa,
         num_runs=num_runs,
-        seed=seed,
+        seed=base_seed,
         mean_accuracy=evaluation.mean_accuracy,
         std_accuracy=evaluation.std_accuracy,
     )

@@ -13,27 +13,33 @@ returns a :class:`FleetReport` with those statistics.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
 from .. import nn
 from ..datasets.loader import DataLoader
+from ..parallel import Broadcast, ModelBroadcast, ParallelMap
 from ..reram.faults import WeightSpaceFaultModel
-from ..seeding import resolve_rng
+from ..seeding import draw_streams, resolve_base_seed
 from ..telemetry import current as _telemetry
-from .evaluate import evaluate_accuracy
-from .injector import FaultInjector
+from .evaluate import FaultDrawSpec, evaluate_accuracy, evaluate_one_draw
 
 __all__ = ["FleetReport", "simulate_fleet"]
 
 
 @dataclass
 class FleetReport:
-    """Accuracy distribution of one model across a device fleet."""
+    """Accuracy distribution of one model across a device fleet.
+
+    ``seed`` is the evaluation's base seed when it was seed-driven
+    (device ``i`` used the stream behind ``seed + i``); ``None`` when a
+    live ``rng`` drove the draws.
+    """
 
     p_sa: float
     accuracies: List[float] = field(default_factory=list)
+    seed: Optional[int] = None
 
     @property
     def num_devices(self) -> int:
@@ -78,6 +84,25 @@ class FleetReport:
         )
 
 
+def _fleet_device_task(task: tuple, context: Dict[str, Any]) -> float:
+    """One simulated device: same draw unit as defect evaluation."""
+    device, device_seed, seed_stream = task
+    accuracy = evaluate_one_draw(
+        context["model"], context["loader"], context["cfg"], seed_stream
+    )
+    telemetry = _telemetry()
+    telemetry.metrics.counter("fleet/devices_total").inc()
+    telemetry.metrics.histogram("fleet/accuracy").observe(accuracy)
+    telemetry.emit(
+        "fleet_device",
+        device=device,
+        p_sa=context["cfg"].p_sa,
+        seed=device_seed,
+        accuracy=accuracy,
+    )
+    return accuracy
+
+
 def simulate_fleet(
     model: nn.Module,
     loader: DataLoader,
@@ -85,6 +110,8 @@ def simulate_fleet(
     num_devices: int = 50,
     rng: Optional[np.random.Generator] = None,
     fault_model: Optional[WeightSpaceFaultModel] = None,
+    seed: Optional[int] = None,
+    workers: Optional[int] = None,
 ) -> FleetReport:
     """Evaluate ``model`` on ``num_devices`` simulated defective devices.
 
@@ -92,27 +119,54 @@ def simulate_fleet(
     model is restored between devices.  This is the same computation as
     :func:`~repro.core.evaluate.evaluate_defect_accuracy` but reported as
     a distribution rather than a mean.
+
+    Seeding and parallelism follow the defect-evaluation contract: pass
+    a live ``rng`` (one shared stream, always serial) or a ``seed``
+    (device ``i`` gets the independent stream behind ``seed + i``); with
+    neither, a base seed is drawn from the process-wide policy stream and
+    recorded on the report.  ``workers`` distributes seed-driven devices
+    over a ``repro.parallel`` pool with bit-identical results at any
+    worker count.
     """
     if num_devices < 1:
         raise ValueError("num_devices must be >= 1")
-    rng = resolve_rng(rng)
+    if rng is not None and seed is not None:
+        raise ValueError("pass either rng or seed, not both")
     telemetry = _telemetry()
-    report = FleetReport(p_sa=p_sa)
+    report = FleetReport(p_sa=p_sa, seed=None if rng is not None else seed)
     if p_sa == 0.0:
         clean = evaluate_accuracy(model, loader)
         report.accuracies = [clean] * num_devices
         return report
-    injector = FaultInjector(model, fault_model=fault_model, rng=rng)
-    devices_total = telemetry.metrics.counter("fleet/devices_total")
-    accuracy_hist = telemetry.metrics.histogram("fleet/accuracy")
-    with telemetry.span("fleet_simulation"):
-        for device in range(num_devices):
-            with injector.faults(p_sa):
-                accuracy = evaluate_accuracy(model, loader)
-            report.accuracies.append(accuracy)
-            devices_total.inc()
-            accuracy_hist.observe(accuracy)
+    cfg = FaultDrawSpec(p_sa=p_sa, fault_model=fault_model)
+    pmap = ParallelMap(workers)
+    if rng is not None:
+        tasks = [(device, None, rng) for device in range(num_devices)]
+        if pmap.workers > 1:
+            telemetry.metrics.counter("parallel/fallbacks_total").inc()
             telemetry.emit(
-                "fleet_device", device=device, p_sa=p_sa, accuracy=accuracy
+                "parallel_fallback",
+                reason="shared rng stream is order-dependent",
+                workers=pmap.workers,
             )
+    else:
+        base_seed = resolve_base_seed(seed)
+        report.seed = base_seed
+        streams = draw_streams(base_seed, num_devices)
+        tasks = [
+            (device, base_seed + device, streams[device])
+            for device in range(num_devices)
+        ]
+    with telemetry.span("fleet_simulation"):
+        if rng is None and pmap.workers > 1:
+            report.accuracies = pmap.map(
+                _fleet_device_task,
+                tasks,
+                Broadcast(model=ModelBroadcast(model), loader=loader, cfg=cfg),
+            )
+        else:
+            context = {"model": model, "loader": loader, "cfg": cfg}
+            report.accuracies = [
+                _fleet_device_task(task, context) for task in tasks
+            ]
     return report

@@ -10,15 +10,17 @@ the paper discusses) on the first conv or on the classifier.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional, Union
 
 import numpy as np
 
 from .. import nn
 from ..datasets.loader import DataLoader
+from ..parallel import Broadcast, ModelBroadcast, ParallelMap
 from ..reram.deploy import crossbar_parameters
 from ..reram.faults import WeightSpaceFaultModel
-from ..seeding import resolve_rng
+from ..seeding import draw_streams, resolve_base_seed
+from ..telemetry import current as _telemetry
 from .evaluate import evaluate_accuracy
 
 __all__ = ["LayerSensitivity", "layer_sensitivity"]
@@ -34,6 +36,44 @@ class LayerSensitivity:
     accuracy_drop: float
 
 
+def _faulted_layer_accuracy(
+    model: nn.Module,
+    loader: DataLoader,
+    param: nn.Parameter,
+    pristine: np.ndarray,
+    fault_model: WeightSpaceFaultModel,
+    p_sa: float,
+    rng: np.random.Generator,
+) -> float:
+    """Accuracy with faults in one tensor only; the tensor is restored.
+
+    The single place the sweep mutates model weights — shared by the
+    legacy shared-``rng`` loop and the seed-driven (serial or parallel)
+    path, so both measure exactly the same thing.
+    """
+    param.data[...] = fault_model.apply(pristine, p_sa, rng)
+    try:
+        return evaluate_accuracy(model, loader)
+    finally:
+        param.data[...] = pristine
+
+
+def _layer_draw_task(task: tuple, context: Dict[str, Any]) -> float:
+    """One (layer, run) cell of the sensitivity sweep."""
+    name, seed_stream = task
+    model = context["model"]
+    param = dict(crossbar_parameters(model))[name]
+    return _faulted_layer_accuracy(
+        model,
+        context["loader"],
+        param,
+        param.data.copy(),
+        context["fault_model"],
+        context["p_sa"],
+        np.random.default_rng(seed_stream),
+    )
+
+
 def layer_sensitivity(
     model: nn.Module,
     loader: DataLoader,
@@ -41,26 +81,78 @@ def layer_sensitivity(
     num_runs: int = 10,
     rng: Optional[np.random.Generator] = None,
     fault_model: Optional[WeightSpaceFaultModel] = None,
+    seed: Optional[int] = None,
+    workers: Optional[int] = None,
 ) -> List[LayerSensitivity]:
     """Fault each crossbar-resident tensor in isolation.
 
     Returns one :class:`LayerSensitivity` per tensor, sorted most
     sensitive first.  The model is left untouched.
+
+    Seeding follows the library's Monte Carlo contract: a live ``rng``
+    shares one stream across every (layer, run) cell in sweep order and
+    always runs serial; a ``seed`` gives cell ``(i, j)`` the independent
+    stream behind ``seed + i*num_runs + j``, which ``workers`` can then
+    evaluate on a ``repro.parallel`` pool with bit-identical results at
+    any worker count.  With neither, a base seed is drawn from the
+    process-wide policy stream.
     """
     if num_runs < 1:
         raise ValueError("num_runs must be >= 1")
-    rng = resolve_rng(rng)
+    if rng is not None and seed is not None:
+        raise ValueError("pass either rng or seed, not both")
     fault_model = fault_model or WeightSpaceFaultModel()
+    targets = crossbar_parameters(model)
     clean = evaluate_accuracy(model, loader)
+    pmap = ParallelMap(workers)
+    if rng is not None:
+        if pmap.workers > 1:
+            telemetry = _telemetry()
+            telemetry.metrics.counter("parallel/fallbacks_total").inc()
+            telemetry.emit(
+                "parallel_fallback",
+                reason="shared rng stream is order-dependent",
+                workers=pmap.workers,
+            )
+        accuracies: List[float] = []
+        for name, param in targets:
+            pristine = param.data.copy()
+            for _ in range(num_runs):
+                accuracies.append(
+                    _faulted_layer_accuracy(
+                        model, loader, param, pristine, fault_model, p_sa, rng
+                    )
+                )
+    else:
+        base_seed = resolve_base_seed(seed)
+        streams = draw_streams(base_seed, len(targets) * num_runs)
+        tasks = [
+            (name, streams[i * num_runs + j])
+            for i, (name, _) in enumerate(targets)
+            for j in range(num_runs)
+        ]
+        if pmap.workers > 1:
+            accuracies = pmap.map(
+                _layer_draw_task,
+                tasks,
+                Broadcast(
+                    model=ModelBroadcast(model),
+                    loader=loader,
+                    fault_model=fault_model,
+                    p_sa=p_sa,
+                ),
+            )
+        else:
+            context = {
+                "model": model,
+                "loader": loader,
+                "fault_model": fault_model,
+                "p_sa": p_sa,
+            }
+            accuracies = [_layer_draw_task(task, context) for task in tasks]
     results: List[LayerSensitivity] = []
-    for name, param in crossbar_parameters(model):
-        pristine = param.data.copy()
-        accuracies = []
-        for _ in range(num_runs):
-            param.data[...] = fault_model.apply(pristine, p_sa, rng)
-            accuracies.append(evaluate_accuracy(model, loader))
-            param.data[...] = pristine
-        mean_acc = float(np.mean(accuracies))
+    for i, (name, param) in enumerate(targets):
+        mean_acc = float(np.mean(accuracies[i * num_runs : (i + 1) * num_runs]))
         results.append(
             LayerSensitivity(
                 name=name,

@@ -29,6 +29,7 @@ import sys
 from typing import List, Optional
 
 from .. import telemetry
+from ..parallel import WORKERS_ENV, resolve_workers
 from .config import SCALES, get_scale
 from .figure2 import run_figure2
 from .io import save_json, save_reports, save_text
@@ -74,6 +75,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--seed", type=int, default=None, help="override the scale's seed"
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for Monte Carlo defect evaluation "
+        f"(default: ${WORKERS_ENV} or 0 = serial; results are "
+        "bit-identical at any count)",
     )
     parser.add_argument(
         "--telemetry-dir",
@@ -204,6 +214,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     scale = get_scale(args.scale)
     if args.seed is not None:
         scale = scale.with_overrides(seed=args.seed)
+    # --workers wins; otherwise REPRO_WORKERS; otherwise 0 (serial).
+    # Resolution errors are CLI usage errors.
+    try:
+        scale = scale.with_overrides(workers=resolve_workers(args.workers))
+    except ValueError as exc:
+        print(f"repro.experiments: {exc}", file=sys.stderr)
+        return 2
     verbose = not args.quiet
 
     if args.telemetry_dir is not None:
@@ -212,6 +229,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             "scale": scale.name,
             "dataset": args.dataset,
             "seed": scale.seed,
+            "workers": scale.workers,
         }
         with telemetry.session(args.telemetry_dir, config=config) as run:
             _run_experiments(args, scale, verbose)

@@ -81,6 +81,11 @@ class ExperimentScale:
     #: scale); synthetic analogues are used otherwise.
     use_real_cifar: bool = False
     seed: int = 0
+    #: Worker processes for Monte Carlo defect evaluation (0/1 = serial).
+    #: A performance knob only: results are bit-identical at any count
+    #: (see ``docs/PARALLELISM.md``).  The CLI maps ``--workers`` /
+    #: ``REPRO_WORKERS`` onto this field.
+    workers: int = 0
 
     def with_overrides(self, **kwargs) -> "ExperimentScale":
         """A copy of this scale with the given fields replaced."""

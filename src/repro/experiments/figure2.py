@@ -86,6 +86,7 @@ def run_figure2(
             scale.test_rates,
             scale.defect_runs,
             seed=scale.seed + 60,
+            workers=scale.workers,
         )
         if verbose:
             _log.info("[figure2:%s] curve for %s done", dataset, name)

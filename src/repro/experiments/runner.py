@@ -267,13 +267,16 @@ def evaluate_defect_grid(
     num_runs: int,
     seed: int = 0,
     fault_model: Optional[WeightSpaceFaultModel] = None,
+    workers: int = 0,
 ) -> Dict[float, float]:
     """Mean defect accuracy at every testing rate (paper's test protocol).
 
     Each rate gets its own deterministic seed block (``seed + rate·1e6``)
     and every draw within it a per-draw seed, so any individual fault
     pattern behind a table cell can be re-materialised from the telemetry
-    event log.
+    event log.  ``workers`` fans the draws of each rate out over a
+    ``repro.parallel`` pool; the seed blocks make the grid bit-identical
+    at any worker count.
     """
     telemetry = _telemetry()
     results: Dict[float, float] = {}
@@ -286,6 +289,7 @@ def evaluate_defect_grid(
                 num_runs=num_runs,
                 seed=seed + int(rate * 1e6),
                 fault_model=fault_model,
+                workers=workers,
             )
             results[rate] = evaluation.mean_accuracy
     return results
@@ -328,6 +332,7 @@ def method_report(
         scale.defect_runs,
         seed=scale.seed + 30,
         fault_model=fault_model,
+        workers=scale.workers,
     )
     for rate, accuracy in grid.items():
         report.add_defect(rate, accuracy)

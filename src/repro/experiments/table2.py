@@ -61,7 +61,12 @@ def _table2_row(
 ) -> dict:
     acc_retrain = evaluate_accuracy(model, loader)
     grid = evaluate_defect_grid(
-        model, loader, (rate_1, rate_2), scale.defect_runs, seed=scale.seed + 40
+        model,
+        loader,
+        (rate_1, rate_2),
+        scale.defect_runs,
+        seed=scale.seed + 40,
+        workers=scale.workers,
     )
     return {
         "method": method,

@@ -5,6 +5,14 @@ registry), mirroring how ``repro.bench.cli`` imports ``suites`` for
 case registration.
 """
 
-from . import api, docs, hygiene, imports, mutation, rng
+from . import api, docs, hygiene, imports, mutation, parallelism, rng
 
-__all__ = ["api", "docs", "hygiene", "imports", "mutation", "rng"]
+__all__ = [
+    "api",
+    "docs",
+    "hygiene",
+    "imports",
+    "mutation",
+    "parallelism",
+    "rng",
+]

@@ -1,0 +1,75 @@
+"""RL009 — process-pool machinery stays inside ``repro.parallel``.
+
+The library's Monte Carlo determinism contract (bit-identical results at
+any worker count; see ``docs/PARALLELISM.md``) holds because every
+process pool goes through one tested executor.  A stray
+``multiprocessing`` / ``concurrent.futures`` import elsewhere bypasses
+the contract: no seeded per-draw streams, no worker-telemetry capture,
+no retry/fallback semantics — and a second, unaudited way for results to
+depend on scheduling.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from ..sources import SourceFile
+from ..registry import rule
+from ..findings import ERROR
+
+__all__ = ["check_rl009"]
+
+#: Top-level packages whose import anywhere outside ``repro.parallel``
+#: indicates hand-rolled process management.
+_POOL_PACKAGES = ("multiprocessing", "concurrent")
+
+#: The module (and package prefix) sanctioned to use them.
+_ALLOWED_MODULE = "repro.parallel"
+_ALLOWED_PATH_FRAGMENT = "repro/parallel/"
+
+
+def _is_pool_module(name: str) -> bool:
+    top = name.split(".", 1)[0]
+    return top in _POOL_PACKAGES
+
+
+def _is_allowed(source: SourceFile) -> bool:
+    if source.module == _ALLOWED_MODULE or source.module.startswith(
+        _ALLOWED_MODULE + "."
+    ):
+        return True
+    # Fallback for files linted without a resolved module name.
+    return _ALLOWED_PATH_FRAGMENT in source.path.replace("\\", "/")
+
+
+@rule(
+    "RL009",
+    name="direct-multiprocessing",
+    severity=ERROR,
+    description="multiprocessing/concurrent.futures imported outside "
+    "repro.parallel",
+    rationale="process pools outside the one tested executor bypass the "
+    "determinism contract (seeded per-draw streams, worker telemetry, "
+    "retry/fallback) and make results scheduling-dependent",
+)
+def check_rl009(source: SourceFile) -> Iterator[Tuple[ast.AST, str]]:
+    """RL009: direct process-pool imports outside ``repro.parallel``."""
+    if _is_allowed(source):
+        return
+    for node in ast.walk(source.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if _is_pool_module(alias.name):
+                    yield (
+                        node,
+                        f"import {alias.name} outside repro.parallel; "
+                        "route pool work through repro.parallel.ParallelMap",
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            if node.level == 0 and node.module and _is_pool_module(node.module):
+                yield (
+                    node,
+                    f"from {node.module} import ... outside repro.parallel; "
+                    "route pool work through repro.parallel.ParallelMap",
+                )

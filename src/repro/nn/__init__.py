@@ -23,7 +23,12 @@ from .module import Module, Parameter
 from .norm import BatchNorm1d, BatchNorm2d, GroupNorm
 from .optim import SGD, Adam, Optimizer, clip_grad_norm
 from .pooling import AvgPool2d, Flatten, GlobalAvgPool2d, MaxPool2d
-from .serialization import load_checkpoint, save_checkpoint
+from .serialization import (
+    load_checkpoint,
+    save_checkpoint,
+    state_dict_from_bytes,
+    state_dict_to_bytes,
+)
 
 __all__ = [
     "Module",
@@ -58,4 +63,6 @@ __all__ = [
     "WarmupLR",
     "save_checkpoint",
     "load_checkpoint",
+    "state_dict_to_bytes",
+    "state_dict_from_bytes",
 ]

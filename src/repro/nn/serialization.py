@@ -8,6 +8,7 @@ the training fault rate a checkpoint was hardened for.
 
 from __future__ import annotations
 
+import io
 import json
 import os
 from typing import Dict, Optional, Tuple
@@ -16,7 +17,12 @@ import numpy as np
 
 from .module import Module
 
-__all__ = ["save_checkpoint", "load_checkpoint"]
+__all__ = [
+    "save_checkpoint",
+    "load_checkpoint",
+    "state_dict_to_bytes",
+    "state_dict_from_bytes",
+]
 
 _META_KEY = "__repro_meta__"
 
@@ -40,6 +46,26 @@ def save_checkpoint(
     if directory:
         os.makedirs(directory, exist_ok=True)
     np.savez_compressed(path, **payload)
+
+
+def state_dict_to_bytes(state: Dict[str, np.ndarray]) -> bytes:
+    """Serialise a state dict to one compressed in-memory ``.npz`` blob.
+
+    The wire format ``repro.parallel`` broadcasts model parameters with:
+    the blob is produced once per worker pool rather than once per task,
+    and is byte-for-byte reproducible for identical state.
+    """
+    if _META_KEY in state:
+        raise ValueError(f"state dict may not contain the key {_META_KEY!r}")
+    buffer = io.BytesIO()
+    np.savez_compressed(buffer, **state)
+    return buffer.getvalue()
+
+
+def state_dict_from_bytes(blob: bytes) -> Dict[str, np.ndarray]:
+    """Inverse of :func:`state_dict_to_bytes`."""
+    with np.load(io.BytesIO(blob)) as archive:
+        return {key: archive[key] for key in archive.files}
 
 
 def load_checkpoint(path: str, model: Module) -> Dict:

@@ -1,0 +1,40 @@
+"""``repro.parallel`` — deterministic process-pool execution for Monte Carlo.
+
+The paper's headline numbers are means over 100 independent fault draws;
+this package runs those draws (and fleet devices, and sensitivity
+sweeps) across worker processes without changing a single bit of the
+result.  The determinism contract, the seeding scheme, robustness
+semantics and tuning advice are documented in ``docs/PARALLELISM.md``.
+
+This package is the library's only sanctioned user of the stdlib
+``multiprocessing`` / ``concurrent.futures`` machinery — ``repro.lint``
+rule RL009 flags such imports anywhere else, keeping every process-pool
+code path behind the one executor whose determinism and fault tolerance
+are tested.
+
+Quick use::
+
+    from repro.parallel import Broadcast, ModelBroadcast, ParallelMap
+
+    pmap = ParallelMap(workers=4)
+    results = pmap.map(
+        my_task_fn,                       # module-level: fn(task, context)
+        tasks,                            # picklable, seed-carrying payloads
+        Broadcast(model=ModelBroadcast(model), loader=loader),
+    )
+"""
+
+from .broadcast import Broadcast, ModelBroadcast
+from .config import WORKERS_ENV, default_chunk_size, resolve_workers
+from .executor import ParallelExecutionError, ParallelMap, TaskFailure
+
+__all__ = [
+    "Broadcast",
+    "ModelBroadcast",
+    "ParallelMap",
+    "ParallelExecutionError",
+    "TaskFailure",
+    "WORKERS_ENV",
+    "resolve_workers",
+    "default_chunk_size",
+]

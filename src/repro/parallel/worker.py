@@ -1,0 +1,75 @@
+"""Worker-process side of :class:`~repro.parallel.ParallelMap`.
+
+Each pool worker is initialised once with the pool's broadcast bundle
+and a flag saying whether the parent has telemetry enabled.  Chunks of
+tasks then arrive as plain picklable payloads; the worker materialises
+the broadcast (cached across chunks), runs each task through the user's
+function, and — when capture is on — records the chunk's telemetry into
+a :class:`~repro.telemetry.MemorySink` session whose events and metrics
+are shipped back for the parent to merge.
+
+Forked workers inherit the parent's process-wide telemetry run,
+including an open JSONL file handle; the initialiser detaches it
+unconditionally so a worker can never interleave writes into the
+parent's event stream.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from .. import telemetry
+from .broadcast import Broadcast
+
+__all__ = ["initialize_worker", "run_chunk"]
+
+_broadcast: Optional[Broadcast] = None
+_capture: bool = False
+_context: Optional[Dict[str, Any]] = None
+
+
+def initialize_worker(broadcast: Optional[Broadcast], capture: bool) -> None:
+    """Pool initialiser: stash the broadcast, detach inherited telemetry."""
+    global _broadcast, _capture, _context
+    telemetry.detach_run()
+    _broadcast = broadcast
+    _capture = capture
+    _context = None
+
+
+def _materialized_context() -> Dict[str, Any]:
+    global _context
+    if _context is None:
+        _context = _broadcast.materialize() if _broadcast is not None else {}
+    return _context
+
+
+def run_chunk(
+    fn: Callable[[Any, Dict[str, Any]], Any],
+    indexed_tasks: Sequence[Tuple[int, Any]],
+) -> Dict[str, Any]:
+    """Run one chunk of ``(task_index, task)`` pairs; return results + telemetry.
+
+    The return payload is ``{"results": [(index, value), ...], "pid": ...,
+    "seconds": ..., "telemetry": {"events": [...], "metrics": {...}} | None}``.
+    Task exceptions propagate (the parent's retry loop handles them).
+    """
+    context = _materialized_context()
+    started = time.perf_counter()
+    if _capture:
+        with telemetry.session(sink=telemetry.MemorySink()) as run:
+            results = [(index, fn(task, context)) for index, task in indexed_tasks]
+            events = list(run.events.sink.events)
+            metrics = run.metrics.dump()
+        payload = {"events": events, "metrics": metrics}
+    else:
+        results = [(index, fn(task, context)) for index, task in indexed_tasks]
+        payload = None
+    return {
+        "results": results,
+        "pid": os.getpid(),
+        "seconds": time.perf_counter() - started,
+        "telemetry": payload,
+    }

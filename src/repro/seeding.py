@@ -24,11 +24,17 @@ call with a derived seed; ``repro.lint`` rule RL001 flags any *unseeded*
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
 import numpy as np
 
-__all__ = ["DEFAULT_SEED", "resolve_rng", "reseed"]
+__all__ = [
+    "DEFAULT_SEED",
+    "resolve_rng",
+    "resolve_base_seed",
+    "draw_streams",
+    "reseed",
+]
 
 #: Root seed for every default generator in the library.  Chosen once,
 #: documented here, and never read from the environment — reproducibility
@@ -60,6 +66,38 @@ def resolve_rng(
     # Spawning advances the root sequence, so each default resolution
     # gets its own deterministic stream.
     return np.random.default_rng(_root.spawn(1)[0])
+
+
+def resolve_base_seed(seed: Optional[int] = None) -> int:
+    """Base seed for a Monte Carlo evaluation (defect draws, fleet devices).
+
+    The caller's ``seed`` wins when given; otherwise one integer is drawn
+    from the process-wide policy stream, so default evaluations remain
+    deterministic per construction order (the same property
+    :func:`resolve_rng` gives default generators).  The returned value is
+    the root of the evaluation's per-draw streams — see
+    :func:`draw_streams` — and is what run provenance records.
+    """
+    if seed is not None:
+        return int(seed)
+    return int(resolve_rng().integers(0, 2**31 - 1))
+
+
+def draw_streams(base_seed: int, num_draws: int) -> List[np.random.SeedSequence]:
+    """Independent per-draw seed streams for a Monte Carlo evaluation.
+
+    Draw ``i`` gets ``SeedSequence(base_seed + i)`` — the stream behind
+    ``np.random.default_rng(base_seed + i)``.  Because every stream is
+    derived from ``(base_seed, i)`` alone, results are bit-identical no
+    matter how draws are ordered or distributed across worker processes,
+    and any single draw can be re-materialised later from its recorded
+    scalar seed (``repro.parallel``'s determinism contract; the scheme
+    matches the per-draw provenance the telemetry event log has always
+    emitted).
+    """
+    if num_draws < 0:
+        raise ValueError("num_draws must be >= 0")
+    return [np.random.SeedSequence(base_seed + i) for i in range(num_draws)]
 
 
 def reseed(seed: int = DEFAULT_SEED) -> None:

@@ -38,6 +38,7 @@ from .run import (
     TelemetryLogHandler,
     TelemetryRun,
     current,
+    detach_run,
     end_run,
     session,
     start_run,
@@ -67,6 +68,7 @@ __all__ = [
     "current",
     "start_run",
     "end_run",
+    "detach_run",
     "session",
     "find_run_dir",
     "summarize_run",

@@ -204,6 +204,42 @@ class MetricsRegistry:
             },
         }
 
+    def dump(self) -> dict:
+        """Lossless, mergeable dump of every instrument.
+
+        Unlike :meth:`snapshot` (which summarises histograms), the dump
+        keeps raw histogram observations so another registry can fold
+        them in with :meth:`merge` — the wire format ``repro.parallel``
+        workers ship their per-chunk metrics back on.
+        """
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": {
+                n: list(h.values) for n, h in sorted(self._histograms.items())
+            },
+        }
+
+    def merge(self, dump: dict) -> None:
+        """Fold another registry's :meth:`dump` into this one.
+
+        Counters add, histograms concatenate observations, gauges take
+        the dumped value (last merge wins — callers that care about
+        gauge ordering should not set the same gauge from several
+        workers).  A disabled registry ignores the merge.
+        """
+        if not self.enabled:
+            return
+        for name, value in dump.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in dump.get("gauges", {}).items():
+            if value is not None:
+                self.gauge(name).set(value)
+        for name, values in dump.get("histograms", {}).items():
+            histogram = self.histogram(name)
+            for value in values:
+                histogram.observe(value)
+
     def reset(self) -> None:
         """Drop every instrument (the next lookup re-creates them)."""
         self._counters.clear()

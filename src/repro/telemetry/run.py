@@ -39,6 +39,7 @@ __all__ = [
     "current",
     "start_run",
     "end_run",
+    "detach_run",
     "session",
     "TelemetryLogHandler",
 ]
@@ -152,6 +153,20 @@ def end_run() -> None:
     if _current is not NULL_RUN:
         _current.close()
         _current = NULL_RUN
+
+
+def detach_run() -> None:
+    """Forget the current run *without* closing it.
+
+    For processes that inherit a live run from their parent (forked
+    ``repro.parallel`` workers share the parent's module globals,
+    including an open JSONL sink).  The child must not write to — or on
+    exit close — the parent's event file, so worker initialisation
+    detaches unconditionally and captures its own telemetry in a
+    :class:`~repro.telemetry.MemorySink` session instead.
+    """
+    global _current
+    _current = NULL_RUN
 
 
 @contextmanager

@@ -28,9 +28,9 @@ def rules_fired(findings):
 # -- registry ---------------------------------------------------------------
 
 
-def test_all_eight_rules_registered():
+def test_all_nine_rules_registered():
     ids = [rule.id for rule in default_registry().rules()]
-    assert ids == [f"RL00{i}" for i in range(1, 9)]
+    assert ids == [f"RL00{i}" for i in range(1, 10)]
 
 
 def test_rule_metadata_complete():
@@ -426,6 +426,59 @@ def test_rl008_accepts_narrow_and_handled_exceptions():
                 log(exc)
                 return 0
         """
+    )
+    assert not rules_fired(findings)
+
+
+# -- RL009 direct-multiprocessing -------------------------------------------
+
+
+def test_rl009_flags_multiprocessing_import_outside_parallel():
+    findings = lint_snippet(
+        """
+        import multiprocessing
+
+        def fan_out(tasks):
+            with multiprocessing.Pool(4) as pool:
+                return pool.map(str, tasks)
+        """,
+        path="src/repro/experiments/hack.py",
+        module="repro.experiments.hack",
+    )
+    assert rules_fired(findings) == {"RL009"}
+
+
+def test_rl009_flags_concurrent_futures_forms():
+    findings = lint_snippet(
+        """
+        import concurrent.futures
+        from concurrent.futures import ProcessPoolExecutor
+        from concurrent import futures
+        from multiprocessing import get_context
+        """,
+        path="src/repro/core/sneaky.py",
+        module="repro.core.sneaky",
+    )
+    assert [f.rule for f in findings] == ["RL009"] * 4
+
+
+def test_rl009_accepts_repro_parallel_and_unrelated_imports():
+    snippet = """
+        import concurrent.futures as cf
+        from multiprocessing import get_context
+    """
+    assert not lint_snippet(
+        snippet,
+        path="src/repro/parallel/executor.py",
+        module="repro.parallel.executor",
+    )
+    findings = lint_snippet(
+        """
+        import threading
+        from concurrency_toolkit import futures
+        """,
+        path="src/repro/core/fine.py",
+        module="repro.core.fine",
     )
     assert not rules_fired(findings)
 
