@@ -21,7 +21,9 @@ kernels the paper's pipeline spends its time in:
   parallelisation overhead/speedup (pool start-up is inside the timed
   region; the speedup needs at least two free cores);
 * ``train/resnet8_epoch`` — one epoch of standard training on synthetic
-  data, the unit pretraining repeats for 160 epochs.
+  data, the unit pretraining repeats for 160 epochs;
+* ``telemetry/trace_export`` — rendering a pooled run's event log to
+  Chrome trace-event JSON, the work every session close performs.
 
 The ``fast`` tier sizes each case for CI (whole suite well under two
 minutes); ``full`` uses the microbenchmark sizes for real optimisation
@@ -386,3 +388,45 @@ def _lint_setup(params: dict, rng: np.random.Generator) -> dict:
 )
 def _lint_analyze(state):
     return lint_paths(state["paths"])
+
+
+def _trace_export_setup(params: dict, rng: np.random.Generator) -> dict:
+    # A synthetic event log shaped like a pooled run: nested spans on
+    # the main process, worker_chunk spans on worker lanes, and a
+    # sprinkling of instant-kind milestones.
+    events = [
+        {"kind": "run_start", "run_id": "bench", "seq": 0, "ts": 0.0,
+         "pid": 1, "config": {}}
+    ]
+    seq = 1
+    for i in range(params["spans"]):
+        ts = 0.001 * (i + 1)
+        event = {
+            "kind": "span_end", "run_id": "bench", "seq": seq, "ts": ts,
+            "name": f"s{i % 7}", "path": f"outer/s{i % 7}",
+            "depth": 1, "seconds": 0.0005,
+        }
+        if i % 3 == 0:  # every third span came from a pool worker
+            event["worker_pid"] = 100 + (i % 2)
+            event["worker_ts"] = ts - 0.0001
+        events.append(event)
+        seq += 1
+        if i % 10 == 0:
+            events.append({
+                "kind": "epoch_end", "run_id": "bench", "seq": seq,
+                "ts": ts, "epoch": i // 10, "loss": 1.0,
+            })
+            seq += 1
+    return {"events": events}
+
+
+@benchmark(
+    "telemetry/trace_export",
+    params={"fast": {"spans": 2000}, "full": {"spans": 20000}},
+    setup=_trace_export_setup,
+    description="Render a pooled run's event log to Chrome trace-event JSON",
+)
+def _trace_export(state):
+    from ..telemetry.trace import build_trace
+
+    return build_trace(state["events"])

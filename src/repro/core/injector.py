@@ -24,7 +24,12 @@ import numpy as np
 
 from .. import nn
 from ..seeding import resolve_rng
-from ..reram.faults import SA0_SA1_RATIO, WeightSpaceFaultModel
+from ..reram.faults import (
+    SA0_SA1_RATIO,
+    FaultStats,
+    StuckAtFaultSpec,
+    WeightSpaceFaultModel,
+)
 from ..reram.deploy import crossbar_parameters
 from ..telemetry import current as _telemetry
 
@@ -79,32 +84,60 @@ class FaultInjector:
         return tuple(name for name, _ in self._targets)
 
     def inject(self, p_sa: float) -> None:
-        """Snapshot pristine weights and overwrite with a faulted draw."""
+        """Snapshot pristine weights and overwrite with a faulted draw.
+
+        When telemetry is enabled the realized fault counts are recorded
+        per layer (``faults/layer/<name>/sa0_total`` /
+        ``…/sa1_total``) and the ``fault_inject`` event carries the
+        realized-vs-nominal rate and SA1 share; ``cells_faulted`` counts
+        the cells *drawn* faulty (an SA0 on an already-zero weight still
+        counts — it is a fault of the device, not of the value).
+        """
         if self._saved is not None:
             raise RuntimeError("inject called twice without restore")
         telemetry = _telemetry()
-        cells_faulted = 0
-        cells_total = 0
+        # Duck-typed fault models (tests swap in transforms that only
+        # implement `apply`) still work; they just report no stats.
+        apply_with_stats = getattr(self.fault_model, "apply_with_stats", None)
+        total = FaultStats(cells=0, sa0=0, sa1=0) if apply_with_stats else None
         self._saved = {}
         for name, param in self._targets:
             self._saved[name] = param.data.copy()
-            faulted = self.fault_model.apply(param.data, p_sa, self.rng)
-            if telemetry.enabled:
-                cells_faulted += int(np.count_nonzero(faulted != param.data))
-                cells_total += param.data.size
+            if apply_with_stats is not None:
+                faulted, stats = apply_with_stats(param.data, p_sa, self.rng)
+            else:
+                faulted = self.fault_model.apply(param.data, p_sa, self.rng)
+                stats = None
             param.data[...] = faulted
+            if telemetry.enabled and stats is not None:
+                total = total + stats
+                prefix = f"faults/layer/{name}"
+                telemetry.metrics.counter(f"{prefix}/sa0_total").inc(stats.sa0)
+                telemetry.metrics.counter(f"{prefix}/sa1_total").inc(stats.sa1)
         if telemetry.enabled:
             telemetry.metrics.counter("faults/injections_total").inc()
-            telemetry.metrics.counter("faults/cells_faulted_total").inc(
-                cells_faulted
-            )
-            telemetry.emit(
-                "fault_inject",
-                p_sa=p_sa,
-                tensors=len(self._targets),
-                cells_total=cells_total,
-                cells_faulted=cells_faulted,
-            )
+            fields = {
+                "p_sa": p_sa,
+                "tensors": len(self._targets),
+            }
+            if total is not None:
+                spec = StuckAtFaultSpec(
+                    p_sa, getattr(self.fault_model, "ratio", SA0_SA1_RATIO)
+                )
+                telemetry.metrics.counter("faults/cells_faulted_total").inc(
+                    total.faulted
+                )
+                fields.update(
+                    p_sa0=spec.p_sa0,
+                    p_sa1=spec.p_sa1,
+                    cells_total=total.cells,
+                    cells_faulted=total.faulted,
+                    sa0=total.sa0,
+                    sa1=total.sa1,
+                    realized_p_sa=total.realized_p_sa,
+                    realized_sa1_share=total.realized_sa1_share,
+                )
+            telemetry.emit("fault_inject", **fields)
 
     def restore(self) -> None:
         """Write the pristine weights back (gradients are left untouched)."""

@@ -4,6 +4,13 @@ fault-tolerant (Algorithm 1 of the paper).
 All trainers share :class:`Trainer`'s epoch machinery; the fault-tolerant
 variants wrap every forward/backward in a :class:`FaultInjector` scope so
 each step trains against a freshly sampled simulated device.
+
+When telemetry is enabled, every optimiser step also records training
+health — the global gradient norm before/after clipping and the relative
+weight-update magnitude ``‖ΔW‖/‖W‖`` — per step into histograms
+(``train/grad_norm_pre_clip``, ``train/update_ratio``) and per epoch as
+means on the ``epoch_end`` event.  All of it is gated on the run being
+enabled, so the default (NULL_RUN) path allocates nothing extra.
 """
 
 from __future__ import annotations
@@ -55,6 +62,56 @@ class TrainingHistory:
         return float(sum(self.epoch_seconds))
 
 
+def _global_grad_norm(parameters) -> float:
+    """Global L2 norm over all parameter gradients (read-only)."""
+    total_sq = 0.0
+    for param in parameters:
+        total_sq += float(np.sum(param.grad**2))
+    return float(np.sqrt(total_sq))
+
+
+class _EpochHealth:
+    """Accumulates per-step training health into per-epoch means."""
+
+    __slots__ = ("steps", "pre_sum", "post_sum", "ratio_sum", "ratio_steps")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.steps = 0
+        self.pre_sum = 0.0
+        self.post_sum = 0.0
+        self.ratio_sum = 0.0
+        self.ratio_steps = 0
+
+    def record(
+        self, pre: float, post: float, ratio: Optional[float]
+    ) -> None:
+        self.steps += 1
+        self.pre_sum += pre
+        self.post_sum += post
+        if ratio is not None:
+            self.ratio_sum += ratio
+            self.ratio_steps += 1
+
+    def means(self) -> dict:
+        """Epoch-mean health fields for the ``epoch_end`` event."""
+        if not self.steps:
+            return {
+                "grad_norm_pre_clip": None,
+                "grad_norm_post_clip": None,
+                "update_ratio": None,
+            }
+        return {
+            "grad_norm_pre_clip": self.pre_sum / self.steps,
+            "grad_norm_post_clip": self.post_sum / self.steps,
+            "update_ratio": (
+                self.ratio_sum / self.ratio_steps if self.ratio_steps else None
+            ),
+        }
+
+
 class Trainer:
     """Standard supervised training loop (the paper's pretraining recipe).
 
@@ -97,23 +154,64 @@ class Trainer:
         if grad_clip is not None and grad_clip <= 0:
             raise ValueError("grad_clip must be positive")
         self.grad_clip = grad_clip
+        self._health = _EpochHealth()
 
     # -- single-step machinery (overridden by fault-tolerant trainers) ------
+    def _apply_update(self) -> None:
+        """Clip gradients, capture step health, apply the optimiser step.
+
+        This is the shared update tail of every ``_step``.  Health
+        capture (gradient norms, ``‖ΔW‖/‖W‖``) only happens while a
+        telemetry run is active; the disabled path is exactly
+        clip-then-step with no extra array work.
+        """
+        telemetry = _telemetry()
+        capture = telemetry.enabled
+        if self.grad_clip is not None:
+            pre = float(
+                nn.clip_grad_norm(self.optimizer.parameters, self.grad_clip)
+            )
+            post = min(pre, self.grad_clip)
+        elif capture:
+            pre = _global_grad_norm(self.optimizer.parameters)
+            post = pre
+        else:
+            pre = post = None
+        if not capture:
+            self.optimizer.step()
+            return
+        params = [p for p in self.optimizer.parameters if p.requires_grad]
+        before = [p.data.copy() for p in params]
+        self.optimizer.step()
+        delta_sq = 0.0
+        weight_sq = 0.0
+        for param, prev in zip(params, before):
+            delta_sq += float(np.sum((param.data - prev) ** 2))
+            weight_sq += float(np.sum(prev**2))
+        ratio = (
+            float(np.sqrt(delta_sq) / np.sqrt(weight_sq))
+            if weight_sq > 0.0
+            else None
+        )
+        self._health.record(pre, post, ratio)
+        telemetry.metrics.histogram("train/grad_norm_pre_clip").observe(pre)
+        if ratio is not None:
+            telemetry.metrics.histogram("train/update_ratio").observe(ratio)
+
     def _step(self, images: np.ndarray, labels: np.ndarray) -> tuple:
         """One optimisation step; returns (loss, n_correct)."""
         self.optimizer.zero_grad()
         logits = self.model(images)
         loss, grad = self.loss_fn(logits, labels)
         self.model.backward(grad)
-        if self.grad_clip is not None:
-            nn.clip_grad_norm(self.optimizer.parameters, self.grad_clip)
-        self.optimizer.step()
+        self._apply_update()
         n_correct = int((logits.argmax(axis=1) == labels).sum())
         return loss, n_correct
 
     def train_epoch(self, loader: DataLoader) -> tuple:
         """One epoch; returns (mean_loss, train_accuracy_percent)."""
         self.model.train()
+        self._health.reset()
         steps_total = _telemetry().metrics.counter("train/steps_total")
         total_loss = 0.0
         total_correct = 0
@@ -166,6 +264,7 @@ class Trainer:
                 lr=history.epoch_lr[-1],
                 p_sa=self._current_p_sa(),
                 seconds=seconds,
+                **self._health.means(),
             )
             telemetry.metrics.histogram("train/epoch_seconds").observe(seconds)
             telemetry.metrics.gauge("train/epoch_loss").set(mean_loss)
@@ -217,10 +316,8 @@ class OneShotFaultTolerantTrainer(Trainer):
             logits = self.model(images)
             loss, grad = self.loss_fn(logits, labels)
             self.model.backward(grad)
-        if self.grad_clip is not None:
-            nn.clip_grad_norm(self.optimizer.parameters, self.grad_clip)
         # Pristine weights are back; apply the faulted-gradient update.
-        self.optimizer.step()
+        self._apply_update()
         n_correct = int((logits.argmax(axis=1) == labels).sum())
         return loss, n_correct
 

@@ -199,7 +199,16 @@ class ParallelMap:
                     for key, value in event.items()
                     if key not in _BOOKKEEPING_FIELDS
                 }
-                run.emit(event["kind"], worker_pid=payload["pid"], **fields)
+                # The parent stamps its own ts/seq at merge time; keep the
+                # worker's originals so trace export can place the span
+                # when the work actually ran, in order.
+                run.emit(
+                    event["kind"],
+                    worker_pid=payload["pid"],
+                    worker_ts=event.get("ts"),
+                    worker_seq=event.get("seq"),
+                    **fields,
+                )
         run.metrics.counter("parallel/tasks_total").inc(len(chunk.tasks))
         run.metrics.histogram("parallel/chunk_seconds").observe(
             payload["seconds"]

@@ -60,7 +60,13 @@ def run_chunk(
     started = time.perf_counter()
     if _capture:
         with telemetry.session(sink=telemetry.MemorySink()) as run:
-            results = [(index, fn(task, context)) for index, task in indexed_tasks]
+            # The chunk span is the worker-side timeline anchor: after the
+            # parent merges it back (stamped with this worker's pid), trace
+            # export draws one lane per worker from these spans.
+            with run.span("worker_chunk"):
+                results = [
+                    (index, fn(task, context)) for index, task in indexed_tasks
+                ]
             events = list(run.events.sink.events)
             metrics = run.metrics.dump()
         payload = {"events": events, "metrics": metrics}

@@ -11,6 +11,7 @@ from .faults import (
     FAULT_SA0,
     FAULT_SA1,
     SA0_SA1_RATIO,
+    FaultStats,
     StuckAtFaultSpec,
     WeightSpaceFaultModel,
     sample_fault_map,
@@ -33,6 +34,7 @@ __all__ = [
     "FAULT_SA0",
     "FAULT_SA1",
     "SA0_SA1_RATIO",
+    "FaultStats",
     "StuckAtFaultSpec",
     "WeightSpaceFaultModel",
     "sample_fault_map",

@@ -37,6 +37,7 @@ __all__ = [
     "FAULT_SA1",
     "SA0_SA1_RATIO",
     "StuckAtFaultSpec",
+    "FaultStats",
     "sample_fault_map",
     "WeightSpaceFaultModel",
 ]
@@ -81,6 +82,54 @@ class StuckAtFaultSpec:
     def p_sa1(self) -> float:
         sa0, sa1 = self.ratio
         return self.p_sa * sa1 / (sa0 + sa1)
+
+
+@dataclass(frozen=True)
+class FaultStats:
+    """Realized fault counts for one ``apply`` draw.
+
+    The nominal ``P_sa`` split 1.75 : 9.04 is a *distributional* claim;
+    what a specific draw actually realized — and whether injection is
+    behaving — is only visible from these counts.
+
+    Parameters
+    ----------
+    cells:
+        Number of cells/weights the fault map covered.
+    sa0:
+        Cells drawn stuck-off (weight collapsed to 0).
+    sa1:
+        Cells drawn stuck-on (weight pinned to ±w_max).
+    """
+
+    cells: int
+    sa0: int
+    sa1: int
+
+    @property
+    def faulted(self) -> int:
+        """Total cells drawn faulty (SA0 + SA1)."""
+        return self.sa0 + self.sa1
+
+    @property
+    def realized_p_sa(self) -> float:
+        """Fraction of cells drawn faulty (the realized total rate)."""
+        return self.faulted / self.cells if self.cells else 0.0
+
+    @property
+    def realized_sa1_share(self) -> Optional[float]:
+        """SA1 fraction among faulted cells (nominal: 9.04/10.79).
+
+        ``None`` when the draw realized no faults at all.
+        """
+        return self.sa1 / self.faulted if self.faulted else None
+
+    def __add__(self, other: "FaultStats") -> "FaultStats":
+        return FaultStats(
+            cells=self.cells + other.cells,
+            sa0=self.sa0 + other.sa0,
+            sa1=self.sa1 + other.sa1,
+        )
 
 
 def sample_fault_map(
@@ -158,6 +207,22 @@ class WeightSpaceFaultModel:
         faults across evaluations of the same physical device); otherwise
         one is sampled at rate ``p_sa``.
         """
+        return self.apply_with_stats(weights, p_sa, rng, fault_map)[0]
+
+    def apply_with_stats(
+        self,
+        weights: np.ndarray,
+        p_sa: float,
+        rng: np.random.Generator,
+        fault_map: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, FaultStats]:
+        """:meth:`apply` plus the draw's realized :class:`FaultStats`.
+
+        Bit-identical to :meth:`apply` (which delegates here): the same
+        randomness is consumed in the same order whether or not the
+        caller keeps the stats, and telemetry is recorded at this single
+        point so enabling it never perturbs results.
+        """
         weights = np.asarray(weights, dtype=np.float64)
         spec = StuckAtFaultSpec(p_sa, self.ratio)
         if fault_map is None:
@@ -168,8 +233,6 @@ class WeightSpaceFaultModel:
                 f"weights {weights.shape}"
             )
         faulted = weights.copy()
-        if p_sa == 0.0 and fault_map is None:
-            return faulted
         sa0 = fault_map == FAULT_SA0
         sa1 = fault_map == FAULT_SA1
         faulted[sa0] = 0.0
@@ -178,8 +241,14 @@ class WeightSpaceFaultModel:
             w_max = self._w_max(weights)
             signs = rng.choice((-1.0, 1.0), size=n_sa1)
             faulted[sa1] = signs * w_max
+        stats = FaultStats(
+            cells=int(weights.size), sa0=int(sa0.sum()), sa1=n_sa1
+        )
         telemetry = _telemetry()
         if telemetry.enabled:
-            telemetry.metrics.counter("faults/sa0_total").inc(int(sa0.sum()))
-            telemetry.metrics.counter("faults/sa1_total").inc(n_sa1)
-        return faulted
+            telemetry.metrics.counter("faults/sa0_total").inc(stats.sa0)
+            telemetry.metrics.counter("faults/sa1_total").inc(stats.sa1)
+            telemetry.metrics.histogram("faults/realized_p_sa").observe(
+                stats.realized_p_sa
+            )
+        return faulted, stats

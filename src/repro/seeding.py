@@ -24,6 +24,7 @@ call with a derived seed; ``repro.lint`` rule RL001 flags any *unseeded*
 
 from __future__ import annotations
 
+import zlib
 from typing import List, Optional
 
 import numpy as np
@@ -33,6 +34,7 @@ __all__ = [
     "resolve_rng",
     "resolve_base_seed",
     "draw_streams",
+    "named_stream",
     "reseed",
 ]
 
@@ -98,6 +100,21 @@ def draw_streams(base_seed: int, num_draws: int) -> List[np.random.SeedSequence]
     if num_draws < 0:
         raise ValueError("num_draws must be >= 0")
     return [np.random.SeedSequence(base_seed + i) for i in range(num_draws)]
+
+
+def named_stream(name: str) -> np.random.Generator:
+    """Deterministic generator derived from a string name.
+
+    The stream is a pure function of ``(DEFAULT_SEED, name)``: it does
+    *not* consume or advance the process-wide policy stream, so creating
+    one can never perturb the construction-order determinism that
+    :func:`resolve_rng` defaults rely on.  Used for auxiliary randomness
+    that must be reproducible but must not interact with experiment
+    seeds — e.g. the per-histogram reservoir sampling in
+    :mod:`repro.telemetry.metrics`.
+    """
+    digest = zlib.crc32(name.encode("utf-8"))
+    return np.random.default_rng(np.random.SeedSequence([DEFAULT_SEED, digest]))
 
 
 def reseed(seed: int = DEFAULT_SEED) -> None:

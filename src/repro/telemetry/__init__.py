@@ -19,6 +19,12 @@ enabling telemetry is one line::
     with telemetry.session("results/telemetry"):
         run_table1(get_scale("ci"))
 
+On top of the per-run instruments sit the cross-run tools: every closed
+run directory also gets a Perfetto-loadable ``trace.json``
+(:mod:`~repro.telemetry.trace`), and :mod:`~repro.telemetry.ledger`
+indexes a directory of runs into ``index.json`` for the
+``python -m repro.telemetry ls|show|diff|trace`` CLI.
+
 Schema and metric names are documented in ``docs/OBSERVABILITY.md``; a
 finished run is inspected with ``python -m repro.experiments summary``.
 """
@@ -31,7 +37,9 @@ from .events import (
     NullSink,
     new_run_id,
     read_events,
+    read_events_with_errors,
 )
+from .ledger import RunRecord, build_index, diff_runs, load_index, scan_runs
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .run import (
     NULL_RUN,
@@ -45,6 +53,7 @@ from .run import (
 )
 from .summary import find_run_dir, render_summary, summarize_run
 from .timing import ModuleProfiler, SpanTracker, Stopwatch, named_modules
+from .trace import build_trace, export_run_trace, validate_trace, write_trace
 
 __all__ = [
     "EventLog",
@@ -54,6 +63,7 @@ __all__ = [
     "JsonlSink",
     "new_run_id",
     "read_events",
+    "read_events_with_errors",
     "Counter",
     "Gauge",
     "Histogram",
@@ -73,4 +83,13 @@ __all__ = [
     "find_run_dir",
     "summarize_run",
     "render_summary",
+    "build_trace",
+    "write_trace",
+    "export_run_trace",
+    "validate_trace",
+    "RunRecord",
+    "scan_runs",
+    "build_index",
+    "load_index",
+    "diff_runs",
 ]

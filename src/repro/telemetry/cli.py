@@ -1,0 +1,157 @@
+"""``python -m repro.telemetry`` — the cross-run ledger CLI.
+
+Usage::
+
+    python -m repro.telemetry ls results/telemetry
+    python -m repro.telemetry show results/telemetry/run-…  [--json]
+    python -m repro.telemetry diff results/telemetry/run-A run-B
+    python -m repro.telemetry trace results/telemetry/run-…
+
+``ls`` scans the directory, refreshes ``index.json`` and prints one line
+per run; ``show`` renders a single run (the ``repro.experiments
+summary`` report, or the raw ledger record with ``--json``); ``diff``
+compares two runs' metrics/spans; ``trace`` (re-)exports a run's
+``trace.json`` for Perfetto.
+
+Exit codes: 0 on success, 2 on usage errors or missing runs; ``diff``
+additionally exits 1 when ``--fail-on-regression`` is given and a
+timing regression beyond the threshold was found.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .ledger import (
+    DEFAULT_REGRESSION_THRESHOLD,
+    RunRecord,
+    build_index,
+    diff_runs,
+    render_diff,
+)
+from .summary import find_run_dir, render_summary, summarize_run
+from .trace import export_run_trace
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.telemetry",
+        description="Cross-run telemetry ledger: list, inspect, compare "
+        "and trace-export finished runs.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    ls = sub.add_parser("ls", help="index a telemetry directory and list runs")
+    ls.add_argument("directory", help="telemetry parent directory")
+    ls.add_argument(
+        "--json", action="store_true", help="print the index document as JSON"
+    )
+
+    show = sub.add_parser("show", help="render one run's summary")
+    show.add_argument("run", help="run directory (or parent; latest run wins)")
+    show.add_argument(
+        "--json", action="store_true", help="print the ledger record as JSON"
+    )
+    show.add_argument(
+        "--top", type=int, default=None, help="append slowest-N detail tables"
+    )
+
+    diff = sub.add_parser("diff", help="compare two runs' metrics and spans")
+    diff.add_argument("old", help="baseline run directory")
+    diff.add_argument("new", help="candidate run directory")
+    diff.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_REGRESSION_THRESHOLD,
+        help="relative span/time growth flagged as a regression "
+        "(default: %(default)s)",
+    )
+    diff.add_argument(
+        "--json", action="store_true", help="print the diff document as JSON"
+    )
+    diff.add_argument(
+        "--fail-on-regression",
+        action="store_true",
+        help="exit 1 when a timing regression beyond the threshold exists",
+    )
+
+    trace = sub.add_parser("trace", help="(re-)export a run's trace.json")
+    trace.add_argument("run", help="run directory (or parent; latest run wins)")
+    return parser
+
+
+def _cmd_ls(args: argparse.Namespace) -> int:
+    index = build_index(args.directory)
+    if args.json:
+        print(json.dumps(index, indent=2))
+        return 0
+    records = [RunRecord.from_dict(entry) for entry in index["runs"]]
+    if not records:
+        print(f"no runs under {args.directory}")
+        return 0
+    from ..bench.report import format_seconds, format_table
+
+    rows = []
+    for record in records:
+        sha = (record.git_sha or "-")[:8]
+        duration = (
+            format_seconds(record.duration_seconds)
+            if record.duration_seconds is not None
+            else "-"
+        )
+        config = ", ".join(
+            f"{k}={v}" for k, v in sorted(record.config.items())
+        )
+        rows.append(
+            [record.run_id, sha, duration, record.num_events, config or "-"]
+        )
+    print(format_table(["run", "git", "duration", "events", "config"], rows))
+    return 0
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    run_dir = find_run_dir(args.run)
+    if args.json:
+        print(json.dumps(RunRecord.from_run_dir(run_dir).as_dict(), indent=2))
+        return 0
+    print(render_summary(summarize_run(run_dir), top=args.top))
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    diff = diff_runs(
+        find_run_dir(args.old), find_run_dir(args.new), threshold=args.threshold
+    )
+    if args.json:
+        print(json.dumps(diff, indent=2))
+    else:
+        print(render_diff(diff))
+    if args.fail_on_regression and diff["regressions"]:
+        return 1
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    print(export_run_trace(find_run_dir(args.run)))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "ls": _cmd_ls,
+        "show": _cmd_show,
+        "diff": _cmd_diff,
+        "trace": _cmd_trace,
+    }
+    try:
+        return handlers[args.command](args)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2

@@ -13,16 +13,19 @@ event-specific payload fields.  Events are appended to a sink:
 
 ``read_events`` parses a JSONL file back into the list of dicts, so a
 finished run can be reconstructed offline (see
-:mod:`repro.telemetry.summary`).
+:mod:`repro.telemetry.summary`).  A run that crashed mid-write leaves a
+truncated final line; readers skip such corrupt lines (and report how
+many) instead of refusing the whole log.
 """
 
 from __future__ import annotations
 
 import json
+import logging
 import os
 import time
 import uuid
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 
 __all__ = [
     "EventSink",
@@ -32,7 +35,10 @@ __all__ = [
     "EventLog",
     "new_run_id",
     "read_events",
+    "read_events_with_errors",
 ]
+
+logger = logging.getLogger("repro.telemetry")
 
 
 def new_run_id() -> str:
@@ -149,12 +155,44 @@ class EventLog:
         self.sink.close()
 
 
-def read_events(path: str) -> List[dict]:
-    """Parse a JSONL event file back into a list of event dicts."""
+def read_events_with_errors(path: str) -> Tuple[List[dict], int]:
+    """Parse a JSONL event file; returns ``(events, n_skipped)``.
+
+    A line that does not parse as a JSON object — typically the
+    truncated final line of a crashed run, but any corrupt line is
+    handled the same way — is skipped rather than raised, so the intact
+    prefix of an interrupted run stays readable.  Skipped lines are
+    counted in the second element and logged as a warning.
+    """
     events: List[dict] = []
+    skipped = 0
     with open(path) as handle:
         for line in handle:
             line = line.strip()
-            if line:
-                events.append(json.loads(line))
-    return events
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError:
+                skipped += 1
+                continue
+            if not isinstance(event, dict):
+                skipped += 1
+                continue
+            events.append(event)
+    if skipped:
+        logger.warning(
+            "%s: skipped %d corrupt JSONL line(s) (truncated run?)",
+            path,
+            skipped,
+        )
+    return events, skipped
+
+
+def read_events(path: str) -> List[dict]:
+    """Parse a JSONL event file back into a list of event dicts.
+
+    Corrupt lines are skipped (see :func:`read_events_with_errors`,
+    which also reports how many were dropped).
+    """
+    return read_events_with_errors(path)[0]

@@ -11,7 +11,8 @@ Starting a run against a directory produces::
 
     <directory>/<run_id>/events.jsonl    (streamed, one event per line)
     <directory>/<run_id>/metrics.json    (registry snapshot, on close)
-    <directory>/<run_id>/run.json        (run id + config, on close)
+    <directory>/<run_id>/run.json        (run id + config + provenance, on close)
+    <directory>/<run_id>/trace.json      (Perfetto trace export, on close)
 
 Typical use::
 
@@ -26,6 +27,8 @@ from __future__ import annotations
 import json
 import logging
 import os
+import sys
+import time
 from contextlib import contextmanager
 from typing import Optional
 
@@ -85,6 +88,7 @@ class TelemetryRun:
         self.metrics = MetricsRegistry(enabled=self.enabled)
         self.spans = SpanTracker(self.events, self.metrics)
         self._closed = False
+        self._started_at: Optional[float] = None
 
     def emit(self, kind: str, **fields) -> Optional[dict]:
         """Record one event (no-op on a disabled run)."""
@@ -97,24 +101,68 @@ class TelemetryRun:
         return self.spans.span(name)
 
     def start(self) -> "TelemetryRun":
-        self.emit("run_start", config=self.config)
+        self._started_at = time.time()
+        self.emit("run_start", config=self.config, pid=os.getpid())
         return self
 
+    def _provenance(self, finished_at: float) -> dict:
+        """Run-level provenance persisted in ``run.json`` on close."""
+        # Lazy import: repro.bench is a sibling subsystem and must stay
+        # importable without telemetry (and vice versa).
+        try:
+            from ..bench.provenance import git_sha
+
+            sha = git_sha()
+        except Exception as exc:  # pragma: no cover - degraded checkout only
+            logging.getLogger("repro.telemetry").debug(
+                "git provenance unavailable: %s", exc
+            )
+            sha = None
+        duration = (
+            finished_at - self._started_at
+            if self._started_at is not None
+            else None
+        )
+        return {
+            "git_sha": sha,
+            "pid": os.getpid(),
+            "python": sys.version.split()[0],
+            "started_at": self._started_at,
+            "finished_at": finished_at,
+            "duration_seconds": duration,
+        }
+
     def close(self) -> None:
-        """Emit ``run_end``, persist the metrics snapshot, close the sink."""
+        """Emit ``run_end``, persist metrics/run/trace artefacts, close the sink."""
         if self._closed or not self.enabled:
             self._closed = True
             return
-        self.emit("run_end")
+        finished_at = time.time()
+        provenance = self._provenance(finished_at)
+        self.emit("run_end", duration_seconds=provenance["duration_seconds"])
         if self.directory is not None:
             os.makedirs(self.directory, exist_ok=True)
             with open(os.path.join(self.directory, "metrics.json"), "w") as f:
                 json.dump(self.metrics.snapshot(), f, indent=2)
             with open(os.path.join(self.directory, "run.json"), "w") as f:
                 json.dump(
-                    {"run_id": self.run_id, "config": self.config}, f, indent=2
+                    {
+                        "run_id": self.run_id,
+                        "config": self.config,
+                        "provenance": provenance,
+                    },
+                    f,
+                    indent=2,
                 )
         self.events.close()
+        if self.directory is not None and os.path.exists(
+            os.path.join(self.directory, "events.jsonl")
+        ):
+            # Trace export reads the file back (it already holds merged
+            # worker events), so it must run after the sink is closed.
+            from .trace import export_run_trace
+
+            export_run_trace(self.directory)
         self._closed = True
 
 

@@ -16,9 +16,14 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from .events import read_events
+from .events import read_events_with_errors
 
 __all__ = ["find_run_dir", "summarize_run", "render_summary"]
+
+#: Nominal SA1 fraction among faulted cells under the paper's 1.75:9.04
+#: split — the reference line for the realized share reported in
+#: summaries.
+_NOMINAL_SA1_SHARE = 9.04 / (1.75 + 9.04)
 
 
 def find_run_dir(path: str) -> str:
@@ -50,16 +55,20 @@ def _load_optional_json(path: str) -> Optional[dict]:
 def summarize_run(path: str) -> dict:
     """Digest one run's event log into a JSON-friendly summary dict."""
     run_dir = find_run_dir(path)
-    events = read_events(os.path.join(run_dir, "events.jsonl"))
+    events, skipped = read_events_with_errors(
+        os.path.join(run_dir, "events.jsonl")
+    )
     summary: dict = {
         "run_dir": run_dir,
         "run_id": events[0]["run_id"] if events else None,
         "num_events": len(events),
+        "skipped_lines": skipped,
         "events_by_kind": {},
         "config": {},
         "epochs": [],
         "defect": {},
         "spans": {},
+        "fault_realization": None,
     }
     run_meta = _load_optional_json(os.path.join(run_dir, "run.json"))
     if run_meta:
@@ -70,6 +79,7 @@ def summarize_run(path: str) -> dict:
 
     by_kind: Dict[str, int] = {}
     draws: Dict[float, List[dict]] = {}
+    faults = {"injections": 0, "cells": 0, "sa0": 0, "sa1": 0}
     for event in events:
         kind = event["kind"]
         by_kind[kind] = by_kind.get(kind, 0) + 1
@@ -83,17 +93,43 @@ def summarize_run(path: str) -> dict:
                     "train_accuracy": event.get("train_accuracy"),
                     "p_sa": event.get("p_sa"),
                     "seconds": event.get("seconds"),
+                    "grad_norm_pre_clip": event.get("grad_norm_pre_clip"),
+                    "grad_norm_post_clip": event.get("grad_norm_post_clip"),
+                    "update_ratio": event.get("update_ratio"),
                 }
             )
         elif kind == "defect_draw":
             draws.setdefault(float(event["p_sa"]), []).append(event)
         elif kind == "span_end":
             entry = summary["spans"].setdefault(
-                event["path"], {"count": 0, "seconds": 0.0}
+                event["path"], {"count": 0, "seconds": 0.0, "workers": {}}
             )
+            seconds = float(event.get("seconds", 0.0))
             entry["count"] += 1
-            entry["seconds"] += float(event.get("seconds", 0.0))
+            entry["seconds"] += seconds
+            pid = event.get("worker_pid")
+            label = "main" if pid is None else f"worker-{pid}"
+            worker = entry["workers"].setdefault(
+                label, {"count": 0, "seconds": 0.0}
+            )
+            worker["count"] += 1
+            worker["seconds"] += seconds
+        elif kind == "fault_inject" and "sa0" in event:
+            faults["injections"] += 1
+            faults["cells"] += int(event.get("cells_total", 0))
+            faults["sa0"] += int(event["sa0"])
+            faults["sa1"] += int(event.get("sa1", 0))
     summary["events_by_kind"] = dict(sorted(by_kind.items()))
+    if faults["injections"]:
+        faulted = faults["sa0"] + faults["sa1"]
+        faults["realized_p_sa"] = (
+            faulted / faults["cells"] if faults["cells"] else None
+        )
+        faults["realized_sa1_share"] = (
+            faults["sa1"] / faulted if faulted else None
+        )
+        faults["nominal_sa1_share"] = _NOMINAL_SA1_SHARE
+        summary["fault_realization"] = faults
 
     for rate in sorted(draws):
         accuracies = [float(d["accuracy"]) for d in draws[rate]]
@@ -133,13 +169,14 @@ def _top_tables(summary: dict, top: int) -> List[str]:
                 entry["count"],
                 format_seconds(entry["seconds"]),
                 format_seconds(entry["seconds"] / max(entry["count"], 1)),
+                len(entry.get("workers") or {}) or 1,
             ]
             for path, entry in ranked[:top]
         ]
         lines += [
             "",
             f"Slowest spans (top {min(top, len(ranked))} of {len(ranked)}):",
-            format_table(["span", "count", "total", "mean"], rows),
+            format_table(["span", "count", "total", "mean", "procs"], rows),
         ]
 
     histograms = (summary.get("metrics") or {}).get("histograms") or {}
@@ -196,6 +233,11 @@ def render_summary(summary: dict, top: Optional[int] = None) -> str:
         f"  directory : {summary.get('run_dir')}",
         f"  events    : {summary.get('num_events')}",
     ]
+    if summary.get("skipped_lines"):
+        lines.append(
+            f"  WARNING   : {summary['skipped_lines']} corrupt event "
+            "line(s) skipped (truncated run?)"
+        )
     config = summary.get("config") or {}
     if config:
         rendered = ", ".join(f"{k}={v}" for k, v in sorted(config.items()))
@@ -215,6 +257,42 @@ def render_summary(summary: dict, top: Optional[int] = None) -> str:
             + (
                 f", loss {losses[0]:.4f} -> {losses[-1]:.4f}"
                 if losses
+                else ""
+            )
+        )
+        grads = [
+            e["grad_norm_pre_clip"]
+            for e in epochs
+            if e.get("grad_norm_pre_clip") is not None
+        ]
+        ratios = [
+            e["update_ratio"]
+            for e in epochs
+            if e.get("update_ratio") is not None
+        ]
+        if grads:
+            health = (
+                f"Health: grad norm {grads[0]:.4g} -> {grads[-1]:.4g}"
+            )
+            if ratios:
+                health += (
+                    f", update ratio {ratios[0]:.3g} -> {ratios[-1]:.3g}"
+                )
+            lines.append(health)
+
+    faults = summary.get("fault_realization")
+    if faults:
+        lines.append("")
+        realized = faults.get("realized_p_sa")
+        share = faults.get("realized_sa1_share")
+        lines.append(
+            f"Fault injection: {faults['injections']} injections, "
+            f"{faults['sa0'] + faults['sa1']} faulted cells"
+            + (f", realized p_sa {realized:.4g}" if realized is not None else "")
+            + (
+                f", SA1 share {share:.3f} "
+                f"(nominal {faults['nominal_sa1_share']:.3f})"
+                if share is not None
                 else ""
             )
         )
@@ -243,6 +321,14 @@ def render_summary(summary: dict, top: Optional[int] = None) -> str:
                 f"  {path:<{width}}  ×{entry['count']:<4} "
                 f"{_format_seconds(entry['seconds'])}"
             )
+            workers = entry.get("workers") or {}
+            if any(label != "main" for label in workers):
+                for label, stats in sorted(workers.items()):
+                    lines.append(
+                        f"    {label:<{max(width - 2, 1)}}  "
+                        f"×{stats['count']:<4} "
+                        f"{_format_seconds(stats['seconds'])}"
+                    )
 
     if top is not None:
         if top < 1:

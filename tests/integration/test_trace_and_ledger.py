@@ -1,0 +1,111 @@
+"""Integration: pooled runs export a valid multi-process trace, and the
+run ledger diffs two seeded runs.
+
+The acceptance contract of the observability layer: a pooled
+(``workers=2``) table1 run at CI scale writes a ``trace.json`` that
+passes the Chrome trace-event schema check and contains spans from at
+least two distinct pids, and ``python -m repro.telemetry diff`` between
+two seeded runs reports the metric delta between them.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro import telemetry
+from repro.experiments import get_scale, run_table1
+from repro.telemetry.cli import main as telemetry_cli
+
+TINY = get_scale("ci").with_overrides(
+    train_rates=(0.05,),
+    defect_runs=4,
+    test_rates=(0.0, 0.02),
+    pretrain_epochs=1,
+    ft_epochs=1,
+    workers=2,
+)
+
+
+@pytest.fixture(scope="module")
+def pooled_run_dir(tmp_path_factory):
+    directory = str(tmp_path_factory.mktemp("pooled"))
+    with telemetry.session(directory, config={"scale": "ci"}) as run:
+        run_table1(TINY, dataset="small")
+        path = run.directory
+    return path
+
+
+@pytest.fixture(scope="module")
+def pooled_trace(pooled_run_dir):
+    with open(os.path.join(pooled_run_dir, "trace.json")) as handle:
+        return json.load(handle)
+
+
+def test_pooled_run_trace_passes_schema(pooled_trace):
+    assert telemetry.validate_trace(pooled_trace) == []
+    assert pooled_trace["traceEvents"]
+
+
+def test_pooled_run_trace_spans_multiple_pids(pooled_trace):
+    span_pids = {
+        e["pid"] for e in pooled_trace["traceEvents"] if e["ph"] == "X"
+    }
+    assert len(span_pids) >= 2  # main process plus >= 1 pool worker
+    worker_slices = [
+        e
+        for e in pooled_trace["traceEvents"]
+        if e["ph"] == "X" and e["name"] == "worker_chunk"
+    ]
+    assert worker_slices
+    lanes = {
+        e["pid"]: e["args"]["name"]
+        for e in pooled_trace["traceEvents"]
+        if e["ph"] == "M"
+    }
+    for event in worker_slices:
+        assert lanes[event["pid"]].startswith("worker ")
+
+
+def test_pooled_run_trace_has_experiment_phases(pooled_trace):
+    names = {
+        e["name"] for e in pooled_trace["traceEvents"] if e["ph"] == "X"
+    }
+    assert {"pretrain", "ft_train", "defect_grid"} <= names
+
+
+def _seeded_run(directory, seed, loss):
+    with telemetry.session(
+        str(directory), config={"experiment": "table1", "seed": seed}
+    ) as run:
+        run.metrics.gauge("train/final_loss").set(loss)
+        run.metrics.counter("train/steps_total").inc(100 * (seed + 1))
+        with run.span("train"):
+            pass
+        return run.directory
+
+
+def test_telemetry_diff_reports_injected_delta(tmp_path, capsys):
+    old = _seeded_run(tmp_path, seed=0, loss=0.9)
+    new = _seeded_run(tmp_path, seed=1, loss=0.4)
+
+    assert telemetry_cli(["diff", old, new, "--json"]) == 0
+    diff = json.loads(capsys.readouterr().out)
+    gauges = {entry["name"]: entry for entry in diff["gauges"]}
+    assert gauges["train/final_loss"]["delta"] == pytest.approx(-0.5)
+    counters = {entry["name"]: entry for entry in diff["counters"]}
+    assert counters["train/steps_total"]["delta"] == 100
+
+    # The human-readable report names the moved metric too.
+    assert telemetry_cli(["diff", old, new]) == 0
+    assert "train/final_loss" in capsys.readouterr().out
+
+
+def test_ledger_indexes_pooled_run(pooled_run_dir, capsys):
+    parent = os.path.dirname(pooled_run_dir)
+    assert telemetry_cli(["ls", parent]) == 0
+    assert os.path.basename(pooled_run_dir) in capsys.readouterr().out
+    record = telemetry.RunRecord.from_run_dir(pooled_run_dir)
+    assert record.config == {"scale": "ci"}
+    assert record.counters["eval/fault_draws_total"] > 0
+    assert "worker_chunk" in record.spans

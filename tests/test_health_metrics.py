@@ -1,0 +1,196 @@
+"""Tests for training-health and fault-realization introspection.
+
+Covers the two health surfaces added to the trainers and the fault
+pipeline: per-epoch gradient/update statistics on ``epoch_end`` and
+realized stuck-at counts from :meth:`apply_with_stats` / the injector.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn, telemetry
+from repro.core import FaultInjector, Trainer
+from repro.core import training as training_mod
+from repro.datasets import ArrayDataset, DataLoader
+from repro.models import MLP
+from repro.reram.faults import (
+    SA0_SA1_RATIO,
+    FaultStats,
+    StuckAtFaultSpec,
+    WeightSpaceFaultModel,
+)
+from repro.telemetry import MemorySink
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_run():
+    yield
+    telemetry.end_run()
+
+
+def _loader(rng, n=60):
+    labels = rng.integers(0, 3, size=n)
+    images = rng.normal(size=(n, 1, 2, 4)) + labels[:, None, None, None]
+    return DataLoader(ArrayDataset(images, labels), 20, shuffle=True, seed=0)
+
+
+def _trainer(rng, **kwargs):
+    model = MLP(8, [8], 3, rng=rng)
+    opt = nn.SGD(model.parameters(), lr=0.05)
+    return model, Trainer(model, opt, **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Training health
+# ---------------------------------------------------------------------------
+
+
+def test_disabled_telemetry_skips_health_capture(rng, monkeypatch):
+    """With telemetry off, training must do zero extra array work."""
+
+    def _boom(parameters):
+        raise AssertionError("health capture ran with telemetry disabled")
+
+    monkeypatch.setattr(training_mod, "_global_grad_norm", _boom)
+    assert telemetry.current() is telemetry.NULL_RUN
+    loader = _loader(rng)
+    _, trainer = _trainer(rng)
+    history = trainer.fit(loader, 2)
+    assert history.num_epochs == 2
+
+
+def test_epoch_end_carries_health_means(rng):
+    sink = MemorySink()
+    loader = _loader(rng)
+    _, trainer = _trainer(rng)
+    with telemetry.session(sink=sink):
+        trainer.fit(loader, 2)
+        run = telemetry.current()
+        hist = run.metrics.histogram("train/grad_norm_pre_clip")
+        assert hist.count == 2 * 3  # 2 epochs x 3 batches
+        assert run.metrics.histogram("train/update_ratio").count == 6
+    epoch_ends = [e for e in sink.events if e["kind"] == "epoch_end"]
+    assert len(epoch_ends) == 2
+    for event in epoch_ends:
+        assert event["grad_norm_pre_clip"] > 0.0
+        assert event["grad_norm_post_clip"] == event["grad_norm_pre_clip"]
+        assert 0.0 < event["update_ratio"] < 1.0
+
+
+def test_grad_clip_reports_pre_and_post_norms(rng):
+    sink = MemorySink()
+    loader = _loader(rng)
+    # A ceiling low enough that every step clips.
+    _, trainer = _trainer(rng, grad_clip=1e-4)
+    with telemetry.session(sink=sink):
+        trainer.fit(loader, 1)
+    event = next(e for e in sink.events if e["kind"] == "epoch_end")
+    assert event["grad_norm_post_clip"] == pytest.approx(1e-4)
+    assert event["grad_norm_pre_clip"] > event["grad_norm_post_clip"]
+
+
+def test_health_resets_between_epochs(rng):
+    loader = _loader(rng)
+    _, trainer = _trainer(rng)
+    with telemetry.session(sink=MemorySink()):
+        trainer.train_epoch(loader)
+        first_steps = trainer._health.steps
+        trainer.train_epoch(loader)
+        assert trainer._health.steps == first_steps  # reset, not accumulated
+
+
+# ---------------------------------------------------------------------------
+# Fault realization
+# ---------------------------------------------------------------------------
+
+
+def test_fault_stats_arithmetic():
+    a = FaultStats(cells=100, sa0=2, sa1=8)
+    b = FaultStats(cells=50, sa0=1, sa1=4)
+    total = a + b
+    assert total == FaultStats(cells=150, sa0=3, sa1=12)
+    assert total.faulted == 15
+    assert total.realized_p_sa == pytest.approx(0.1)
+    assert total.realized_sa1_share == pytest.approx(0.8)
+    assert FaultStats(cells=10, sa0=0, sa1=0).realized_sa1_share is None
+    assert FaultStats(cells=0, sa0=0, sa1=0).realized_p_sa == 0.0
+
+
+def test_realized_rates_match_nominal_split_within_binomial_tolerance(rng):
+    """Realized SA0/SA1 counts agree with the paper's 1.75:9.04 split."""
+    n = 200 * 200  # 40k cells: binomial noise ~0.15% on p_sa
+    weights = rng.normal(size=(200, 200))
+    p_sa = 0.1
+    model = WeightSpaceFaultModel()
+    _, stats = model.apply_with_stats(weights, p_sa, rng)
+
+    assert stats.cells == n
+    # 5-sigma binomial band on the realized total rate.
+    sigma_rate = np.sqrt(p_sa * (1 - p_sa) / n)
+    assert stats.realized_p_sa == pytest.approx(p_sa, abs=5 * sigma_rate)
+
+    spec = StuckAtFaultSpec(p_sa)
+    nominal_share = spec.p_sa1 / spec.p_sa
+    assert nominal_share == pytest.approx(9.04 / (1.75 + 9.04))
+    sigma_share = np.sqrt(
+        nominal_share * (1 - nominal_share) / stats.faulted
+    )
+    assert stats.realized_sa1_share == pytest.approx(
+        nominal_share, abs=5 * sigma_share
+    )
+    assert SA0_SA1_RATIO == (1.75, 9.04)
+
+
+def test_apply_with_stats_matches_apply_bit_for_bit(rng):
+    """The stats path must consume randomness identically to apply()."""
+    weights = rng.normal(size=(40, 40))
+    model = WeightSpaceFaultModel()
+    seed = 1234
+    plain = model.apply(weights, 0.05, np.random.default_rng(seed))
+    with_stats, stats = model.apply_with_stats(
+        weights, 0.05, np.random.default_rng(seed)
+    )
+    np.testing.assert_array_equal(plain, with_stats)
+    assert stats.cells == weights.size
+    # Drawn faults can exceed visibly-changed cells (SA0 on a zero weight).
+    assert stats.faulted >= int(np.sum(plain != weights))
+
+
+def test_injector_records_per_layer_realization(rng):
+    sink = MemorySink()
+    model = MLP(8, [8], 3, rng=rng)
+    injector = FaultInjector(model, rng=rng)
+    with telemetry.session(sink=sink):
+        run = telemetry.current()
+        with injector.faults(0.2):
+            pass
+        layer = injector.target_names[0]
+        sa0 = run.metrics.counter(f"faults/layer/{layer}/sa0_total").value
+        sa1 = run.metrics.counter(f"faults/layer/{layer}/sa1_total").value
+        assert sa0 + sa1 > 0
+        total_faulted = run.metrics.counter("faults/cells_faulted_total").value
+    event = next(e for e in sink.events if e["kind"] == "fault_inject")
+    assert event["cells_faulted"] == total_faulted
+    assert event["sa0"] + event["sa1"] == event["cells_faulted"]
+    assert event["cells_total"] >= event["cells_faulted"]
+    assert event["p_sa0"] + event["p_sa1"] == pytest.approx(event["p_sa"])
+    assert 0.0 < event["realized_p_sa"] < 1.0
+    assert 0.0 <= event["realized_sa1_share"] <= 1.0
+
+
+def test_duck_typed_fault_model_still_injects(rng):
+    """Models exposing only apply() work; they just report no stats."""
+
+    class NegateModel:
+        def apply(self, weights, p_sa, rng, fault_map=None):
+            return -weights
+
+    sink = MemorySink()
+    model = MLP(8, [8], 3, rng=rng)
+    injector = FaultInjector(model, fault_model=NegateModel(), rng=rng)
+    with telemetry.session(sink=sink):
+        with injector.faults(0.1):
+            pass
+    event = next(e for e in sink.events if e["kind"] == "fault_inject")
+    assert event["p_sa"] == 0.1
+    assert "sa0" not in event  # no stats available from duck-typed model

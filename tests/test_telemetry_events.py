@@ -80,6 +80,34 @@ def test_jsonl_round_trip(tmp_path):
             json.loads(line)
 
 
+def test_read_events_skips_truncated_trailing_line(tmp_path):
+    """A crashed run's half-written last line must not poison the log."""
+    path = str(tmp_path / "events.jsonl")
+    log = EventLog(JsonlSink(path), run_id="run-crash")
+    log.emit("a", value=1)
+    log.emit("b", value=2)
+    log.close()
+    with open(path, "a") as handle:
+        handle.write('{"kind": "c", "run_id": "run-crash", "se')  # truncated
+
+    events, skipped = telemetry.read_events_with_errors(path)
+    assert [e["kind"] for e in events] == ["a", "b"]
+    assert skipped == 1
+    assert read_events(path) == events  # plain reader agrees
+
+
+def test_read_events_skips_non_object_and_blank_lines(tmp_path):
+    path = str(tmp_path / "events.jsonl")
+    with open(path, "w") as handle:
+        handle.write('{"kind": "ok", "run_id": "r", "seq": 0, "ts": 1.0}\n')
+        handle.write("\n")  # blank: ignored, not counted
+        handle.write("[1, 2, 3]\n")  # valid JSON, wrong shape: skipped
+        handle.write("not json at all\n")  # corrupt: skipped
+    events, skipped = telemetry.read_events_with_errors(path)
+    assert [e["kind"] for e in events] == ["ok"]
+    assert skipped == 2
+
+
 def test_disabled_run_writes_no_files(tmp_path):
     """The null run (telemetry off) must never touch the filesystem."""
     run = telemetry.current()

@@ -102,6 +102,82 @@ def test_reset_clears_instruments():
     assert registry.counter("c").value == 0
 
 
+def test_histogram_reservoir_bounds_memory():
+    from repro.telemetry.metrics import Histogram
+
+    hist = Histogram("h", max_samples=16)
+    for value in range(1000):
+        hist.observe(float(value))
+    assert len(hist.values) == 16  # bounded
+    assert hist.count == 1000  # exact
+    assert hist.total == float(sum(range(1000)))  # exact
+    assert hist.mean == pytest.approx(499.5)  # exact
+    assert hist.subsampled
+    summary = hist.summary()
+    assert summary["count"] == 1000
+    assert summary["min"] == 0.0  # exact extremes survive sampling
+    assert summary["max"] == 999.0
+    assert summary["samples"] == 16
+    assert 0.0 <= summary["p50"] <= 999.0
+
+
+def test_histogram_below_capacity_is_exact_and_unflagged():
+    from repro.telemetry.metrics import DEFAULT_RESERVOIR_SIZE, Histogram
+
+    hist = Histogram("h")
+    assert hist.max_samples == DEFAULT_RESERVOIR_SIZE
+    for value in range(100):
+        hist.observe(float(value))
+    assert not hist.subsampled
+    assert "samples" not in hist.summary()
+    assert sorted(hist.values) == [float(v) for v in range(100)]
+
+
+def test_histogram_reservoir_is_deterministic():
+    from repro.telemetry.metrics import Histogram
+
+    def fill(name):
+        hist = Histogram(name, max_samples=8)
+        for value in range(500):
+            hist.observe(float(value))
+        return hist.values
+
+    assert fill("same") == fill("same")  # same name -> same reservoir
+    assert fill("same") != fill("other")  # independent per-name streams
+
+
+def test_reservoir_does_not_consume_policy_stream():
+    """Filling a histogram must not perturb repro.seeding defaults."""
+    from repro import seeding
+    from repro.telemetry.metrics import Histogram
+
+    seeding.reseed()
+    before = seeding.resolve_rng().random()
+    seeding.reseed()
+    hist = Histogram("perturbation-check", max_samples=4)
+    for value in range(100):
+        hist.observe(float(value))
+    after = seeding.resolve_rng().random()
+    seeding.reseed()
+    assert before == after
+
+
+def test_merge_preserves_exact_aggregates_of_subsampled_dump():
+    registry = MetricsRegistry()
+    source = registry.histogram("h")
+    source.max_samples = 8
+    for value in range(200):
+        source.observe(float(value))
+    target_registry = MetricsRegistry()
+    target_registry.merge(registry.dump())
+    target = target_registry.histogram("h")
+    assert target.count == 200
+    assert target.total == float(sum(range(200)))
+    assert target.summary()["min"] == 0.0
+    assert target.summary()["max"] == 199.0
+    assert len(target.values) <= target.max_samples
+
+
 def test_disabled_registry_is_noop():
     registry = MetricsRegistry(enabled=False)
     counter = registry.counter("c")

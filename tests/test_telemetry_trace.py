@@ -1,0 +1,169 @@
+"""Tests for repro.telemetry.trace: Chrome trace-event export."""
+
+import json
+import os
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry import build_trace, validate_trace, write_trace
+from repro.telemetry.trace import INSTANT_KINDS, export_run_trace
+
+
+def _span_end(path, seconds, ts, **extra):
+    name = path.split("/")[-1]
+    event = {
+        "kind": "span_end",
+        "run_id": "r",
+        "seq": 0,
+        "ts": ts,
+        "name": name,
+        "path": path,
+        "depth": path.count("/"),
+        "seconds": seconds,
+    }
+    event.update(extra)
+    return event
+
+
+def test_span_end_becomes_complete_event():
+    events = [
+        {"kind": "run_start", "run_id": "r", "seq": 0, "ts": 100.0,
+         "pid": 42, "config": {}},
+        _span_end("outer", seconds=2.0, ts=103.0),
+    ]
+    trace = build_trace(events)
+    assert validate_trace(trace) == []
+    slices = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+    assert len(slices) == 1
+    x = slices[0]
+    assert x["name"] == "outer"
+    assert x["pid"] == 42
+    # begin = end - seconds, microseconds relative to the earliest event
+    assert x["ts"] == pytest.approx((103.0 - 2.0 - 100.0) * 1e6)
+    assert x["dur"] == pytest.approx(2.0 * 1e6)
+    assert x["args"]["path"] == "outer"
+
+
+def test_trace_timestamps_are_clamped_non_negative():
+    # A span whose reconstructed begin predates the earliest event.
+    events = [_span_end("warmup", seconds=10.0, ts=101.0)]
+    trace = build_trace(events)
+    assert validate_trace(trace) == []
+    x = next(e for e in trace["traceEvents"] if e["ph"] == "X")
+    assert x["ts"] == 0.0
+
+
+def test_worker_spans_get_their_own_process_lane():
+    events = [
+        {"kind": "run_start", "run_id": "r", "seq": 0, "ts": 100.0,
+         "pid": 1, "config": {}},
+        _span_end("outer", seconds=1.0, ts=102.0),
+        _span_end(
+            "worker_chunk", seconds=0.5, ts=105.0,
+            worker_pid=77, worker_ts=101.5,
+        ),
+    ]
+    trace = build_trace(events)
+    assert validate_trace(trace) == []
+    worker = next(
+        e for e in trace["traceEvents"]
+        if e["ph"] == "X" and e["name"] == "worker_chunk"
+    )
+    assert worker["pid"] == 77
+    # Placed by the worker's own clock (101.5), not the parent merge time.
+    assert worker["ts"] == pytest.approx((101.5 - 0.5 - 100.0) * 1e6)
+    meta = {
+        e["pid"]: e["args"]["name"]
+        for e in trace["traceEvents"]
+        if e["ph"] == "M"
+    }
+    assert meta[1] == "main"
+    assert meta[77] == "worker 77"
+
+
+def test_instant_kinds_become_instant_events():
+    events = [
+        {"kind": "fault_inject", "run_id": "r", "seq": 0, "ts": 100.0,
+         "p_sa": 0.05, "sa0": 3, "sa1": 17},
+        {"kind": "defect_draw", "run_id": "r", "seq": 1, "ts": 100.1,
+         "p_sa": 0.05, "accuracy": 90.0},  # high-cardinality: excluded
+    ]
+    assert "fault_inject" in INSTANT_KINDS
+    assert "defect_draw" not in INSTANT_KINDS
+    trace = build_trace(events)
+    assert validate_trace(trace) == []
+    instants = [e for e in trace["traceEvents"] if e["ph"] == "i"]
+    assert [e["name"] for e in instants] == ["fault_inject"]
+    assert instants[0]["s"] == "p"
+    assert instants[0]["args"]["sa1"] == 17
+
+
+def test_validate_trace_flags_schema_violations():
+    assert validate_trace([]) == ["trace document is not a JSON object"]
+    assert validate_trace({}) == ["traceEvents is missing or not an array"]
+    bad = {
+        "traceEvents": [
+            {"name": "a", "ph": "Z", "ts": 0, "pid": 0, "tid": 0},
+            {"name": "b", "ph": "X", "ts": -1.0, "pid": 0, "tid": 0,
+             "dur": 1.0},
+            {"name": "c", "ph": "X", "ts": 0, "pid": "zero", "tid": 0,
+             "dur": 1.0},
+            {"name": "d", "ph": "X", "ts": 0, "pid": 0, "tid": 0},
+            {"name": "e", "ph": "i", "ts": 0, "pid": 0, "tid": 0,
+             "s": "bogus"},
+            {"name": "process_name", "ph": "M", "ts": 0, "pid": 0,
+             "tid": 0, "args": {}},
+            {"name": "", "ph": "i", "ts": 0, "pid": 0, "tid": 0, "s": "g"},
+        ]
+    }
+    problems = validate_trace(bad)
+    assert len(problems) == 7
+    assert any("unknown ph" in p for p in problems)
+    assert any("non-negative" in p for p in problems)
+    assert any("pid must be an integer" in p for p in problems)
+    assert any("needs non-negative dur" in p for p in problems)
+    assert any("scope" in p for p in problems)
+    assert any("args.name" in p for p in problems)
+
+
+def test_write_trace_round_trips(tmp_path):
+    path = str(tmp_path / "trace.json")
+    events = [_span_end("s", seconds=0.1, ts=10.0)]
+    written = write_trace(events, path)
+    with open(path) as handle:
+        loaded = json.load(handle)
+    assert loaded == written
+    assert loaded["displayTimeUnit"] == "ms"
+    assert validate_trace(loaded) == []
+
+
+def test_session_close_emits_valid_trace(tmp_path):
+    with telemetry.session(str(tmp_path), config={"scale": "test"}) as run:
+        with run.span("outer"):
+            with run.span("inner"):
+                pass
+        run_dir = run.directory
+    trace_path = os.path.join(run_dir, "trace.json")
+    assert os.path.isfile(trace_path)
+    with open(trace_path) as handle:
+        trace = json.load(handle)
+    assert validate_trace(trace) == []
+    names = {e["name"] for e in trace["traceEvents"] if e["ph"] == "X"}
+    assert {"outer", "inner"} <= names
+
+
+def test_export_survives_corrupt_trailing_line(tmp_path):
+    with telemetry.session(str(tmp_path)) as run:
+        with run.span("work"):
+            pass
+        run_dir = run.directory
+    with open(os.path.join(run_dir, "events.jsonl"), "a") as handle:
+        handle.write('{"kind": "span_end", "trunc')
+    trace_path = export_run_trace(run_dir)
+    with open(trace_path) as handle:
+        trace = json.load(handle)
+    assert validate_trace(trace) == []
+    assert any(
+        e["name"] == "work" for e in trace["traceEvents"] if e["ph"] == "X"
+    )
