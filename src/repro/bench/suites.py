@@ -23,7 +23,10 @@ kernels the paper's pipeline spends its time in:
 * ``train/resnet8_epoch`` — one epoch of standard training on synthetic
   data, the unit pretraining repeats for 160 epochs;
 * ``telemetry/trace_export`` — rendering a pooled run's event log to
-  Chrome trace-event JSON, the work every session close performs.
+  Chrome trace-event JSON, the work every session close performs;
+* ``telemetry/report_render`` — aggregating a synthetic multi-run
+  ledger into the self-contained HTML dashboard, the work
+  ``python -m repro.telemetry report`` performs.
 
 The ``fast`` tier sizes each case for CI (whole suite well under two
 minutes); ``full`` uses the microbenchmark sizes for real optimisation
@@ -384,7 +387,7 @@ def _lint_setup(params: dict, rng: np.random.Generator) -> dict:
     "lint/analyze_tree",
     params={"fast": {"scope": "nn"}, "full": {"scope": "all"}},
     setup=_lint_setup,
-    description="repro.lint self-check: parse + all 9 rules over the tree",
+    description="repro.lint self-check: parse + every rule over the tree",
 )
 def _lint_analyze(state):
     return lint_paths(state["paths"])
@@ -430,3 +433,85 @@ def _trace_export(state):
     from ..telemetry.trace import build_trace
 
     return build_trace(state["events"])
+
+
+def _report_setup(params: dict, rng: np.random.Generator) -> dict:
+    # A synthetic ledger: several finished runs, each with method_report
+    # rows (the dashboard's curve/ranking raw material), defect_eval
+    # sweeps and a resource-sample stream.
+    import json
+    import shutil  # noqa: F401  (teardown uses it; import checked here)
+    import tempfile
+
+    directory = tempfile.mkdtemp(prefix="repro-bench-report-")
+    rates = [0.0, 0.005, 0.01, 0.02]
+    for r in range(params["runs"]):
+        run_id = f"run-2026010{r}-00000{r}"
+        run_dir = os.path.join(directory, run_id)
+        os.makedirs(run_dir)
+        events = [
+            {"kind": "run_start", "run_id": run_id, "seq": 0, "ts": 0.0,
+             "pid": 1, "config": {"experiment": "bench"}}
+        ]
+        seq = 1
+        for m in range(params["methods"]):
+            events.append({
+                "kind": "method_report", "run_id": run_id, "seq": seq,
+                "ts": 0.1 * seq, "method": f"method_{m}",
+                "acc_pretrain": 80.0, "acc_retrain": 79.0 - m,
+                "defect": {str(rate): 78.0 - m - 100 * rate
+                           for rate in rates},
+                "metadata": {},
+            })
+            seq += 1
+            for rate in rates:
+                events.append({
+                    "kind": "defect_eval", "run_id": run_id, "seq": seq,
+                    "ts": 0.1 * seq, "p_sa": rate, "runs": 10,
+                    "mean_accuracy": 78.0 - m - 100 * rate,
+                })
+                seq += 1
+        for i in range(params["samples"]):
+            events.append({
+                "kind": "resource_sample", "run_id": run_id, "seq": seq,
+                "ts": 0.01 * seq, "rss_bytes": 10_000_000 + 1000 * i,
+                "cpu_seconds": 0.01 * i, "num_fds": 16,
+            })
+            seq += 1
+        with open(os.path.join(run_dir, "events.jsonl"), "w") as f:
+            for event in events:
+                f.write(json.dumps(event) + "\n")
+        with open(os.path.join(run_dir, "run.json"), "w") as f:
+            json.dump({
+                "run_id": run_id, "config": {"experiment": "bench"},
+                "provenance": {"git_sha": None, "pid": 1,
+                               "python": "3", "started_at": 0.0,
+                               "finished_at": 1.0,
+                               "duration_seconds": 1.0},
+            }, f)
+        with open(os.path.join(run_dir, "metrics.json"), "w") as f:
+            json.dump({"counters": {}, "gauges": {}, "histograms": {}}, f)
+    return {"directory": directory}
+
+
+def _report_teardown(state) -> None:
+    import shutil
+
+    shutil.rmtree(state["directory"], ignore_errors=True)
+
+
+@benchmark(
+    "telemetry/report_render",
+    params={
+        "fast": {"runs": 2, "methods": 5, "samples": 100},
+        "full": {"runs": 6, "methods": 10, "samples": 1000},
+    },
+    setup=_report_setup,
+    teardown=_report_teardown,
+    description="Aggregate a synthetic multi-run ledger into the "
+    "self-contained HTML dashboard",
+)
+def _report_render(state):
+    from ..telemetry.report import build_report, render_report
+
+    return render_report(build_report(state["directory"]))

@@ -14,6 +14,7 @@ fault pattern behind a reported ``Acc_defect`` can be re-materialised.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Union
 
@@ -21,10 +22,12 @@ import numpy as np
 
 from .. import nn
 from ..datasets.loader import DataLoader
+from ..nn.cost import crossbar_footprint, model_cost
 from ..parallel import Broadcast, ModelBroadcast, ParallelMap
 from ..reram.faults import WeightSpaceFaultModel
 from ..seeding import draw_streams, resolve_base_seed
 from ..telemetry import current as _telemetry
+from ..telemetry.progress import ProgressTracker
 from .injector import FaultInjector
 
 __all__ = [
@@ -33,6 +36,7 @@ __all__ = [
     "evaluate_one_draw",
     "DefectEvaluation",
     "evaluate_defect_accuracy",
+    "emit_model_cost",
 ]
 
 
@@ -86,6 +90,33 @@ def evaluate_one_draw(
     injector = FaultInjector(model, fault_model=fault_cfg.fault_model, rng=rng)
     with injector.faults(fault_cfg.p_sa):
         return evaluate_accuracy(model, loader)
+
+
+def emit_model_cost(model: nn.Module, loader: DataLoader) -> None:
+    """Emit the static per-layer cost breakdown, once per run and model.
+
+    Best-effort observability: the shape probe runs one dummy forward, so
+    any model the cost model cannot trace is logged and skipped rather
+    than failing the evaluation.  The input shape comes from
+    ``loader.dataset[0]`` — *never* from iterating the loader, which
+    would consume its shuffle RNG and change subsequent batches.
+    """
+    telemetry = _telemetry()
+    if not telemetry.enabled:
+        return
+    footprint = crossbar_footprint(model)
+    key = f"model_cost:{type(model).__name__}:{footprint['params']}"
+    if not telemetry.once(key):
+        return
+    try:
+        sample = loader.dataset[0][0]
+        cost = model_cost(model, (1,) + tuple(np.shape(sample)))
+    except Exception as exc:
+        logging.getLogger("repro.core").debug(
+            "model cost unavailable for %s: %s", type(model).__name__, exc
+        )
+        return
+    telemetry.emit("model_cost", model=type(model).__name__, **cost.as_dict())
 
 
 def _defect_draw_task(task: tuple, context: Dict[str, Any]) -> float:
@@ -190,6 +221,10 @@ def evaluate_defect_accuracy(
     if rng is not None and seed is not None:
         raise ValueError("pass either rng or seed, not both")
     telemetry = _telemetry()
+    cells = None
+    if telemetry.enabled:
+        emit_model_cost(model, loader)
+        cells = crossbar_footprint(model)["crossbar_cells"]
     if p_sa == 0.0:
         # No faults: a single clean evaluation suffices and is exact.
         clean = evaluate_accuracy(model, loader)
@@ -200,6 +235,7 @@ def evaluate_defect_accuracy(
             seed=seed,
             mean_accuracy=clean,
             std_accuracy=0.0,
+            crossbar_cells=cells,
         )
         return DefectEvaluation(0.0, clean, 0.0, [clean], seed=seed)
     cfg = FaultDrawSpec(p_sa=p_sa, fault_model=fault_model)
@@ -228,7 +264,14 @@ def evaluate_defect_accuracy(
         )
     else:
         context = {"model": model, "loader": loader, "cfg": cfg}
-        accuracies = [_defect_draw_task(task, context) for task in tasks]
+        tracker = ProgressTracker(
+            total=len(tasks), label=f"defect_eval p_sa={p_sa:g}"
+        )
+        accuracies = []
+        for task in tasks:
+            accuracies.append(_defect_draw_task(task, context))
+            tracker.update()
+        tracker.finish()
     evaluation = DefectEvaluation(
         p_sa,
         float(np.mean(accuracies)),
@@ -243,5 +286,6 @@ def evaluate_defect_accuracy(
         seed=base_seed,
         mean_accuracy=evaluation.mean_accuracy,
         std_accuracy=evaluation.std_accuracy,
+        crossbar_cells=cells,
     )
     return evaluation

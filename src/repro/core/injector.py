@@ -23,6 +23,7 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from .. import nn
+from ..nn.cost import CELLS_PER_WEIGHT
 from ..seeding import resolve_rng
 from ..reram.faults import (
     SA0_SA1_RATIO,
@@ -116,9 +117,12 @@ class FaultInjector:
                 telemetry.metrics.counter(f"{prefix}/sa1_total").inc(stats.sa1)
         if telemetry.enabled:
             telemetry.metrics.counter("faults/injections_total").inc()
+            weights = sum(p.data.size for _, p in self._targets)
             fields = {
                 "p_sa": p_sa,
                 "tensors": len(self._targets),
+                "crossbar_weights": weights,
+                "crossbar_cells": CELLS_PER_WEIGHT * weights,
             }
             if total is not None:
                 spec = StuckAtFaultSpec(

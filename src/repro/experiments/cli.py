@@ -231,7 +231,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             "seed": scale.seed,
             "workers": scale.workers,
         }
-        with telemetry.session(args.telemetry_dir, config=config) as run:
+        with telemetry.session(
+            args.telemetry_dir, config=config, resources=True
+        ) as run:
             _run_experiments(args, scale, verbose)
             logging.getLogger("repro").info(
                 "telemetry written to %s", run.directory

@@ -336,4 +336,16 @@ def method_report(
     )
     for rate, accuracy in grid.items():
         report.add_defect(rate, accuracy)
+    # The per-variant raw material for the cross-run HTML dashboard: one
+    # event carrying the whole accuracy row, so `repro.telemetry report`
+    # can draw accuracy-vs-P_sa curves and the Stability ranking without
+    # re-deriving the grid from defect_draw events.
+    _telemetry().emit(
+        "method_report",
+        method=method,
+        acc_pretrain=acc_pretrain,
+        acc_retrain=acc_retrain,
+        defect={str(rate): acc for rate, acc in grid.items()},
+        metadata=provenance,
+    )
     return report

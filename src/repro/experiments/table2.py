@@ -18,6 +18,7 @@ import numpy as np
 from ..core.evaluate import evaluate_accuracy
 from ..core.stability import stability_score
 from ..pruning import ADMMConfig, ADMMPruner
+from ..telemetry import current as _telemetry
 from .config import ExperimentScale
 from .runner import (
     clone_model,
@@ -67,6 +68,14 @@ def _table2_row(
         scale.defect_runs,
         seed=scale.seed + 40,
         workers=scale.workers,
+    )
+    _telemetry().emit(
+        "method_report",
+        method=method,
+        acc_pretrain=acc_pretrain,
+        acc_retrain=acc_retrain,
+        defect={str(rate): acc for rate, acc in grid.items()},
+        metadata={"scale": scale.name, "table": "table2"},
     )
     return {
         "method": method,

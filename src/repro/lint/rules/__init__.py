@@ -5,7 +5,16 @@ registry), mirroring how ``repro.bench.cli`` imports ``suites`` for
 case registration.
 """
 
-from . import api, docs, hygiene, imports, mutation, parallelism, rng
+from . import (
+    api,
+    docs,
+    hygiene,
+    imports,
+    mutation,
+    parallelism,
+    rng,
+    timing,
+)
 
 __all__ = [
     "api",
@@ -15,4 +24,5 @@ __all__ = [
     "mutation",
     "parallelism",
     "rng",
+    "timing",
 ]

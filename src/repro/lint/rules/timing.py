@@ -1,0 +1,64 @@
+"""RL010 — durations come from the monotonic clock.
+
+``time.time()`` is the wall clock: NTP slews, DST jumps and manual
+clock changes all show up in differences between two readings, so a
+duration computed from it can be wrong by seconds — or negative.  The
+library's timing substrate (:mod:`repro.telemetry.timing`) wraps
+``time.perf_counter()`` in :class:`~repro.telemetry.timing.Stopwatch`
+and span scopes precisely so nothing else has to touch a clock.
+
+RL010 therefore flags every ``time.time()`` call outside
+``repro.telemetry.timing``.  The rare legitimate wall-clock reading
+(an epoch timestamp persisted as provenance, not subtracted from a
+second reading) is acknowledged in ``LINT_BASELINE.json`` rather than
+exempted structurally — new call sites must justify themselves.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from ..sources import SourceFile
+from ..registry import rule
+from ..findings import WARNING
+from .common import dotted_name
+
+__all__ = ["check_rl010"]
+
+#: The module sanctioned to read clocks directly.
+_ALLOWED_MODULE = "repro.telemetry.timing"
+_ALLOWED_PATH_FRAGMENT = "repro/telemetry/timing"
+
+
+def _is_allowed(source: SourceFile) -> bool:
+    if source.module == _ALLOWED_MODULE:
+        return True
+    # Fallback for files linted without a resolved module name.
+    return _ALLOWED_PATH_FRAGMENT in source.path.replace("\\", "/")
+
+
+@rule(
+    "RL010",
+    name="walltime-duration",
+    severity=WARNING,
+    description="time.time() called outside repro.telemetry.timing; "
+    "durations must use the monotonic Stopwatch/perf_counter path",
+    rationale="the wall clock is not monotonic (NTP slew, DST, manual "
+    "changes), so durations derived from time.time() can be skewed or "
+    "negative; Stopwatch wraps time.perf_counter() for exactly this",
+)
+def check_rl010(source: SourceFile) -> Iterator[Tuple[ast.AST, str]]:
+    """RL010: wall-clock reads outside the timing module."""
+    if _is_allowed(source):
+        return
+    for node in ast.walk(source.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if dotted_name(node.func) == "time.time":
+            yield (
+                node,
+                "time.time() is wall-clock; measure durations with "
+                "repro.telemetry.timing.Stopwatch (perf_counter), or "
+                "baseline a genuine epoch-timestamp use",
+            )

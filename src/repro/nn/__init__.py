@@ -10,6 +10,13 @@ the paper evaluates.
 from .activations import Dropout, Identity, LeakyReLU, ReLU, Sigmoid, Tanh
 from .container import Residual, Sequential
 from .conv import Conv2d
+from .cost import (
+    LayerCost,
+    ModelCost,
+    capture_shapes,
+    crossbar_footprint,
+    model_cost,
+)
 from .linear import Linear
 from .loss import CrossEntropyLoss, MSELoss
 from .lr_scheduler import (
@@ -65,4 +72,9 @@ __all__ = [
     "load_checkpoint",
     "state_dict_to_bytes",
     "state_dict_from_bytes",
+    "LayerCost",
+    "ModelCost",
+    "capture_shapes",
+    "model_cost",
+    "crossbar_footprint",
 ]

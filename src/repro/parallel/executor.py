@@ -35,6 +35,7 @@ from multiprocessing import get_context
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from .. import telemetry
+from ..telemetry.progress import ProgressTracker
 from .broadcast import Broadcast
 from .config import default_chunk_size, resolve_workers
 from .worker import initialize_worker, run_chunk
@@ -149,7 +150,9 @@ class ParallelMap:
         return [fn(task, context) for task in tasks]
 
     # -- pool plumbing ------------------------------------------------------
-    def _make_pool(self, broadcast, capture: bool) -> cf.ProcessPoolExecutor:
+    def _make_pool(
+        self, broadcast, capture: bool, monitor: bool = False
+    ) -> cf.ProcessPoolExecutor:
         mp_context = (
             get_context(self.start_method) if self.start_method else None
         )
@@ -157,7 +160,7 @@ class ParallelMap:
             max_workers=self.workers,
             mp_context=mp_context,
             initializer=initialize_worker,
-            initargs=(broadcast, capture),
+            initargs=(broadcast, capture, monitor),
         )
 
     @staticmethod
@@ -183,7 +186,11 @@ class ParallelMap:
 
     # -- result/telemetry merge --------------------------------------------
     def _absorb_chunk(
-        self, chunk: _Chunk, payload: Dict[str, Any], results: Dict[int, Any]
+        self,
+        chunk: _Chunk,
+        payload: Dict[str, Any],
+        results: Dict[int, Any],
+        tracker: Optional[ProgressTracker] = None,
     ) -> None:
         for index, value in payload["results"]:
             results[index] = value
@@ -220,6 +227,8 @@ class ParallelMap:
             seconds=payload["seconds"],
             attempt=chunk.attempts,
         )
+        if tracker is not None:
+            tracker.update(len(chunk.tasks))
 
     def _record_retry(self, chunk: _Chunk, reason: str) -> None:
         chunk.attempts += 1
@@ -269,8 +278,9 @@ class ParallelMap:
             return self._run_serial(fn, tasks, broadcast)
 
         capture = telemetry.current().enabled
+        monitor = telemetry.current().monitoring
         try:
-            pool = self._make_pool(broadcast, capture)
+            pool = self._make_pool(broadcast, capture, monitor)
         except Exception as exc:  # pool construction is best-effort
             return self._fallback(fn, tasks, broadcast, f"pool creation failed: {exc}")
 
@@ -293,10 +303,24 @@ class ParallelMap:
 
         results: Dict[int, Any] = {}
         failures: List[TaskFailure] = []
+        # Heartbeats/ETA over completed tasks; the stall window mirrors the
+        # hang-detection budget of one chunk, so a stall warning lands in
+        # the event stream at about the moment a hung chunk would be due.
+        tracker = ProgressTracker(
+            total=len(tasks),
+            label="parallel_map",
+            stall_timeout=(
+                self.timeout * size if self.timeout is not None else None
+            ),
+        )
         try:
-            pool = self._drive(pool, fn, broadcast, capture, chunks, results, failures)
+            pool = self._drive(
+                pool, fn, broadcast, capture, monitor, chunks, results,
+                failures, tracker,
+            )
         finally:
             self._teardown_pool(pool)
+        tracker.finish()
         run.emit(
             "parallel_map_end",
             completed=len(results),
@@ -313,9 +337,11 @@ class ParallelMap:
         fn,
         broadcast,
         capture: bool,
+        monitor: bool,
         chunks: List[_Chunk],
         results: Dict[int, Any],
         failures: List[TaskFailure],
+        tracker: Optional[ProgressTracker] = None,
     ) -> cf.ProcessPoolExecutor:
         """Submit, watch, retry.  Returns the (possibly rebuilt) pool."""
 
@@ -335,7 +361,7 @@ class ParallelMap:
             for chunk in pending():
                 chunk.future = None
                 chunk.running_since = None
-            return self._make_pool(broadcast, capture)
+            return self._make_pool(broadcast, capture, monitor)
 
         while pending():
             # (Re)submit everything without a live future.  A chunk past
@@ -363,6 +389,8 @@ class ParallelMap:
                 timeout=_WAIT_TICK,
                 return_when=cf.FIRST_COMPLETED,
             )
+            if tracker is not None:
+                tracker.check_stall()
             now = time.monotonic()
             broken = False
             for chunk in live:
@@ -397,7 +425,7 @@ class ParallelMap:
                     continue
                 chunk.done = True
                 chunk.future = None
-                self._absorb_chunk(chunk, payload, results)
+                self._absorb_chunk(chunk, payload, results, tracker)
             if broken:
                 pool = rebuild_pool(pool)
         return pool

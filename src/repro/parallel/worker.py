@@ -27,15 +27,25 @@ __all__ = ["initialize_worker", "run_chunk"]
 
 _broadcast: Optional[Broadcast] = None
 _capture: bool = False
+_monitor: bool = False
 _context: Optional[Dict[str, Any]] = None
 
 
-def initialize_worker(broadcast: Optional[Broadcast], capture: bool) -> None:
-    """Pool initialiser: stash the broadcast, detach inherited telemetry."""
-    global _broadcast, _capture, _context
+def initialize_worker(
+    broadcast: Optional[Broadcast], capture: bool, monitor: bool = False
+) -> None:
+    """Pool initialiser: stash the broadcast, detach inherited telemetry.
+
+    ``monitor`` mirrors the parent run's resource-sampling flag: when
+    set, each captured chunk runs under its own
+    :class:`~repro.telemetry.ResourceMonitor`, so worker
+    ``resource_sample`` events ride back through the normal merge path.
+    """
+    global _broadcast, _capture, _monitor, _context
     telemetry.detach_run()
     _broadcast = broadcast
     _capture = capture
+    _monitor = monitor
     _context = None
 
 
@@ -59,7 +69,9 @@ def run_chunk(
     context = _materialized_context()
     started = time.perf_counter()
     if _capture:
-        with telemetry.session(sink=telemetry.MemorySink()) as run:
+        with telemetry.session(
+            sink=telemetry.MemorySink(), resources=_monitor
+        ) as run:
             # The chunk span is the worker-side timeline anchor: after the
             # parent merges it back (stamped with this worker's pid), trace
             # export draws one lane per worker from these spans.
@@ -67,6 +79,11 @@ def run_chunk(
                 results = [
                     (index, fn(task, context)) for index, task in indexed_tasks
                 ]
+            if run.monitor is not None:
+                # Stop before draining the sink so the final sample (and
+                # the monitor's metrics) make it into the payload.
+                run.monitor.stop()
+                run.monitor = None
             events = list(run.events.sink.events)
             metrics = run.metrics.dump()
         payload = {"events": events, "metrics": metrics}

@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from .. import nn
+from ..telemetry import current as _telemetry
 from .device import ReRAMDeviceModel
 from .faults import StuckAtFaultSpec
 from .mapper import CrossbarMapper, MappedMatrix
@@ -99,6 +100,23 @@ def deploy_weights(
     device: Optional[ReRAMDeviceModel] = None,
     tile_size: int = 128,
 ) -> DeployedModel:
-    """Map a model's crossbar-resident weights onto crossbar tiles."""
+    """Map a model's crossbar-resident weights onto crossbar tiles.
+
+    When telemetry is enabled, a ``deploy`` event records the static
+    crossbar footprint (see :func:`repro.nn.cost.crossbar_footprint`) and
+    tile count of the deployment.
+    """
     mapper = CrossbarMapper(device=device, tile_size=tile_size)
-    return DeployedModel(model, mapper)
+    deployed = DeployedModel(model, mapper)
+    telemetry = _telemetry()
+    if telemetry.enabled:
+        from ..nn.cost import crossbar_footprint
+
+        telemetry.emit(
+            "deploy",
+            model=type(model).__name__,
+            tile_size=tile_size,
+            num_crossbars=deployed.num_crossbars,
+            **crossbar_footprint(model),
+        )
+    return deployed

@@ -41,6 +41,8 @@ from .events import (
 )
 from .ledger import RunRecord, build_index, diff_runs, load_index, scan_runs
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .monitor import ResourceMonitor, sample_resources
+from .progress import ProgressTracker
 from .run import (
     NULL_RUN,
     TelemetryLogHandler,
@@ -51,6 +53,7 @@ from .run import (
     session,
     start_run,
 )
+from .report import build_report, render_report, write_report
 from .summary import find_run_dir, render_summary, summarize_run
 from .timing import ModuleProfiler, SpanTracker, Stopwatch, named_modules
 from .trace import build_trace, export_run_trace, validate_trace, write_trace
@@ -68,6 +71,9 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "ResourceMonitor",
+    "sample_resources",
+    "ProgressTracker",
     "Stopwatch",
     "SpanTracker",
     "ModuleProfiler",
@@ -83,6 +89,9 @@ __all__ = [
     "find_run_dir",
     "summarize_run",
     "render_summary",
+    "build_report",
+    "render_report",
+    "write_report",
     "build_trace",
     "write_trace",
     "export_run_trace",

@@ -6,12 +6,15 @@ Usage::
     python -m repro.telemetry show results/telemetry/run-…  [--json]
     python -m repro.telemetry diff results/telemetry/run-A run-B
     python -m repro.telemetry trace results/telemetry/run-…
+    python -m repro.telemetry report results/telemetry [-o report.html]
 
 ``ls`` scans the directory, refreshes ``index.json`` and prints one line
 per run; ``show`` renders a single run (the ``repro.experiments
 summary`` report, or the raw ledger record with ``--json``); ``diff``
 compares two runs' metrics/spans; ``trace`` (re-)exports a run's
-``trace.json`` for Perfetto.
+``trace.json`` for Perfetto; ``report`` builds the self-contained HTML
+dashboard (accuracy-vs-P_sa curves, Stability ranking, time/memory
+breakdowns, bench sparklines) over every run in the ledger.
 
 Exit codes: 0 on success, 2 on usage errors or missing runs; ``diff``
 additionally exits 1 when ``--fail-on-regression`` is given and a
@@ -22,6 +25,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional
 
@@ -82,6 +86,31 @@ def build_parser() -> argparse.ArgumentParser:
 
     trace = sub.add_parser("trace", help="(re-)export a run's trace.json")
     trace.add_argument("run", help="run directory (or parent; latest run wins)")
+
+    report = sub.add_parser(
+        "report",
+        help="build the self-contained HTML dashboard over a ledger",
+    )
+    report.add_argument(
+        "directory", help="telemetry parent directory (or one run directory)"
+    )
+    report.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="output HTML path (default: <directory>/report.html)",
+    )
+    report.add_argument(
+        "--bench-dir",
+        default=".",
+        help="directory scanned for BENCH_*.json trend baselines "
+        "(default: current directory)",
+    )
+    report.add_argument(
+        "--json",
+        action="store_true",
+        help="print the report document as JSON instead of writing HTML",
+    )
     return parser
 
 
@@ -114,8 +143,21 @@ def _cmd_ls(args: argparse.Namespace) -> int:
     return 0
 
 
+def _require_events(run_dir: str) -> None:
+    """Reject an empty event log with a clear error instead of degenerate
+    output (``show``) or an empty trace (``trace``)."""
+    from .events import read_events
+
+    if not read_events(os.path.join(run_dir, "events.jsonl")):
+        raise FileNotFoundError(
+            f"run directory {run_dir!r} has no readable events "
+            "(empty or fully corrupt events.jsonl)"
+        )
+
+
 def _cmd_show(args: argparse.Namespace) -> int:
     run_dir = find_run_dir(args.run)
+    _require_events(run_dir)
     if args.json:
         print(json.dumps(RunRecord.from_run_dir(run_dir).as_dict(), indent=2))
         return 0
@@ -137,7 +179,24 @@ def _cmd_diff(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
-    print(export_run_trace(find_run_dir(args.run)))
+    run_dir = find_run_dir(args.run)
+    _require_events(run_dir)
+    print(export_run_trace(run_dir))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .report import build_report, write_report
+
+    if args.json:
+        report = build_report(args.directory, bench_dir=args.bench_dir)
+        print(json.dumps(report, indent=2))
+        return 0
+    print(
+        write_report(
+            args.directory, output=args.output, bench_dir=args.bench_dir
+        )
+    )
     return 0
 
 
@@ -149,9 +208,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         "show": _cmd_show,
         "diff": _cmd_diff,
         "trace": _cmd_trace,
+        "report": _cmd_report,
     }
     try:
         return handlers[args.command](args)
-    except FileNotFoundError as exc:
+    except (FileNotFoundError, NotADirectoryError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -23,6 +23,7 @@ from __future__ import annotations
 import json
 import logging
 import os
+import threading
 import time
 import uuid
 from typing import Callable, List, Optional, Tuple
@@ -94,8 +95,10 @@ class JsonlSink(EventSink):
             if directory:
                 os.makedirs(directory, exist_ok=True)
             self._handle = open(self.path, "a")
-        self._handle.write(json.dumps(event, separators=(",", ":")))
-        self._handle.write("\n")
+        # One write() per event: the sampling-monitor thread emits
+        # concurrently with the main thread, and a single write keeps a
+        # line from interleaving with another even without the log lock.
+        self._handle.write(json.dumps(event, separators=(",", ":")) + "\n")
 
     def flush(self) -> None:
         if self._handle is not None:
@@ -130,22 +133,29 @@ class EventLog:
         self.run_id = run_id if run_id is not None else new_run_id()
         self._clock = clock
         self._seq = 0
+        self._lock = threading.Lock()
 
     @property
     def enabled(self) -> bool:
         return not isinstance(self.sink, NullSink)
 
     def emit(self, kind: str, **fields) -> dict:
-        """Record one event; returns the stamped event dict."""
+        """Record one event; returns the stamped event dict.
+
+        Thread-safe: the resource-monitor thread emits concurrently with
+        the main thread, so sequencing and the sink write are guarded.
+        """
         event = {
             "kind": kind,
             "run_id": self.run_id,
-            "seq": self._seq,
+            "seq": None,
             "ts": self._clock(),
         }
         event.update(fields)
-        self._seq += 1
-        self.sink.write(event)
+        with self._lock:
+            event["seq"] = self._seq
+            self._seq += 1
+            self.sink.write(event)
         return event
 
     def flush(self) -> None:
@@ -162,31 +172,38 @@ def read_events_with_errors(path: str) -> Tuple[List[dict], int]:
     truncated final line of a crashed run, but any corrupt line is
     handled the same way — is skipped rather than raised, so the intact
     prefix of an interrupted run stays readable.  Skipped lines are
-    counted in the second element and logged as a warning.
+    counted in the second element and logged as a warning naming the
+    file and the 1-based line numbers, so truncated JSONL from killed
+    workers is diagnosable from the log alone.
     """
     events: List[dict] = []
-    skipped = 0
+    bad_lines: List[int] = []
     with open(path) as handle:
-        for line in handle:
+        for lineno, line in enumerate(handle, start=1):
             line = line.strip()
             if not line:
                 continue
             try:
                 event = json.loads(line)
             except json.JSONDecodeError:
-                skipped += 1
+                bad_lines.append(lineno)
                 continue
             if not isinstance(event, dict):
-                skipped += 1
+                bad_lines.append(lineno)
                 continue
             events.append(event)
-    if skipped:
+    if bad_lines:
+        shown = ", ".join(str(n) for n in bad_lines[:10])
+        if len(bad_lines) > 10:
+            shown += f", … ({len(bad_lines) - 10} more)"
         logger.warning(
-            "%s: skipped %d corrupt JSONL line(s) (truncated run?)",
+            "%s: skipped %d corrupt JSONL line(s) at line %s "
+            "(truncated run?)",
             path,
-            skipped,
+            len(bad_lines),
+            shown,
         )
-    return events, skipped
+    return events, len(bad_lines)
 
 
 def read_events(path: str) -> List[dict]:

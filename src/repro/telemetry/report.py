@@ -1,0 +1,595 @@
+"""Cross-run HTML dashboard: curves, Stability ranking, cost breakdowns.
+
+``python -m repro.telemetry report <dir>`` aggregates every run under a
+telemetry ledger directory into **one self-contained static HTML file**
+(inline CSS, inline SVG, no external assets, no JavaScript required):
+
+* accuracy-vs-``P_sa`` curves, one line per ``(run, training method)``,
+  built from the ``method_report`` events the experiment runner emits
+  (with a fallback to raw ``defect_eval`` events for runs recorded
+  before that event existed);
+* a Stability-Score ranking table — equation (1) of the paper, scored at
+  the largest tested fault rate of each variant;
+* per-run time/memory breakdowns: wall-clock by span, peak RSS / CPU
+  time / sample counts from the resource monitor, heartbeat/stall
+  counts, and the static model-cost totals when recorded;
+* bench trend sparklines across the repo's ``BENCH_*.json`` baselines.
+
+The report is **deterministic for a fixed ledger**: no generation
+timestamps, stable ordering everywhere, fixed float formatting — so a
+golden test can assert byte-identical output and CI archives diff
+cleanly run-over-run.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+import math
+import os
+import re
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .events import read_events_with_errors
+from .ledger import RunRecord, scan_runs
+
+__all__ = [
+    "build_report",
+    "render_report",
+    "write_report",
+    "find_bench_files",
+    "REPORT_FILENAME",
+]
+
+#: Default output file name inside the ledger directory.
+REPORT_FILENAME = "report.html"
+
+#: Fixed, order-stable line colours for the accuracy curves.
+_PALETTE = (
+    "#1f6feb", "#d73a49", "#1a7f37", "#a371f7",
+    "#bf8700", "#0d8d8d", "#cf222e", "#57606a",
+)
+
+_BENCH_PATTERN = re.compile(r"^BENCH_(\d+)\.json$")
+
+
+# ---------------------------------------------------------------------------
+# data collection
+# ---------------------------------------------------------------------------
+def _fmt(value: Optional[float], digits: int = 2) -> str:
+    """Deterministic fixed-point formatting; ``-`` for missing values."""
+    if value is None or (isinstance(value, float) and not math.isfinite(value)):
+        return "-"
+    return f"{value:.{digits}f}"
+
+
+def _fmt_bytes(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    return f"{value / (1024 * 1024):.1f} MiB"
+
+
+def _methods_from_events(events: List[dict], config: dict) -> List[dict]:
+    """Per-variant accuracy rows for one run.
+
+    Prefers ``method_report`` events (one per training variant); falls
+    back to synthesising a single row from ``defect_eval`` events for
+    runs recorded before ``method_report`` existed.
+    """
+    methods: List[dict] = []
+    for event in events:
+        if event.get("kind") != "method_report":
+            continue
+        defect = {
+            float(rate): float(acc)
+            for rate, acc in (event.get("defect") or {}).items()
+        }
+        methods.append(
+            {
+                "method": str(event.get("method", "?")),
+                "acc_pretrain": event.get("acc_pretrain"),
+                "acc_retrain": event.get("acc_retrain"),
+                "defect": defect,
+            }
+        )
+    if methods:
+        return methods
+
+    grid: Dict[float, float] = {}
+    for event in events:
+        if event.get("kind") != "defect_eval":
+            continue
+        rate = event.get("p_sa")
+        acc = event.get("mean_accuracy")
+        if isinstance(rate, (int, float)) and isinstance(acc, (int, float)):
+            grid[float(rate)] = float(acc)
+    if not grid:
+        return []
+    clean = grid.get(0.0, max(grid.values()))
+    label = str(config.get("experiment") or config.get("method") or "run")
+    return [
+        {
+            "method": label,
+            "acc_pretrain": clean,
+            "acc_retrain": clean,
+            "defect": grid,
+        }
+    ]
+
+
+def _stability_entry(run_id: str, method: dict) -> Optional[dict]:
+    """Score one variant at its largest tested fault rate (paper eq. 1)."""
+    # Lazy import: repro.core imports telemetry, so a module-level import
+    # here would be circular.
+    from ..core.stability import stability_score
+
+    rates = sorted(r for r in method["defect"] if r > 0.0)
+    if not rates:
+        return None
+    rate = rates[-1]
+    acc_defect = method["defect"][rate]
+    acc_pre = method.get("acc_pretrain")
+    acc_re = method.get("acc_retrain")
+    if acc_pre is None or acc_re is None:
+        return None
+    try:
+        score = stability_score(acc_pre, acc_re, acc_defect)
+    except ValueError:
+        return None
+    return {
+        "run_id": run_id,
+        "method": method["method"],
+        "p_sa": rate,
+        "acc_pretrain": acc_pre,
+        "acc_retrain": acc_re,
+        "acc_defect": acc_defect,
+        "stability_score": score,
+    }
+
+
+def _resource_summary(record: RunRecord, events: List[dict]) -> dict:
+    """Memory/CPU profile of one run from monitor metrics + events."""
+    rss_hist = record.histograms.get("resource/rss_bytes") or {}
+    samples = [e for e in events if e.get("kind") == "resource_sample"]
+    worker_samples = sum(1 for e in samples if e.get("worker_pid") is not None)
+    max_rss = record.gauges.get("resource/max_rss_bytes")
+    if max_rss is None:
+        rss_values = [
+            e["rss_bytes"]
+            for e in samples
+            if isinstance(e.get("rss_bytes"), (int, float))
+        ]
+        max_rss = max(rss_values) if rss_values else None
+    return {
+        "samples": len(samples),
+        "worker_samples": worker_samples,
+        "max_rss_bytes": max_rss,
+        "mean_rss_bytes": rss_hist.get("mean"),
+        "cpu_seconds": record.gauges.get("resource/cpu_seconds"),
+        "heartbeats": sum(1 for e in events if e.get("kind") == "heartbeat"),
+        "stalls": sum(1 for e in events if e.get("kind") == "progress_stall"),
+    }
+
+
+def _model_cost_totals(events: List[dict]) -> List[dict]:
+    """The ``model_cost`` headline numbers recorded in a run, if any."""
+    totals = []
+    for event in events:
+        if event.get("kind") != "model_cost":
+            continue
+        totals.append(
+            {
+                "model": event.get("model"),
+                "params": event.get("params"),
+                "macs": event.get("macs"),
+                "flops": event.get("flops"),
+                "activation_bytes": event.get("activation_bytes"),
+                "crossbar_cells": event.get("crossbar_cells"),
+            }
+        )
+    return totals
+
+
+def _collect_run(record: RunRecord) -> dict:
+    events_path = os.path.join(record.run_dir, "events.jsonl")
+    events: List[dict] = []
+    if os.path.isfile(events_path):
+        events, _ = read_events_with_errors(events_path)
+    top_spans = sorted(
+        record.spans.items(), key=lambda item: -item[1].get("seconds", 0.0)
+    )[:5]
+    return {
+        "run_id": record.run_id,
+        "config": dict(sorted(record.config.items())),
+        "git_sha": record.git_sha,
+        "duration_seconds": record.duration_seconds,
+        "num_events": record.num_events,
+        "methods": _methods_from_events(events, record.config),
+        "resources": _resource_summary(record, events),
+        "model_cost": _model_cost_totals(events),
+        "spans": [
+            {
+                "path": path,
+                "count": entry.get("count", 0),
+                "seconds": entry.get("seconds", 0.0),
+            }
+            for path, entry in top_spans
+        ],
+    }
+
+
+def find_bench_files(bench_dir: str) -> List[str]:
+    """``BENCH_<n>.json`` files under ``bench_dir``, sorted by ``n``."""
+    if not os.path.isdir(bench_dir):
+        return []
+    found = []
+    for entry in os.listdir(bench_dir):
+        match = _BENCH_PATTERN.match(entry)
+        if match:
+            found.append((int(match.group(1)), os.path.join(bench_dir, entry)))
+    return [path for _, path in sorted(found)]
+
+
+def _bench_trends(bench_files: Sequence[str]) -> List[dict]:
+    """Per-case mean-seconds series across the baseline files, in order."""
+    series: Dict[str, List[Optional[float]]] = {}
+    labels: List[str] = []
+    for path in bench_files:
+        try:
+            with open(path) as handle:
+                doc = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            continue
+        labels.append(os.path.basename(path))
+        cases = doc.get("cases") or {}
+        for name in set(series) | set(cases):
+            series.setdefault(name, [None] * (len(labels) - 1))
+        for name, values in series.items():
+            case = cases.get(name) or {}
+            stats = case.get("stats") or {}
+            values.append(stats.get("mean"))
+    return [
+        {"case": name, "labels": labels, "means": values}
+        for name, values in sorted(series.items())
+    ]
+
+
+def build_report(
+    directory: str, bench_dir: Optional[str] = None
+) -> dict:
+    """Aggregate every run under ``directory`` into the report document.
+
+    Raises ``FileNotFoundError`` when the directory holds no runs at all,
+    so the CLI can exit 2 with a clear message.
+    """
+    records = scan_runs(directory)
+    if not records:
+        raise FileNotFoundError(f"no telemetry runs under {directory!r}")
+    runs = [_collect_run(record) for record in records]
+
+    curves = []
+    for run in runs:
+        for method in run["methods"]:
+            points = sorted(method["defect"].items())
+            if points:
+                curves.append(
+                    {
+                        "run_id": run["run_id"],
+                        "method": method["method"],
+                        "points": points,
+                    }
+                )
+    stability = []
+    for run in runs:
+        for method in run["methods"]:
+            entry = _stability_entry(run["run_id"], method)
+            if entry is not None:
+                stability.append(entry)
+    stability.sort(
+        key=lambda e: (-e["stability_score"], e["run_id"], e["method"])
+    )
+
+    bench_files = find_bench_files(bench_dir) if bench_dir else []
+    return {
+        "directory": os.path.abspath(directory),
+        "num_runs": len(runs),
+        "runs": runs,
+        "curves": curves,
+        "stability": stability,
+        "bench": _bench_trends(bench_files),
+    }
+
+
+# ---------------------------------------------------------------------------
+# SVG primitives
+# ---------------------------------------------------------------------------
+def _svg_accuracy_chart(curves: List[dict]) -> str:
+    """Accuracy-vs-P_sa line chart; rates equally spaced, y in [0, 100]."""
+    if not curves:
+        return "<p class='empty'>No defect-accuracy data recorded.</p>"
+    rates = sorted({rate for curve in curves for rate, _ in curve["points"]})
+    width, height = 640, 320
+    left, right, top, bottom = 60, 20, 16, 44
+    plot_w = width - left - right
+    plot_h = height - top - bottom
+
+    def x_of(rate: float) -> float:
+        if len(rates) == 1:
+            return left + plot_w / 2
+        return left + plot_w * rates.index(rate) / (len(rates) - 1)
+
+    def y_of(acc: float) -> float:
+        return top + plot_h * (1.0 - max(0.0, min(acc, 100.0)) / 100.0)
+
+    parts = [
+        f"<svg viewBox='0 0 {width} {height}' role='img' "
+        "aria-label='Accuracy vs P_sa'>"
+    ]
+    for frac in range(0, 101, 25):
+        y = y_of(frac)
+        parts.append(
+            f"<line x1='{left}' y1='{y:.1f}' x2='{width - right}' "
+            f"y2='{y:.1f}' class='grid'/>"
+            f"<text x='{left - 8}' y='{y + 4:.1f}' class='tick' "
+            f"text-anchor='end'>{frac}%</text>"
+        )
+    for rate in rates:
+        x = x_of(rate)
+        parts.append(
+            f"<text x='{x:.1f}' y='{height - bottom + 18}' class='tick' "
+            f"text-anchor='middle'>{rate:g}</text>"
+        )
+    parts.append(
+        f"<text x='{left + plot_w / 2:.1f}' y='{height - 6}' class='axis' "
+        "text-anchor='middle'>testing stuck-at rate P_sa</text>"
+    )
+    for i, curve in enumerate(curves):
+        color = _PALETTE[i % len(_PALETTE)]
+        coords = " ".join(
+            f"{x_of(rate):.1f},{y_of(acc):.1f}" for rate, acc in curve["points"]
+        )
+        parts.append(
+            f"<polyline points='{coords}' fill='none' stroke='{color}' "
+            "stroke-width='2'/>"
+        )
+        for rate, acc in curve["points"]:
+            parts.append(
+                f"<circle cx='{x_of(rate):.1f}' cy='{y_of(acc):.1f}' r='3' "
+                f"fill='{color}'/>"
+            )
+    parts.append("</svg>")
+
+    legend = ["<ul class='legend'>"]
+    for i, curve in enumerate(curves):
+        color = _PALETTE[i % len(_PALETTE)]
+        label = html.escape(f"{curve['run_id']} · {curve['method']}")
+        legend.append(
+            f"<li><span class='swatch' style='background:{color}'></span>"
+            f"{label}</li>"
+        )
+    legend.append("</ul>")
+    return "".join(parts) + "".join(legend)
+
+
+def _svg_sparkline(means: List[Optional[float]]) -> str:
+    """Tiny trend polyline over bench baselines; scaled to its own range."""
+    points = [(i, m) for i, m in enumerate(means) if m is not None]
+    if not points:
+        return "<span class='empty'>-</span>"
+    width, height, pad = 120, 24, 3
+    values = [m for _, m in points]
+    low, high = min(values), max(values)
+    span = (high - low) or 1.0
+    n = max(len(means) - 1, 1)
+
+    def xy(i: int, m: float) -> str:
+        x = pad + (width - 2 * pad) * i / n
+        y = pad + (height - 2 * pad) * (1.0 - (m - low) / span)
+        return f"{x:.1f},{y:.1f}"
+
+    coords = " ".join(xy(i, m) for i, m in points)
+    last_x, last_y = xy(*points[-1]).split(",")
+    return (
+        f"<svg viewBox='0 0 {width} {height}' class='spark'>"
+        f"<polyline points='{coords}' fill='none' stroke='#1f6feb' "
+        "stroke-width='1.5'/>"
+        f"<circle cx='{last_x}' cy='{last_y}' r='2' fill='#1f6feb'/></svg>"
+    )
+
+
+# ---------------------------------------------------------------------------
+# HTML rendering
+# ---------------------------------------------------------------------------
+_CSS = """
+body { font: 14px/1.5 -apple-system, 'Segoe UI', Roboto, sans-serif;
+       margin: 2rem auto; max-width: 72rem; padding: 0 1rem; color: #1f2328; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.15rem; margin-top: 2rem; }
+h3 { font-size: 1rem; margin-bottom: .3rem; }
+table { border-collapse: collapse; margin: .5rem 0 1rem; width: 100%; }
+th, td { border: 1px solid #d0d7de; padding: .3rem .6rem; text-align: left;
+         font-variant-numeric: tabular-nums; }
+th { background: #f6f8fa; }
+tr.best td { background: #dafbe1; }
+svg { max-width: 100%; height: auto; }
+svg .grid { stroke: #d0d7de; stroke-width: 1; }
+svg .tick, svg .axis { font: 11px sans-serif; fill: #57606a; }
+svg.spark { width: 120px; height: 24px; vertical-align: middle; }
+.legend { list-style: none; padding: 0; display: flex; flex-wrap: wrap;
+          gap: .4rem 1.2rem; font-size: .85rem; }
+.swatch { display: inline-block; width: .8em; height: .8em;
+          margin-right: .4em; border-radius: 2px; }
+.meta, .empty { color: #57606a; font-size: .85rem; }
+code { background: #f6f8fa; padding: .1em .3em; border-radius: 3px; }
+"""
+
+
+def _table(headers: Sequence[str], rows: List[Sequence[str]],
+           row_classes: Optional[List[str]] = None) -> str:
+    head = "".join(f"<th>{h}</th>" for h in headers)
+    body = []
+    for i, row in enumerate(rows):
+        cls = f" class='{row_classes[i]}'" if row_classes and row_classes[i] else ""
+        body.append(
+            f"<tr{cls}>" + "".join(f"<td>{cell}</td>" for cell in row) + "</tr>"
+        )
+    return (
+        f"<table><thead><tr>{head}</tr></thead>"
+        f"<tbody>{''.join(body)}</tbody></table>"
+    )
+
+
+def _render_stability(stability: List[dict]) -> str:
+    if not stability:
+        return "<p class='empty'>No variant has a scored fault rate.</p>"
+    rows = []
+    classes = []
+    for rank, entry in enumerate(stability, start=1):
+        rows.append(
+            [
+                str(rank),
+                html.escape(entry["run_id"]),
+                html.escape(entry["method"]),
+                f"{entry['p_sa']:g}",
+                _fmt(entry["acc_pretrain"]),
+                _fmt(entry["acc_retrain"]),
+                _fmt(entry["acc_defect"]),
+                _fmt(entry["stability_score"]),
+            ]
+        )
+        classes.append("best" if rank == 1 else "")
+    return _table(
+        ["#", "run", "method", "P_sa", "Acc_pre %", "Acc_re %",
+         "Acc_defect %", "Stability"],
+        rows,
+        classes,
+    )
+
+
+def _render_run(run: dict) -> str:
+    parts = [f"<h3><code>{html.escape(run['run_id'])}</code></h3>"]
+    config = ", ".join(
+        f"{html.escape(str(k))}={html.escape(str(v))}"
+        for k, v in run["config"].items()
+    )
+    sha = (run.get("git_sha") or "-")[:8]
+    parts.append(
+        f"<p class='meta'>git {html.escape(sha)} · "
+        f"{run['num_events']} events · "
+        f"duration {_fmt(run['duration_seconds'], 2)}s"
+        + (f" · {config}" if config else "")
+        + "</p>"
+    )
+    if run["spans"]:
+        parts.append(
+            _table(
+                ["span", "count", "seconds"],
+                [
+                    [html.escape(s["path"]), str(s["count"]),
+                     _fmt(s["seconds"], 3)]
+                    for s in run["spans"]
+                ],
+            )
+        )
+    res = run["resources"]
+    if res["samples"]:
+        parts.append(
+            _table(
+                ["samples (workers)", "peak RSS", "mean RSS", "CPU time",
+                 "heartbeats", "stalls"],
+                [[
+                    f"{res['samples']} ({res['worker_samples']})",
+                    _fmt_bytes(res["max_rss_bytes"]),
+                    _fmt_bytes(res["mean_rss_bytes"]),
+                    f"{_fmt(res['cpu_seconds'], 2)}s",
+                    str(res["heartbeats"]),
+                    str(res["stalls"]),
+                ]],
+            )
+        )
+    else:
+        parts.append(
+            "<p class='empty'>No resource samples (run recorded without "
+            "<code>resources=True</code>).</p>"
+        )
+    for cost in run["model_cost"]:
+        parts.append(
+            _table(
+                ["model", "params", "MACs", "FLOPs", "activations",
+                 "crossbar cells"],
+                [[
+                    html.escape(str(cost["model"])),
+                    str(cost["params"]),
+                    str(cost["macs"]),
+                    str(cost["flops"]),
+                    _fmt_bytes(cost["activation_bytes"]),
+                    str(cost["crossbar_cells"]),
+                ]],
+            )
+        )
+    return "".join(parts)
+
+
+def _render_bench(bench: List[dict]) -> str:
+    if not bench:
+        return "<p class='empty'>No BENCH_*.json baselines found.</p>"
+    rows = []
+    for trend in bench:
+        means = trend["means"]
+        latest = next(
+            (m for m in reversed(means) if m is not None), None
+        )
+        rows.append(
+            [
+                f"<code>{html.escape(trend['case'])}</code>",
+                _svg_sparkline(means),
+                f"{latest * 1e3:.3f} ms" if latest is not None else "-",
+            ]
+        )
+    labels = bench[0]["labels"] if bench else []
+    caption = (
+        f"<p class='meta'>across {html.escape(', '.join(labels))}</p>"
+        if labels
+        else ""
+    )
+    return caption + _table(["case", "trend", "latest mean"], rows)
+
+
+def render_report(report: dict) -> str:
+    """The report document as one self-contained HTML page."""
+    sections = [
+        "<!DOCTYPE html>",
+        "<html lang='en'><head><meta charset='utf-8'>",
+        "<title>repro telemetry report</title>",
+        f"<style>{_CSS}</style></head><body>",
+        "<h1>Fault-tolerant PIM — run dashboard</h1>",
+        f"<p class='meta'>{report['num_runs']} run(s) under "
+        f"<code>{html.escape(report['directory'])}</code></p>",
+        "<h2>Accuracy vs P<sub>sa</sub></h2>",
+        _svg_accuracy_chart(report["curves"]),
+        "<h2>Stability-Score ranking</h2>",
+        _render_stability(report["stability"]),
+        "<h2>Runs</h2>",
+    ]
+    sections.extend(_render_run(run) for run in report["runs"])
+    sections.append("<h2>Bench trends</h2>")
+    sections.append(_render_bench(report["bench"]))
+    sections.append("</body></html>")
+    return "\n".join(sections)
+
+
+def write_report(
+    directory: str,
+    output: Optional[str] = None,
+    bench_dir: Optional[str] = None,
+) -> str:
+    """Build and write the dashboard; returns the HTML file path."""
+    report = build_report(directory, bench_dir=bench_dir)
+    if output is None:
+        target = directory if os.path.isdir(directory) else os.path.dirname(directory)
+        output = os.path.join(target, REPORT_FILENAME)
+    parent = os.path.dirname(output)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(output, "w") as handle:
+        handle.write(render_report(report))
+    return output

@@ -65,6 +65,11 @@ class TelemetryRun:
     config:
         Arbitrary JSON-serialisable run provenance (scale, seed, argv…),
         stamped into the ``run_start`` event and ``run.json``.
+    resources:
+        When true, :meth:`start` attaches a
+        :class:`~repro.telemetry.ResourceMonitor` sampling thread to the
+        run (stopped automatically on :meth:`close`), and pooled
+        ``repro.parallel`` workers start their own monitor per chunk.
     """
 
     def __init__(
@@ -73,6 +78,7 @@ class TelemetryRun:
         sink: Optional[EventSink] = None,
         run_id: Optional[str] = None,
         config: Optional[dict] = None,
+        resources: bool = False,
     ) -> None:
         self.run_id = run_id if run_id is not None else new_run_id()
         self.config = dict(config) if config else {}
@@ -89,6 +95,9 @@ class TelemetryRun:
         self.spans = SpanTracker(self.events, self.metrics)
         self._closed = False
         self._started_at: Optional[float] = None
+        self._resources = bool(resources)
+        self.monitor = None
+        self._once_keys: set = set()
 
     def emit(self, kind: str, **fields) -> Optional[dict]:
         """Record one event (no-op on a disabled run)."""
@@ -100,9 +109,30 @@ class TelemetryRun:
         """Nestable timing scope (see :class:`SpanTracker`)."""
         return self.spans.span(name)
 
+    def once(self, key: str) -> bool:
+        """True the first time ``key`` is seen on this run, False after.
+
+        Lets instrumented call-sites emit expensive one-per-run events
+        (e.g. the static ``model_cost`` breakdown) from hot loops without
+        tracking state themselves.
+        """
+        if key in self._once_keys:
+            return False
+        self._once_keys.add(key)
+        return True
+
+    @property
+    def monitoring(self) -> bool:
+        """Whether this run wants resource sampling (parent and workers)."""
+        return self.enabled and self._resources
+
     def start(self) -> "TelemetryRun":
         self._started_at = time.time()
         self.emit("run_start", config=self.config, pid=os.getpid())
+        if self.monitoring:
+            from .monitor import ResourceMonitor
+
+            self.monitor = ResourceMonitor(run=self).start()
         return self
 
     def _provenance(self, finished_at: float) -> dict:
@@ -137,6 +167,9 @@ class TelemetryRun:
         if self._closed or not self.enabled:
             self._closed = True
             return
+        if self.monitor is not None:
+            self.monitor.stop()
+            self.monitor = None
         finished_at = time.time()
         provenance = self._provenance(finished_at)
         self.emit("run_end", duration_seconds=provenance["duration_seconds"])
@@ -182,6 +215,7 @@ def start_run(
     sink: Optional[EventSink] = None,
     run_id: Optional[str] = None,
     config: Optional[dict] = None,
+    resources: bool = False,
 ) -> TelemetryRun:
     """Begin a run and install it as the process-wide current run."""
     global _current
@@ -190,7 +224,11 @@ def start_run(
             "a telemetry run is already active; end_run() it first"
         )
     _current = TelemetryRun(
-        directory=directory, sink=sink, run_id=run_id, config=config
+        directory=directory,
+        sink=sink,
+        run_id=run_id,
+        config=config,
+        resources=resources,
     ).start()
     return _current
 
@@ -223,9 +261,16 @@ def session(
     sink: Optional[EventSink] = None,
     run_id: Optional[str] = None,
     config: Optional[dict] = None,
+    resources: bool = False,
 ):
     """``with telemetry.session(dir):`` — start_run/end_run bracketed."""
-    run = start_run(directory=directory, sink=sink, run_id=run_id, config=config)
+    run = start_run(
+        directory=directory,
+        sink=sink,
+        run_id=run_id,
+        config=config,
+        resources=resources,
+    )
     try:
         yield run
     finally:

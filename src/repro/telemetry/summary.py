@@ -11,6 +11,7 @@ the backing of ``python -m repro.experiments summary <run_dir>``.
 from __future__ import annotations
 
 import json
+import logging
 import os
 from typing import Dict, List, Optional
 
@@ -35,6 +36,10 @@ def find_run_dir(path: str) -> str:
     """
     if os.path.isfile(os.path.join(path, "events.jsonl")):
         return path
+    if not os.path.isdir(path):
+        # A file (or nothing at all): a clear error beats the
+        # NotADirectoryError traceback os.listdir would raise.
+        raise FileNotFoundError(f"not a run directory: {path!r}")
     candidates = sorted(
         entry
         for entry in os.listdir(path)
@@ -48,8 +53,16 @@ def find_run_dir(path: str) -> str:
 def _load_optional_json(path: str) -> Optional[dict]:
     if not os.path.isfile(path):
         return None
-    with open(path) as handle:
-        return json.load(handle)
+    try:
+        with open(path) as handle:
+            return json.load(handle)
+    except (json.JSONDecodeError, OSError) as exc:
+        # A half-written run.json/metrics.json (killed run) degrades the
+        # summary, it must not crash it.
+        logging.getLogger("repro.telemetry").warning(
+            "%s: unreadable run artefact (%s); ignoring", path, exc
+        )
+        return None
 
 
 def summarize_run(path: str) -> dict:
@@ -69,6 +82,8 @@ def summarize_run(path: str) -> dict:
         "defect": {},
         "spans": {},
         "fault_realization": None,
+        "model_cost": [],
+        "resources": None,
     }
     run_meta = _load_optional_json(os.path.join(run_dir, "run.json"))
     if run_meta:
@@ -80,6 +95,14 @@ def summarize_run(path: str) -> dict:
     by_kind: Dict[str, int] = {}
     draws: Dict[float, List[dict]] = {}
     faults = {"injections": 0, "cells": 0, "sa0": 0, "sa1": 0}
+    resources = {
+        "samples": 0,
+        "worker_samples": 0,
+        "max_rss_bytes": None,
+        "cpu_seconds": None,
+        "heartbeats": 0,
+        "stalls": 0,
+    }
     for event in events:
         kind = event["kind"]
         by_kind[kind] = by_kind.get(kind, 0) + 1
@@ -119,7 +142,38 @@ def summarize_run(path: str) -> dict:
             faults["cells"] += int(event.get("cells_total", 0))
             faults["sa0"] += int(event["sa0"])
             faults["sa1"] += int(event.get("sa1", 0))
+        elif kind == "model_cost":
+            summary["model_cost"].append(
+                {
+                    "model": event.get("model"),
+                    "params": event.get("params"),
+                    "macs": event.get("macs"),
+                    "flops": event.get("flops"),
+                    "activation_bytes": event.get("activation_bytes"),
+                    "crossbar_cells": event.get("crossbar_cells"),
+                }
+            )
+        elif kind == "resource_sample":
+            resources["samples"] += 1
+            if event.get("worker_pid") is not None:
+                resources["worker_samples"] += 1
+            rss = event.get("rss_bytes")
+            if isinstance(rss, (int, float)):
+                best = resources["max_rss_bytes"]
+                resources["max_rss_bytes"] = (
+                    rss if best is None else max(best, rss)
+                )
+            cpu = event.get("cpu_seconds")
+            # Last parent sample wins: CPU time is cumulative per process.
+            if isinstance(cpu, (int, float)) and event.get("worker_pid") is None:
+                resources["cpu_seconds"] = cpu
+        elif kind == "heartbeat":
+            resources["heartbeats"] += 1
+        elif kind == "progress_stall":
+            resources["stalls"] += 1
     summary["events_by_kind"] = dict(sorted(by_kind.items()))
+    if resources["samples"] or resources["heartbeats"] or resources["stalls"]:
+        summary["resources"] = resources
     if faults["injections"]:
         faulted = faults["sa0"] + faults["sa1"]
         faults["realized_p_sa"] = (
@@ -293,6 +347,46 @@ def render_summary(summary: dict, top: Optional[int] = None) -> str:
                 f", SA1 share {share:.3f} "
                 f"(nominal {faults['nominal_sa1_share']:.3f})"
                 if share is not None
+                else ""
+            )
+        )
+
+    for cost in summary.get("model_cost") or []:
+        lines.append("")
+        lines.append(
+            f"Model cost ({cost.get('model')}): "
+            f"{cost.get('params')} params, "
+            f"{cost.get('macs')} MACs, {cost.get('flops')} FLOPs, "
+            f"{cost.get('crossbar_cells')} crossbar cells"
+            + (
+                f", {cost['activation_bytes'] / 1024.0:.1f} KiB activations"
+                if isinstance(cost.get("activation_bytes"), (int, float))
+                else ""
+            )
+        )
+
+    resources = summary.get("resources")
+    if resources:
+        lines.append("")
+        peak = resources.get("max_rss_bytes")
+        cpu = resources.get("cpu_seconds")
+        lines.append(
+            f"Resources: {resources['samples']} samples "
+            f"({resources['worker_samples']} from workers)"
+            + (
+                f", peak RSS {peak / (1024.0 * 1024.0):.1f} MiB"
+                if isinstance(peak, (int, float))
+                else ""
+            )
+            + (
+                f", CPU {cpu:.2f}s"
+                if isinstance(cpu, (int, float))
+                else ""
+            )
+            + f", {resources['heartbeats']} heartbeats"
+            + (
+                f", {resources['stalls']} STALL WARNING(S)"
+                if resources["stalls"]
                 else ""
             )
         )

@@ -28,9 +28,9 @@ def rules_fired(findings):
 # -- registry ---------------------------------------------------------------
 
 
-def test_all_nine_rules_registered():
+def test_all_rules_registered():
     ids = [rule.id for rule in default_registry().rules()]
-    assert ids == [f"RL00{i}" for i in range(1, 10)]
+    assert ids == [f"RL{i:03d}" for i in range(1, 11)]
 
 
 def test_rule_metadata_complete():
@@ -481,6 +481,54 @@ def test_rl009_accepts_repro_parallel_and_unrelated_imports():
         module="repro.core.fine",
     )
     assert not rules_fired(findings)
+
+
+# -- RL010 walltime-duration ------------------------------------------------
+
+
+def test_rl010_flags_time_time_duration():
+    findings = lint_snippet(
+        """
+        import time
+
+        def slow_step():
+            start = time.time()
+            do_work()
+            return time.time() - start
+        """,
+        path="src/repro/core/slow.py",
+        module="repro.core.slow",
+    )
+    assert [f.rule for f in findings] == ["RL010", "RL010"]
+    assert all(f.severity == "warning" for f in findings)
+
+
+def test_rl010_allows_timing_module_and_perf_counter():
+    snippet = """
+        import time
+
+        def now():
+            return time.time()
+    """
+    # The sanctioned clock module may read whatever clock it wants.
+    assert not lint_snippet(
+        snippet,
+        path="src/repro/telemetry/timing.py",
+        module="repro.telemetry.timing",
+    )
+    # perf_counter is the recommended path and never fires.
+    assert not lint_snippet(
+        """
+        import time
+
+        def measure():
+            start = time.perf_counter()
+            do_work()
+            return time.perf_counter() - start
+        """,
+        path="src/repro/core/fast.py",
+        module="repro.core.fast",
+    )
 
 
 # -- suppressions -----------------------------------------------------------

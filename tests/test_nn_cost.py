@@ -1,0 +1,155 @@
+"""Tests for repro.nn.cost: hand-computed params/MACs/FLOPs/footprints."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.cost import (
+    ACTIVATION_BYTES,
+    CELLS_PER_WEIGHT,
+    LayerCost,
+    capture_shapes,
+    conv2d_output_shape,
+    crossbar_footprint,
+    model_cost,
+)
+
+
+def _rng():
+    return np.random.default_rng(0)
+
+
+# -- per-layer hand computations ---------------------------------------------
+
+
+def test_conv2d_cost_hand_computed():
+    # Conv2d(3 -> 8, k=3, pad=1) at (1, 3, 32, 32): output (1, 8, 32, 32).
+    model = nn.Conv2d(3, 8, 3, padding=1, rng=_rng())
+    cost = model_cost(model, (1, 3, 32, 32))
+    (layer,) = cost.layers
+    assert layer.kind == "Conv2d"
+    assert layer.output_shape == (1, 8, 32, 32)
+    assert layer.params == 3 * 3 * 3 * 8 + 8  # weights + bias = 224
+    out_elems = 8 * 32 * 32
+    assert layer.macs == out_elems * 3 * 9  # 221184
+    assert layer.flops == 2 * layer.macs + out_elems  # 450560 (bias adds)
+    assert layer.crossbar_cells == CELLS_PER_WEIGHT * 3 * 3 * 3 * 8
+    assert layer.activation_elems == out_elems
+    assert layer.activation_bytes == out_elems * ACTIVATION_BYTES
+
+
+def test_linear_cost_hand_computed():
+    model = nn.Linear(16, 4, rng=_rng())
+    cost = model_cost(model, (2, 16))
+    (layer,) = cost.layers
+    assert layer.params == 16 * 4 + 4
+    assert layer.macs == 2 * 4 * 16  # batch included
+    assert layer.flops == 2 * layer.macs + 2 * 4
+    assert layer.crossbar_cells == CELLS_PER_WEIGHT * 16 * 4
+
+
+def test_norm_activation_and_pool_costs():
+    model = nn.Sequential(
+        nn.BatchNorm2d(3),
+        nn.ReLU(),
+        nn.MaxPool2d(2),
+        nn.GlobalAvgPool2d(),
+    )
+    cost = model_cost(model, (1, 3, 8, 8))
+    by_kind = {layer.kind: layer for layer in cost.layers}
+    elems = 3 * 8 * 8
+    assert by_kind["BatchNorm2d"].flops == 2 * elems  # scale + shift
+    assert by_kind["BatchNorm2d"].macs == 0
+    assert by_kind["ReLU"].flops == elems
+    pooled = 3 * 4 * 4
+    assert by_kind["MaxPool2d"].flops == pooled * 4  # one FLOP per window elem
+    assert by_kind["GlobalAvgPool2d"].flops == pooled  # its input elements
+    assert by_kind["GlobalAvgPool2d"].output_shape == (1, 3)
+    # None of these own crossbar-resident weights.
+    assert cost.total_crossbar_cells == 0
+
+
+# -- aggregates --------------------------------------------------------------
+
+
+def test_totals_sum_layers_and_round_trip_json():
+    model = nn.Sequential(
+        nn.Conv2d(3, 8, 3, padding=1, rng=_rng()),
+        nn.ReLU(),
+        nn.GlobalAvgPool2d(),
+        nn.Linear(8, 4, rng=_rng()),
+    )
+    cost = model_cost(model, (1, 3, 16, 16))
+    assert cost.total_params == sum(l.params for l in cost.layers)
+    assert cost.total_macs == sum(l.macs for l in cost.layers)
+    assert cost.total_flops == sum(l.flops for l in cost.layers)
+    doc = cost.as_dict()
+    assert doc["params"] == cost.total_params
+    assert doc["input_shape"] == [1, 3, 16, 16]
+    assert len(doc["layers"]) == 4
+    import json
+
+    json.dumps(doc)  # must be JSON-serialisable as emitted by telemetry
+
+
+def test_totals_match_footprint_and_model_params():
+    model = nn.Sequential(
+        nn.Conv2d(3, 8, 3, padding=1, rng=_rng()),
+        nn.BatchNorm2d(8),
+        nn.Linear(8, 4, rng=_rng()),
+    )
+    footprint = crossbar_footprint(model)
+    total_params = sum(p.size for _, p in model.named_parameters())
+    assert footprint["params"] == total_params
+    weights = 3 * 3 * 3 * 8 + 8 * 4  # conv + linear weights only
+    assert footprint["crossbar_weights"] == weights
+    assert footprint["crossbar_cells"] == CELLS_PER_WEIGHT * weights
+
+
+# -- shape capture -----------------------------------------------------------
+
+
+def test_capture_shapes_restores_model_state():
+    model = nn.Sequential(nn.Conv2d(3, 4, 3, padding=1, rng=_rng()), nn.ReLU())
+    model.train(True)
+    shapes = capture_shapes(model, (1, 3, 8, 8))
+    assert shapes["layer0"] == ((1, 3, 8, 8), (1, 4, 8, 8))
+    assert model.training  # mode restored
+    # Shims removed: forward resolves through the class again.
+    x = np.zeros((1, 3, 8, 8))
+    assert model(x).shape == (1, 4, 8, 8)
+    assert "forward" not in model._modules["layer0"].__dict__
+
+
+def test_capture_shapes_handles_residual_wiring():
+    block = nn.Residual(
+        nn.Conv2d(4, 4, 3, padding=1, rng=_rng()), nn.Identity()
+    )
+    shapes = capture_shapes(block, (1, 4, 8, 8))
+    assert all(out == (1, 4, 8, 8) for _, out in shapes.values())
+
+
+def test_conv2d_output_shape_matches_forward():
+    layer = nn.Conv2d(3, 6, 3, stride=2, padding=1, rng=_rng())
+    x = np.zeros((2, 3, 15, 15))
+    assert conv2d_output_shape(layer, x.shape) == layer(x).shape
+
+
+def test_resnet8_cost_is_consistent():
+    from repro.models import resnet8
+
+    model = resnet8(num_classes=10, rng=_rng())
+    cost = model_cost(model, (1, 3, 16, 16))
+    footprint = crossbar_footprint(model)
+    assert cost.total_params == footprint["params"]
+    assert cost.total_crossbar_cells == footprint["crossbar_cells"]
+    assert cost.total_macs > 0
+
+
+def test_layer_cost_is_immutable():
+    layer = LayerCost(
+        name="l", kind="Linear", params=1, macs=1, flops=2,
+        activation_elems=1, crossbar_cells=2, output_shape=(1, 1),
+    )
+    with pytest.raises(Exception):
+        layer.params = 5

@@ -108,6 +108,23 @@ def test_read_events_skips_non_object_and_blank_lines(tmp_path):
     assert skipped == 2
 
 
+def test_corrupt_line_warning_names_file_and_lines(tmp_path, caplog):
+    path = str(tmp_path / "events.jsonl")
+    with open(path, "w") as handle:
+        handle.write('{"kind": "ok", "run_id": "r", "seq": 0, "ts": 1.0}\n')
+        handle.write("garbage\n")  # line 2
+        handle.write('{"kind": "ok2", "run_id": "r", "seq": 1, "ts": 2.0}\n')
+        handle.write("{truncated\n")  # line 4
+    with caplog.at_level("WARNING", logger="repro.telemetry"):
+        _, skipped = telemetry.read_events_with_errors(path)
+    assert skipped == 2
+    (record,) = caplog.records
+    message = record.getMessage()
+    # The operator can jump straight to the damage: path + line numbers.
+    assert path in message
+    assert "line 2, 4" in message
+
+
 def test_disabled_run_writes_no_files(tmp_path):
     """The null run (telemetry off) must never touch the filesystem."""
     run = telemetry.current()

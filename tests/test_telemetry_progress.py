@@ -1,0 +1,129 @@
+"""Tests for repro.telemetry.progress: heartbeat cadence, ETA, stalls."""
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry import MemorySink, ProgressTracker
+
+
+class FakeClock:
+    def __init__(self, t=0.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_run():
+    yield
+    telemetry.end_run()
+
+
+def _tracker(sink, **kwargs):
+    run = telemetry.start_run(sink=sink)
+    return ProgressTracker(run=run, **kwargs)
+
+
+def test_heartbeats_are_rate_limited():
+    sink = MemorySink()
+    clock = FakeClock()
+    tracker = _tracker(
+        sink, total=100, label="t", min_interval=1.0, clock=clock
+    )
+    for _ in range(10):
+        tracker.update()
+        clock.advance(0.2)
+    beats = [e for e in sink.events if e["kind"] == "heartbeat"]
+    # First update beats immediately; 10 updates over 1.8 s at >= 1 s
+    # spacing allow exactly one more.
+    assert len(beats) == 2
+    assert tracker.heartbeats == 2
+
+
+def test_heartbeat_reports_throughput_and_eta():
+    sink = MemorySink()
+    clock = FakeClock()
+    tracker = _tracker(
+        sink, total=40, label="eta", min_interval=0.0, clock=clock
+    )
+    clock.advance(2.0)
+    tracker.update(10)
+    (beat,) = [e for e in sink.events if e["kind"] == "heartbeat"]
+    assert beat["completed"] == 10
+    assert beat["total"] == 40
+    assert beat["elapsed_seconds"] == 2.0
+    assert beat["rate_per_second"] == 5.0
+    assert beat["eta_seconds"] == 30 / 5.0
+    assert beat["label"] == "eta"
+
+
+def test_finish_emits_final_heartbeat_and_unknown_total_omits_eta():
+    sink = MemorySink()
+    clock = FakeClock()
+    tracker = _tracker(
+        sink, total=None, label="open", min_interval=100.0, clock=clock
+    )
+    clock.advance(1.0)
+    tracker.update(3)
+    clock.advance(1.0)
+    tracker.finish()
+    beats = [e for e in sink.events if e["kind"] == "heartbeat"]
+    assert len(beats) == 2  # first update + finish, rate limit ignored
+    assert beats[-1]["completed"] == 3
+    assert beats[-1]["total"] is None
+    assert beats[-1]["eta_seconds"] is None
+
+
+def test_stall_emits_once_and_rearms_on_progress():
+    sink = MemorySink()
+    clock = FakeClock()
+    tracker = _tracker(
+        sink, total=10, label="s", min_interval=0.0,
+        stall_timeout=5.0, clock=clock,
+    )
+    assert not tracker.check_stall()
+    clock.advance(6.0)
+    assert tracker.check_stall()
+    assert tracker.check_stall()  # still stalled; no second event
+    stalls = [e for e in sink.events if e["kind"] == "progress_stall"]
+    assert len(stalls) == 1
+    assert stalls[0]["idle_seconds"] == 6.0
+    assert stalls[0]["stall_timeout"] == 5.0
+    # Progress re-arms the detector; a fresh stall emits again.
+    tracker.update()
+    assert not tracker.check_stall()
+    clock.advance(6.0)
+    assert tracker.check_stall()
+    assert tracker.stalls == 2
+    run = telemetry.current()
+    assert run.metrics.snapshot()["counters"]["progress/stalls_total"] == 2
+
+
+def test_disabled_run_emits_nothing():
+    tracker = ProgressTracker(
+        total=5, label="off", run=telemetry.NULL_RUN, min_interval=0.0
+    )
+    tracker.update(5)
+    tracker.finish()
+    assert tracker.check_stall() is False
+    assert tracker.heartbeats == 0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ProgressTracker(total=-1, label="x", run=telemetry.NULL_RUN)
+    with pytest.raises(ValueError):
+        ProgressTracker(
+            total=1, label="x", run=telemetry.NULL_RUN, min_interval=-1
+        )
+    with pytest.raises(ValueError):
+        ProgressTracker(
+            total=1, label="x", run=telemetry.NULL_RUN, stall_timeout=0
+        )
+    tracker = ProgressTracker(total=1, label="x", run=telemetry.NULL_RUN)
+    with pytest.raises(ValueError):
+        tracker.update(-1)
