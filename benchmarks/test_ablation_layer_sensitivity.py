@@ -12,6 +12,7 @@ import numpy as np
 
 from repro.core import layer_sensitivity
 from repro.experiments.runner import make_loaders, pretrain_model
+from repro.experiments.tables import render_sensitivity
 
 
 def test_layer_sensitivity_ablation(run_once, bench_scale):
@@ -31,12 +32,14 @@ def test_layer_sensitivity_ablation(run_once, bench_scale):
 
     acc_pre, results = run_once(run)
     print()
-    print(f"Ablation D: per-layer sensitivity at rate {rate} "
-          f"(pretrain {acc_pre:.2f}%)")
-    print(f"{'tensor':<42} {'#weights':>9} {'acc %':>8} {'drop pp':>8}")
-    for s in results:
-        print(f"{s.name:<42} {s.num_weights:>9} {s.mean_accuracy:>8.2f} "
-              f"{s.accuracy_drop:>8.2f}")
+    print(render_sensitivity(
+        f"Ablation D: per-layer sensitivity at rate {rate} "
+        f"(pretrain {acc_pre:.2f}%)",
+        results,
+    ))
+    # The new spread statistics are populated for every tensor.
+    assert all(s.num_runs == scale.defect_runs for s in results)
+    assert all(s.std_accuracy >= 0.0 for s in results)
 
     # Single-layer faults hurt less than whole-model faults would; at
     # least one layer must show a real drop, and the ranking is sorted.

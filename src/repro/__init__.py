@@ -23,6 +23,7 @@ from . import (
     core,
     datasets,
     experiments,
+    forensics,
     models,
     nn,
     parallel,
@@ -63,6 +64,7 @@ __all__ = [
     "parallel",
     "pruning",
     "experiments",
+    "forensics",
     "baselines",
     "quantization",
     "seeding",

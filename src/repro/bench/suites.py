@@ -15,6 +15,10 @@ kernels the paper's pipeline spends its time in:
 * ``eval/defect_draw`` — one full draw of the paper's testing protocol
   (inject → evaluate → restore), the unit repeated 100× per reported
   accuracy;
+* ``forensics/probe_overhead`` — one forensic deviation-probe draw
+  (clean + faulted forwards with activation taps on every leaf), the
+  extra work each Monte Carlo draw pays when forensics is enabled —
+  compare against ``eval/defect_draw`` for the tap overhead;
 * ``parallel/defect_eval_serial`` / ``parallel/defect_eval_workers2`` —
   the same multi-draw evaluation serial vs. through a 2-worker
   ``repro.parallel`` pool, so BENCH comparisons track the
@@ -285,6 +289,36 @@ def _defect_draw(state):
         num_runs=1,
         seed=0,
     )
+
+
+def _probe_setup(params: dict, rng: np.random.Generator) -> dict:
+    from ..forensics import DeviationProbe
+    from ..reram.deploy import crossbar_parameters
+    from ..reram.faults import WeightSpaceFaultModel
+
+    state = _eval_setup(params, rng)
+    fault_model = WeightSpaceFaultModel()
+    faulted = {
+        name: fault_model.apply(param.data.copy(), params["p_sa"], rng)
+        for name, param in crossbar_parameters(state["model"])
+    }
+    state["probe"] = DeviationProbe(state["model"])
+    state["faulted"] = faulted
+    return state
+
+
+@benchmark(
+    "forensics/probe_overhead",
+    params={
+        "fast": {"classes": 10, "width": 8, "image": 8, "samples": 32, "p_sa": 0.05},
+        "full": {"classes": 10, "width": 16, "image": 12, "samples": 128, "p_sa": 0.05},
+    },
+    setup=_probe_setup,
+    description="One forensic deviation-probe draw: clean + faulted "
+    "forwards with activation taps on every leaf module",
+)
+def _probe_overhead(state):
+    return state["probe"].compare(state["loader"], state["faulted"])
 
 
 def _parallel_eval_setup(params: dict, rng: np.random.Generator) -> dict:

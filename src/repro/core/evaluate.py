@@ -22,8 +22,11 @@ import numpy as np
 
 from .. import nn
 from ..datasets.loader import DataLoader
+from ..forensics import DeviationProbe, ForensicsConfig
+from ..forensics.aggregate import aggregate_payloads
 from ..nn.cost import crossbar_footprint, model_cost
 from ..parallel import Broadcast, ModelBroadcast, ParallelMap
+from ..reram.deploy import crossbar_parameters
 from ..reram.faults import WeightSpaceFaultModel
 from ..seeding import draw_streams, resolve_base_seed
 from ..telemetry import current as _telemetry
@@ -144,6 +147,50 @@ def _defect_draw_task(task: tuple, context: Dict[str, Any]) -> float:
     return accuracy
 
 
+def _forensic_draw_task(task: tuple, context: Dict[str, Any]) -> tuple:
+    """Forensic twin of :func:`_defect_draw_task`.
+
+    Draws the fault pattern through the *same* injector call (identical
+    RNG consumption and ``fault_inject`` event), then replays the draw
+    through a :class:`~repro.forensics.DeviationProbe` instead of a plain
+    evaluation.  Returns ``(accuracy, payload)`` — the accuracy is
+    bit-identical to what :func:`_defect_draw_task` would have returned.
+    """
+    draw, draw_seed, seed_stream = task
+    model = context["model"]
+    cfg = context["cfg"]
+    rng = np.random.default_rng(seed_stream)
+    injector = FaultInjector(model, fault_model=cfg.fault_model, rng=rng)
+    injector.inject(cfg.p_sa)
+    try:
+        faulted = {
+            name: param.data.copy()
+            for name, param in crossbar_parameters(model)
+        }
+    finally:
+        injector.restore()
+    probe = DeviationProbe(model, context["forensics"])
+    accuracy, payload = probe.compare(context["loader"], faulted)
+    telemetry = _telemetry()
+    telemetry.metrics.counter("eval/fault_draws_total").inc()
+    telemetry.metrics.histogram("eval/defect_accuracy").observe(accuracy)
+    telemetry.metrics.counter("forensics/draws_total").inc()
+    telemetry.metrics.counter("forensics/prediction_flips_total").inc(
+        int(payload["num_flipped"])
+    )
+    telemetry.emit(
+        "defect_draw",
+        p_sa=cfg.p_sa,
+        draw=draw,
+        seed=draw_seed,
+        accuracy=accuracy,
+    )
+    telemetry.emit(
+        "forensics_draw", p_sa=cfg.p_sa, draw=draw, seed=draw_seed, **payload
+    )
+    return accuracy, payload
+
+
 @dataclass
 class DefectEvaluation:
     """Result of a multi-run defect evaluation.
@@ -163,6 +210,12 @@ class DefectEvaluation:
         used generator ``default_rng(seed + i)``); ``None`` when a live
         ``rng`` was supplied and the per-draw patterns are not
         reconstructable from the result alone.
+    forensics:
+        Aggregated per-layer deviation statistics (see
+        :func:`repro.forensics.aggregate_payloads`) when the evaluation
+        ran with a :class:`~repro.forensics.ForensicsConfig`; ``None``
+        otherwise.  Folded in draw order, so bit-identical at any worker
+        count.
     """
 
     p_sa: float
@@ -170,6 +223,7 @@ class DefectEvaluation:
     std_accuracy: float
     run_accuracies: List[float] = field(default_factory=list)
     seed: Optional[int] = None
+    forensics: Optional[Dict[str, Any]] = None
 
     @property
     def num_runs(self) -> int:
@@ -194,6 +248,7 @@ def evaluate_defect_accuracy(
     fault_model: Optional[WeightSpaceFaultModel] = None,
     seed: Optional[int] = None,
     workers: Optional[int] = None,
+    forensics: Optional[ForensicsConfig] = None,
 ) -> DefectEvaluation:
     """Average accuracy over ``num_runs`` independent fault draws.
 
@@ -215,6 +270,15 @@ def evaluate_defect_accuracy(
     ``rng`` protocol is order-dependent by construction, so it always
     runs serial — asking for workers with an ``rng`` records a telemetry
     fallback rather than silently changing the stream discipline.
+
+    ``forensics`` enables fault forensics: each draw is replayed through
+    a :class:`~repro.forensics.DeviationProbe` (clean vs faulted forwards
+    over the same batches), per-draw ``forensics_draw`` events are
+    emitted, and the draw-order aggregate lands on the result's
+    ``forensics`` attribute and a ``forensics_eval`` event.  Accuracy
+    numbers are unchanged — the probe evaluates the exact same fault
+    patterns.  At ``p_sa=0`` there is nothing to trace and forensics is
+    skipped along with the Monte Carlo loop.
     """
     if num_runs < 1:
         raise ValueError("num_runs must be >= 1")
@@ -256,28 +320,51 @@ def evaluate_defect_accuracy(
         tasks = [
             (draw, base_seed + draw, streams[draw]) for draw in range(num_runs)
         ]
+    task_fn = _forensic_draw_task if forensics is not None else _defect_draw_task
     if rng is None and pmap.workers > 1:
-        accuracies = pmap.map(
-            _defect_draw_task,
+        results = pmap.map(
+            task_fn,
             tasks,
-            Broadcast(model=ModelBroadcast(model), loader=loader, cfg=cfg),
+            Broadcast(
+                model=ModelBroadcast(model),
+                loader=loader,
+                cfg=cfg,
+                forensics=forensics,
+            ),
         )
     else:
-        context = {"model": model, "loader": loader, "cfg": cfg}
+        context = {
+            "model": model,
+            "loader": loader,
+            "cfg": cfg,
+            "forensics": forensics,
+        }
         tracker = ProgressTracker(
             total=len(tasks), label=f"defect_eval p_sa={p_sa:g}"
         )
-        accuracies = []
+        results = []
         for task in tasks:
-            accuracies.append(_defect_draw_task(task, context))
+            results.append(task_fn(task, context))
             tracker.update()
         tracker.finish()
+    aggregate = None
+    if forensics is not None:
+        accuracies = [accuracy for accuracy, _ in results]
+        # Fold in draw (task) order — ParallelMap returns results in task
+        # order, so the aggregate is bit-identical at any worker count.
+        aggregate = aggregate_payloads([payload for _, payload in results])
+        aggregate["p_sa"] = p_sa
+        aggregate["target"] = None
+        telemetry.emit("forensics_eval", seed=base_seed, **aggregate)
+    else:
+        accuracies = results
     evaluation = DefectEvaluation(
         p_sa,
         float(np.mean(accuracies)),
         float(np.std(accuracies)),
         accuracies,
         seed=base_seed,
+        forensics=aggregate,
     )
     telemetry.emit(
         "defect_eval",

@@ -16,6 +16,8 @@ import numpy as np
 
 from .. import nn
 from ..datasets.loader import DataLoader
+from ..forensics import DeviationProbe, ForensicsConfig
+from ..forensics.aggregate import aggregate_payloads
 from ..parallel import Broadcast, ModelBroadcast, ParallelMap
 from ..reram.deploy import crossbar_parameters
 from ..reram.faults import WeightSpaceFaultModel
@@ -28,12 +30,19 @@ __all__ = ["LayerSensitivity", "layer_sensitivity"]
 
 @dataclass
 class LayerSensitivity:
-    """Sensitivity of one tensor: accuracy when only it is faulted."""
+    """Sensitivity of one tensor: accuracy when only it is faulted.
+
+    ``std_accuracy`` is the spread over the ``num_runs`` Monte Carlo
+    draws behind ``mean_accuracy`` — two layers with the same mean drop
+    but very different stds call for different mitigation budgets.
+    """
 
     name: str
     num_weights: int
     mean_accuracy: float
     accuracy_drop: float
+    std_accuracy: float = 0.0
+    num_runs: int = 0
 
 
 def _faulted_layer_accuracy(
@@ -74,6 +83,41 @@ def _layer_draw_task(task: tuple, context: Dict[str, Any]) -> float:
     )
 
 
+def _forensic_layer_task(task: tuple, context: Dict[str, Any]) -> tuple:
+    """Forensic twin of :func:`_layer_draw_task`.
+
+    Materialises the single-tensor fault draw with the same
+    ``fault_model.apply`` RNG consumption, then replays it through a
+    :class:`~repro.forensics.DeviationProbe`: the returned accuracy is
+    bit-identical to the plain cell, and the payload traces how the one
+    faulted tensor's error propagates through the *other* layers.
+    """
+    name, draw, seed_stream = task
+    model = context["model"]
+    param = dict(crossbar_parameters(model))[name]
+    rng = np.random.default_rng(seed_stream)
+    faulted = {
+        name: context["fault_model"].apply(
+            param.data.copy(), context["p_sa"], rng
+        )
+    }
+    probe = DeviationProbe(model, context["forensics"])
+    accuracy, payload = probe.compare(context["loader"], faulted)
+    telemetry = _telemetry()
+    telemetry.metrics.counter("forensics/draws_total").inc()
+    telemetry.metrics.counter("forensics/prediction_flips_total").inc(
+        int(payload["num_flipped"])
+    )
+    telemetry.emit(
+        "forensics_draw",
+        p_sa=context["p_sa"],
+        target=name,
+        draw=draw,
+        **payload,
+    )
+    return accuracy, payload
+
+
 def layer_sensitivity(
     model: nn.Module,
     loader: DataLoader,
@@ -83,6 +127,7 @@ def layer_sensitivity(
     fault_model: Optional[WeightSpaceFaultModel] = None,
     seed: Optional[int] = None,
     workers: Optional[int] = None,
+    forensics: Optional[ForensicsConfig] = None,
 ) -> List[LayerSensitivity]:
     """Fault each crossbar-resident tensor in isolation.
 
@@ -96,6 +141,13 @@ def layer_sensitivity(
     evaluate on a ``repro.parallel`` pool with bit-identical results at
     any worker count.  With neither, a base seed is drawn from the
     process-wide policy stream.
+
+    ``forensics`` replays every (layer, run) cell through a
+    :class:`~repro.forensics.DeviationProbe`: one ``forensics_draw``
+    event per cell (tagged ``target=<faulted tensor>``) and one
+    draw-order-aggregated ``forensics_eval`` event per target layer,
+    tracing how each tensor's faults propagate through the rest of the
+    network.  Accuracy numbers are unchanged.
     """
     if num_runs < 1:
         raise ValueError("num_runs must be >= 1")
@@ -105,6 +157,7 @@ def layer_sensitivity(
     targets = crossbar_parameters(model)
     clean = evaluate_accuracy(model, loader)
     pmap = ParallelMap(workers)
+    payloads: Optional[List[dict]] = None
     if rng is not None:
         if pmap.workers > 1:
             telemetry = _telemetry()
@@ -115,51 +168,95 @@ def layer_sensitivity(
                 workers=pmap.workers,
             )
         accuracies: List[float] = []
-        for name, param in targets:
-            pristine = param.data.copy()
-            for _ in range(num_runs):
-                accuracies.append(
-                    _faulted_layer_accuracy(
-                        model, loader, param, pristine, fault_model, p_sa, rng
-                    )
-                )
-    else:
-        base_seed = resolve_base_seed(seed)
-        streams = draw_streams(base_seed, len(targets) * num_runs)
-        tasks = [
-            (name, streams[i * num_runs + j])
-            for i, (name, _) in enumerate(targets)
-            for j in range(num_runs)
-        ]
-        if pmap.workers > 1:
-            accuracies = pmap.map(
-                _layer_draw_task,
-                tasks,
-                Broadcast(
-                    model=ModelBroadcast(model),
-                    loader=loader,
-                    fault_model=fault_model,
-                    p_sa=p_sa,
-                ),
-            )
-        else:
+        if forensics is not None:
+            payloads = []
             context = {
                 "model": model,
                 "loader": loader,
                 "fault_model": fault_model,
                 "p_sa": p_sa,
+                "forensics": forensics,
             }
-            accuracies = [_layer_draw_task(task, context) for task in tasks]
+            for name, _ in targets:
+                for j in range(num_runs):
+                    accuracy, payload = _forensic_layer_task(
+                        (name, j, rng), context
+                    )
+                    accuracies.append(accuracy)
+                    payloads.append(payload)
+        else:
+            for name, param in targets:
+                pristine = param.data.copy()
+                for _ in range(num_runs):
+                    accuracies.append(
+                        _faulted_layer_accuracy(
+                            model, loader, param, pristine, fault_model,
+                            p_sa, rng,
+                        )
+                    )
+    else:
+        base_seed = resolve_base_seed(seed)
+        streams = draw_streams(base_seed, len(targets) * num_runs)
+        context = {
+            "model": model,
+            "loader": loader,
+            "fault_model": fault_model,
+            "p_sa": p_sa,
+            "forensics": forensics,
+        }
+        broadcast = Broadcast(
+            model=ModelBroadcast(model),
+            loader=loader,
+            fault_model=fault_model,
+            p_sa=p_sa,
+            forensics=forensics,
+        )
+        if forensics is not None:
+            tasks = [
+                (name, j, streams[i * num_runs + j])
+                for i, (name, _) in enumerate(targets)
+                for j in range(num_runs)
+            ]
+            if pmap.workers > 1:
+                cells = pmap.map(_forensic_layer_task, tasks, broadcast)
+            else:
+                cells = [_forensic_layer_task(task, context) for task in tasks]
+            accuracies = [accuracy for accuracy, _ in cells]
+            payloads = [payload for _, payload in cells]
+        else:
+            tasks = [
+                (name, streams[i * num_runs + j])
+                for i, (name, _) in enumerate(targets)
+                for j in range(num_runs)
+            ]
+            if pmap.workers > 1:
+                accuracies = pmap.map(_layer_draw_task, tasks, broadcast)
+            else:
+                accuracies = [
+                    _layer_draw_task(task, context) for task in tasks
+                ]
     results: List[LayerSensitivity] = []
     for i, (name, param) in enumerate(targets):
-        mean_acc = float(np.mean(accuracies[i * num_runs : (i + 1) * num_runs]))
+        cell_accuracies = accuracies[i * num_runs : (i + 1) * num_runs]
+        mean_acc = float(np.mean(cell_accuracies))
         results.append(
             LayerSensitivity(
                 name=name,
                 num_weights=param.size,
                 mean_accuracy=mean_acc,
                 accuracy_drop=clean - mean_acc,
+                std_accuracy=float(np.std(cell_accuracies)),
+                num_runs=num_runs,
             )
         )
+        if payloads is not None:
+            # Per-target fold in draw order: bit-identical at any worker
+            # count, matching the defect-eval aggregation contract.
+            aggregate = aggregate_payloads(
+                payloads[i * num_runs : (i + 1) * num_runs]
+            )
+            aggregate["p_sa"] = p_sa
+            aggregate["target"] = name
+            _telemetry().emit("forensics_eval", **aggregate)
     results.sort(key=lambda s: s.accuracy_drop, reverse=True)
     return results

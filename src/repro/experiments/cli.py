@@ -86,6 +86,13 @@ def build_parser() -> argparse.ArgumentParser:
         "bit-identical at any count)",
     )
     parser.add_argument(
+        "--forensics",
+        action="store_true",
+        help="record per-layer fault-forensics deviation probes during "
+        "defect evaluation (adds one clean forward per draw; view with "
+        "`python -m repro.telemetry forensics`)",
+    )
+    parser.add_argument(
         "--telemetry-dir",
         default=None,
         help="record a structured event log + metrics snapshot for this "
@@ -221,6 +228,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ValueError as exc:
         print(f"repro.experiments: {exc}", file=sys.stderr)
         return 2
+    if args.forensics:
+        scale = scale.with_overrides(forensics=True)
     verbose = not args.quiet
 
     if args.telemetry_dir is not None:
@@ -230,6 +239,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             "dataset": args.dataset,
             "seed": scale.seed,
             "workers": scale.workers,
+            "forensics": scale.forensics,
         }
         with telemetry.session(
             args.telemetry_dir, config=config, resources=True

@@ -86,6 +86,11 @@ class ExperimentScale:
     #: (see ``docs/PARALLELISM.md``).  The CLI maps ``--workers`` /
     #: ``REPRO_WORKERS`` onto this field.
     workers: int = 0
+    #: Record fault forensics (per-layer deviation probes) during defect
+    #: evaluation.  Observability only: accuracy numbers are unchanged,
+    #: but every draw pays an extra clean forward pass.  The CLI maps
+    #: ``--forensics`` onto this field.
+    forensics: bool = False
 
     def with_overrides(self, **kwargs) -> "ExperimentScale":
         """A copy of this scale with the given fields replaced."""

@@ -26,6 +26,7 @@ from ..core import (
     evaluate_defect_accuracy,
 )
 from ..datasets import DataLoader, make_synthetic_pair
+from ..forensics import ForensicsConfig
 from ..models import build_model
 from ..reram.faults import WeightSpaceFaultModel
 from ..telemetry import current as _telemetry
@@ -268,6 +269,7 @@ def evaluate_defect_grid(
     seed: int = 0,
     fault_model: Optional[WeightSpaceFaultModel] = None,
     workers: int = 0,
+    forensics: Optional[ForensicsConfig] = None,
 ) -> Dict[float, float]:
     """Mean defect accuracy at every testing rate (paper's test protocol).
 
@@ -276,7 +278,10 @@ def evaluate_defect_grid(
     pattern behind a table cell can be re-materialised from the telemetry
     event log.  ``workers`` fans the draws of each rate out over a
     ``repro.parallel`` pool; the seed blocks make the grid bit-identical
-    at any worker count.
+    at any worker count.  ``forensics`` threads a
+    :class:`~repro.forensics.ForensicsConfig` into every evaluation, so
+    the recorded run carries the per-layer deviation heatmap (layers ×
+    P_sa) the dashboard and ``telemetry forensics`` CLI render.
     """
     telemetry = _telemetry()
     results: Dict[float, float] = {}
@@ -290,6 +295,7 @@ def evaluate_defect_grid(
                 seed=seed + int(rate * 1e6),
                 fault_model=fault_model,
                 workers=workers,
+                forensics=forensics,
             )
             results[rate] = evaluation.mean_accuracy
     return results
@@ -333,6 +339,7 @@ def method_report(
         seed=scale.seed + 30,
         fault_model=fault_model,
         workers=scale.workers,
+        forensics=ForensicsConfig() if scale.forensics else None,
     )
     for rate, accuracy in grid.items():
         report.add_defect(rate, accuracy)

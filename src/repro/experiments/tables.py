@@ -10,7 +10,12 @@ from typing import Dict, List, Sequence
 
 from ..core.report import AccuracyReport
 
-__all__ = ["render_table1", "render_table2_rows", "render_series"]
+__all__ = [
+    "render_table1",
+    "render_table2_rows",
+    "render_series",
+    "render_sensitivity",
+]
 
 
 def _format_rate(rate: float) -> str:
@@ -100,6 +105,31 @@ def render_series(
     rows = []
     for name, curve in series.items():
         rows.append([name] + [f"{curve[r]:.2f}" for r in rates])
+    return _render_grid(title, header, rows)
+
+
+def render_sensitivity(title: str, results: Sequence) -> str:
+    """Render a :func:`~repro.core.layer_sensitivity` sweep as a table.
+
+    One row per tensor, sorted as given (the sweep already ranks by
+    accuracy drop): weight count, mean/std accuracy over the Monte Carlo
+    draws, drop in percentage points, and the draw count behind the
+    statistics.
+    """
+    if not results:
+        raise ValueError("no sensitivity results to render")
+    header = ["Tensor", "#weights", "Acc %", "Std", "Drop pp", "Draws"]
+    rows = [
+        [
+            s.name,
+            str(s.num_weights),
+            f"{s.mean_accuracy:.2f}",
+            f"{s.std_accuracy:.2f}",
+            f"{s.accuracy_drop:.2f}",
+            str(s.num_runs),
+        ]
+        for s in results
+    ]
     return _render_grid(title, header, rows)
 
 

@@ -1,0 +1,165 @@
+"""Order-deterministic aggregation of fault-forensics draw payloads.
+
+The bit-identical-at-any-worker-count contract of ``repro.parallel``
+extends to forensics: per-draw payloads carry *raw accumulator sums*
+(squared deviations, dot products, element counts), and this module folds
+them in draw order with plain float addition.  Because ``ParallelMap.map``
+returns results in task order regardless of scheduling, the parent-side
+fold visits draws ``0, 1, 2, …`` no matter how many workers ran them —
+the aggregate is a pure function of the ordered payload list.
+
+Offline consumers (the ``telemetry forensics`` CLI, the run summary and
+the HTML dashboard) rebuild the same aggregates from ``forensics_draw``
+events by sorting on the draw index first, so a recorded run reproduces
+the numbers the parent computed live.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import OrderedDict
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+__all__ = [
+    "LAYER_SUM_FIELDS",
+    "DRAW_SUM_FIELDS",
+    "finalize_layer",
+    "aggregate_payloads",
+    "aggregate_events",
+    "deviation_matrix",
+]
+
+#: Per-layer raw accumulators carried by every draw payload (summable).
+LAYER_SUM_FIELDS = (
+    "sum_sq_dev",
+    "sum_sq_clean",
+    "sum_dot",
+    "sum_sq_fault",
+    "perturbed",
+    "elements",
+    "first_divergence",
+)
+
+#: Per-draw scalar accumulators (summable).
+DRAW_SUM_FIELDS = ("num_samples", "num_flipped", "undiverged_flips")
+
+
+def finalize_layer(sums: Mapping[str, float]) -> Dict[str, object]:
+    """Derive the reported deviation metrics from one layer's raw sums.
+
+    Returns the sums plus:
+
+    * ``rel_l2`` — ``sqrt(Σ‖f-c‖² / Σ‖c‖²)``, the relative L2 deviation;
+    * ``cosine`` — ``Σ⟨c,f⟩ / (‖c‖‖f‖)`` over all elements;
+    * ``snr_db`` — ``10·log10(Σ‖c‖² / Σ‖f-c‖²)``;
+    * ``frac_perturbed`` — fraction of activation elements changed at all.
+
+    Metrics whose denominators vanish (a clean signal of exactly zero, or
+    zero deviation — infinite SNR) are reported as ``None`` rather than
+    ``inf``/NaN so the payloads stay JSON-clean.
+    """
+    out: Dict[str, object] = {key: sums[key] for key in LAYER_SUM_FIELDS}
+    sq_dev = float(sums["sum_sq_dev"])
+    sq_clean = float(sums["sum_sq_clean"])
+    sq_fault = float(sums["sum_sq_fault"])
+    elements = int(sums["elements"])
+    out["rel_l2"] = (
+        math.sqrt(sq_dev / sq_clean) if sq_clean > 0.0 else None
+    )
+    norm = math.sqrt(sq_clean * sq_fault)
+    out["cosine"] = float(sums["sum_dot"]) / norm if norm > 0.0 else None
+    out["snr_db"] = (
+        10.0 * math.log10(sq_clean / sq_dev)
+        if sq_clean > 0.0 and sq_dev > 0.0
+        else None
+    )
+    out["frac_perturbed"] = (
+        int(sums["perturbed"]) / elements if elements > 0 else None
+    )
+    return out
+
+
+def aggregate_payloads(payloads: Sequence[Mapping]) -> Dict[str, object]:
+    """Fold draw payloads (in the given order) into one aggregate.
+
+    Layers are keyed by name in order of first appearance, which for
+    payloads produced by one probe is the model's forward order.  The
+    result has the same shape as a draw payload plus ``num_draws``.
+    """
+    layers: "OrderedDict[str, Dict[str, float]]" = OrderedDict()
+    totals: Dict[str, float] = {key: 0 for key in DRAW_SUM_FIELDS}
+    for payload in payloads:
+        for key in DRAW_SUM_FIELDS:
+            totals[key] += payload[key]
+        for entry in payload["layers"]:
+            sums = layers.setdefault(
+                entry["layer"], {key: 0 for key in LAYER_SUM_FIELDS}
+            )
+            for key in LAYER_SUM_FIELDS:
+                sums[key] += entry[key]
+    aggregate: Dict[str, object] = {"num_draws": len(payloads)}
+    aggregate.update(totals)
+    aggregate["layers"] = [
+        dict(finalize_layer(sums), layer=name) for name, sums in layers.items()
+    ]
+    return aggregate
+
+
+def _group_key(event: Mapping) -> tuple:
+    target = event.get("target")
+    return (target is not None, target or "", float(event.get("p_sa", 0.0)))
+
+
+def aggregate_events(
+    events: Iterable[Mapping], kind: str = "forensics_draw"
+) -> List[Dict[str, object]]:
+    """Rebuild per-``(target, p_sa)`` aggregates from recorded events.
+
+    Draws inside each group are sorted by their ``draw`` index before
+    folding, so the result is bit-identical to the parent-side aggregate
+    regardless of the order events landed in the log (worker events are
+    re-emitted in chunk-completion order).  Groups come back sorted:
+    whole-model probes (no ``target``) first by ``p_sa``, then
+    per-target-layer probes by ``(target, p_sa)``.
+    """
+    groups: Dict[tuple, List[Mapping]] = {}
+    for event in events:
+        if event.get("kind") != kind:
+            continue
+        groups.setdefault(_group_key(event), []).append(event)
+    results: List[Dict[str, object]] = []
+    for key in sorted(groups):
+        draws = sorted(groups[key], key=lambda e: e.get("draw", 0))
+        aggregate = aggregate_payloads(draws)
+        aggregate["p_sa"] = key[2]
+        aggregate["target"] = key[1] if key[0] else None
+        results.append(aggregate)
+    return results
+
+
+def deviation_matrix(
+    aggregates: Sequence[Mapping], metric: str = "rel_l2"
+) -> "tuple[List[str], List[float], Dict[tuple, Optional[float]]]":
+    """Pivot whole-model aggregates into a (layer × p_sa) cell map.
+
+    Returns ``(layer_names, p_sa_values, cells)`` where ``cells`` maps
+    ``(layer, p_sa)`` to the metric value (``None`` where undefined).
+    Layer order follows the first aggregate's forward order; rates are
+    ascending.  Per-target aggregates (``target`` set) are ignored — the
+    heatmap is the whole-model view.
+    """
+    layer_names: List[str] = []
+    rates: List[float] = []
+    cells: Dict[tuple, Optional[float]] = {}
+    for aggregate in aggregates:
+        if aggregate.get("target"):
+            continue
+        p_sa = float(aggregate.get("p_sa", 0.0))
+        if p_sa not in rates:
+            rates.append(p_sa)
+        for entry in aggregate["layers"]:
+            name = entry["layer"]
+            if name not in layer_names:
+                layer_names.append(name)
+            cells[(name, p_sa)] = entry.get(metric)
+    return layer_names, sorted(rates), cells

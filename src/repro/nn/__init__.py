@@ -26,7 +26,7 @@ from .lr_scheduler import (
     StepLR,
     WarmupLR,
 )
-from .module import Module, Parameter
+from .module import Module, Parameter, RemovableHandle
 from .norm import BatchNorm1d, BatchNorm2d, GroupNorm
 from .optim import SGD, Adam, Optimizer, clip_grad_norm
 from .pooling import AvgPool2d, Flatten, GlobalAvgPool2d, MaxPool2d
@@ -40,6 +40,7 @@ from .serialization import (
 __all__ = [
     "Module",
     "Parameter",
+    "RemovableHandle",
     "Sequential",
     "Residual",
     "Conv2d",

@@ -12,12 +12,38 @@ against numerical gradients in the test suite), not raw speed.
 
 from __future__ import annotations
 
+import itertools
 from collections import OrderedDict
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
-__all__ = ["Parameter", "Module"]
+__all__ = ["Parameter", "Module", "RemovableHandle"]
+
+#: Process-wide id source for hook handles (unique across all modules).
+_hook_ids = itertools.count()
+
+
+class RemovableHandle:
+    """Token returned by :meth:`Module.register_forward_hook`.
+
+    Calling :meth:`remove` detaches the hook; removal is idempotent, so a
+    handle can be removed in a ``finally`` block without guarding.
+    """
+
+    def __init__(self, hooks: "OrderedDict[int, Callable]") -> None:
+        self._hooks = hooks
+        self.id = next(_hook_ids)
+
+    def remove(self) -> None:
+        """Detach the hook (no-op when already removed)."""
+        self._hooks.pop(self.id, None)
+
+    def __enter__(self) -> "RemovableHandle":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.remove()
 
 
 class Parameter:
@@ -66,6 +92,7 @@ class Module:
         self._parameters: "OrderedDict[str, Parameter]" = OrderedDict()
         self._modules: "OrderedDict[str, Module]" = OrderedDict()
         self._buffers: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        self._forward_hooks: "OrderedDict[int, Callable]" = OrderedDict()
         self.training = True
 
     # -- attribute registration -------------------------------------------
@@ -98,7 +125,53 @@ class Module:
         raise NotImplementedError
 
     def __call__(self, x: np.ndarray) -> np.ndarray:
-        return self.forward(x)
+        # Fast path: the dict lookup is the entire no-hook overhead, so
+        # models that never register taps pay (nearly) nothing.
+        hooks = self.__dict__.get("_forward_hooks")
+        if not hooks:
+            return self.forward(x)
+        output = self.forward(x)
+        # Hooks run *after* forward completes, so a raising hook leaves the
+        # module's cached backward state intact and the next forward clean.
+        for hook in tuple(hooks.values()):
+            result = hook(self, x, output)
+            if result is not None:
+                output = result
+        return output
+
+    # -- forward hooks -----------------------------------------------------
+    def register_forward_hook(
+        self, hook: Callable[["Module", np.ndarray, np.ndarray], Optional[np.ndarray]]
+    ) -> RemovableHandle:
+        """Attach ``hook(module, input, output)`` after every forward.
+
+        The hook observes (and may replace — a non-``None`` return value
+        becomes the new output) the result of ``module(x)``.  Hooks fire in
+        registration order.  Returns a :class:`RemovableHandle`; hooks are
+        *not* pickled or deep-copied with the module (closures over live
+        state must not ride into ``repro.parallel`` workers).
+        """
+        if not callable(hook):
+            raise TypeError("hook must be callable")
+        handle = RemovableHandle(self._forward_hooks)
+        self._forward_hooks[handle.id] = hook
+        return handle
+
+    def clear_forward_hooks(self) -> None:
+        """Detach every forward hook registered on this module (not children)."""
+        self._forward_hooks.clear()
+
+    # -- pickling ----------------------------------------------------------
+    def __getstate__(self) -> Dict[str, object]:
+        """Pickle/deepcopy support: hook closures never travel with a model."""
+        state = self.__dict__.copy()
+        state["_forward_hooks"] = OrderedDict()
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__dict__.update(state)
+        if "_forward_hooks" not in self.__dict__:
+            self.__dict__["_forward_hooks"] = OrderedDict()
 
     # -- traversal ----------------------------------------------------------
     def children(self) -> Iterator["Module"]:

@@ -6,13 +6,16 @@ Usage::
     python -m repro.telemetry show results/telemetry/run-…  [--json]
     python -m repro.telemetry diff results/telemetry/run-A run-B
     python -m repro.telemetry trace results/telemetry/run-…
+    python -m repro.telemetry forensics results/telemetry/run-…
     python -m repro.telemetry report results/telemetry [-o report.html]
 
 ``ls`` scans the directory, refreshes ``index.json`` and prints one line
 per run; ``show`` renders a single run (the ``repro.experiments
 summary`` report, or the raw ledger record with ``--json``); ``diff``
 compares two runs' metrics/spans; ``trace`` (re-)exports a run's
-``trace.json`` for Perfetto; ``report`` builds the self-contained HTML
+``trace.json`` for Perfetto; ``forensics`` renders the per-layer
+deviation heatmap and first-divergence attribution of a run recorded
+with fault forensics enabled; ``report`` builds the self-contained HTML
 dashboard (accuracy-vs-P_sa curves, Stability ranking, time/memory
 breakdowns, bench sparklines) over every run in the ledger.
 
@@ -86,6 +89,25 @@ def build_parser() -> argparse.ArgumentParser:
 
     trace = sub.add_parser("trace", help="(re-)export a run's trace.json")
     trace.add_argument("run", help="run directory (or parent; latest run wins)")
+
+    forensics = sub.add_parser(
+        "forensics",
+        help="per-layer deviation heatmap and first-divergence attribution",
+    )
+    forensics.add_argument(
+        "run", help="run directory (or parent; latest run wins)"
+    )
+    forensics.add_argument(
+        "--metric",
+        default="rel_l2",
+        choices=("rel_l2", "cosine", "snr_db", "frac_perturbed"),
+        help="deviation metric pivoted into the heatmap (default: %(default)s)",
+    )
+    forensics.add_argument(
+        "--json",
+        action="store_true",
+        help="print the aggregated forensics document as JSON",
+    )
 
     report = sub.add_parser(
         "report",
@@ -185,6 +207,22 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_forensics(args: argparse.Namespace) -> int:
+    from ..forensics.render import render_forensics
+    from .events import read_events
+
+    run_dir = find_run_dir(args.run)
+    _require_events(run_dir)
+    events = read_events(os.path.join(run_dir, "events.jsonl"))
+    if args.json:
+        from ..forensics.aggregate import aggregate_events
+
+        print(json.dumps(aggregate_events(events), indent=2))
+        return 0
+    print(render_forensics(events, metric=args.metric))
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from .report import build_report, write_report
 
@@ -208,6 +246,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "show": _cmd_show,
         "diff": _cmd_diff,
         "trace": _cmd_trace,
+        "forensics": _cmd_forensics,
         "report": _cmd_report,
     }
     try:

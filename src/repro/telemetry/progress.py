@@ -41,8 +41,9 @@ class ProgressTracker:
     Parameters
     ----------
     total:
-        Expected number of work units (``None`` when unknown — heartbeats
-        then omit the ETA).
+        Expected number of work units (``None`` when unknown, ``0`` for a
+        legitimately empty sweep — heartbeats then omit the ETA and
+        percent rather than dividing by zero).
     label:
         What is being tracked (``"defect_eval p_sa=0.05"``); stamped on
         every event this tracker emits.
@@ -119,16 +120,24 @@ class ProgressTracker:
         self._emit_heartbeat(self._clock())
 
     def _emit_heartbeat(self, now: float) -> None:
+        # Every division below is guarded: a zero-elapsed first sample
+        # (fast unit, coarse clock) yields rate/ETA of None, and a
+        # total of 0 (empty sweep) or None yields percent/ETA of None —
+        # heartbeats never carry NaN or raise ZeroDivisionError.
         elapsed = max(now - self._started, 0.0)
         rate = self.completed / elapsed if elapsed > 0 else None
         eta = None
         if rate and self.total is not None:
             eta = max(self.total - self.completed, 0) / rate
+        percent = (
+            100.0 * self.completed / self.total if self.total else None
+        )
         self._run.emit(
             "heartbeat",
             label=self.label,
             completed=self.completed,
             total=self.total,
+            percent=percent,
             elapsed_seconds=elapsed,
             rate_per_second=rate,
             eta_seconds=eta,

@@ -10,6 +10,11 @@ telemetry ledger directory into **one self-contained static HTML file**
   before that event existed);
 * a Stability-Score ranking table — equation (1) of the paper, scored at
   the largest tested fault rate of each variant;
+* a fault-forensics section per probed run: a per-layer deviation
+  heatmap (layers × P_sa, coloured by relative L2 deviation) with
+  first-divergence attribution of every prediction flip, rebuilt from
+  ``forensics_draw`` events in draw order (bit-identical to the live
+  aggregates at any worker count);
 * per-run time/memory breakdowns: wall-clock by span, peak RSS / CPU
   time / sample counts from the resource monitor, heartbeat/stall
   counts, and the static model-cost totals when recorded;
@@ -190,6 +195,17 @@ def _model_cost_totals(events: List[dict]) -> List[dict]:
     return totals
 
 
+def _forensics_aggregates(events: List[dict]) -> List[dict]:
+    """Per-``(target, p_sa)`` forensics aggregates of one run, if recorded."""
+    if not any(e.get("kind") == "forensics_draw" for e in events):
+        return []
+    # Lazy import: repro.forensics imports telemetry, so a module-level
+    # import here would be circular.
+    from ..forensics.aggregate import aggregate_events
+
+    return aggregate_events(events)
+
+
 def _collect_run(record: RunRecord) -> dict:
     events_path = os.path.join(record.run_dir, "events.jsonl")
     events: List[dict] = []
@@ -207,6 +223,7 @@ def _collect_run(record: RunRecord) -> dict:
         "methods": _methods_from_events(events, record.config),
         "resources": _resource_summary(record, events),
         "model_cost": _model_cost_totals(events),
+        "forensics": _forensics_aggregates(events),
         "spans": [
             {
                 "path": path,
@@ -371,6 +388,70 @@ def _svg_accuracy_chart(curves: List[dict]) -> str:
     return "".join(parts) + "".join(legend)
 
 
+def _heat_color(fraction: float) -> str:
+    """White -> deep red blend with deterministic hex formatting."""
+    fraction = max(0.0, min(fraction, 1.0))
+    start, end = (255, 255, 255), (179, 29, 40)
+    channels = (
+        round(start[i] + (end[i] - start[i]) * fraction) for i in range(3)
+    )
+    return "#{:02x}{:02x}{:02x}".format(*channels)
+
+
+def _svg_deviation_heatmap(aggregates: List[dict]) -> str:
+    """Per-layer deviation heatmap (layers × P_sa), coloured by rel_l2."""
+    # Lazy import mirrors _forensics_aggregates (circularity).
+    from ..forensics.aggregate import deviation_matrix
+
+    layers, rates, cells = deviation_matrix(aggregates, metric="rel_l2")
+    if not layers:
+        return ""
+    values = [v for v in cells.values() if v is not None]
+    top_value = max(values) if values else 0.0
+    cell_w, cell_h = 72, 20
+    left = min(max((max(len(n) for n in layers) * 7) + 12, 80), 260)
+    top = 26
+    width = left + cell_w * len(rates) + 8
+    height = top + cell_h * len(layers) + 8
+    parts = [
+        f"<svg viewBox='0 0 {width} {height}' role='img' "
+        "aria-label='Per-layer deviation heatmap'>"
+    ]
+    for j, rate in enumerate(rates):
+        x = left + cell_w * j + cell_w / 2
+        parts.append(
+            f"<text x='{x:.1f}' y='{top - 8}' class='tick' "
+            f"text-anchor='middle'>P_sa={rate:g}</text>"
+        )
+    for i, name in enumerate(layers):
+        y = top + cell_h * i
+        parts.append(
+            f"<text x='{left - 6}' y='{y + cell_h - 6:.1f}' class='tick' "
+            f"text-anchor='end'>{html.escape(name)}</text>"
+        )
+        for j, rate in enumerate(rates):
+            x = left + cell_w * j
+            value = cells.get((name, rate))
+            if value is None:
+                fill, label, text_fill = "#f6f8fa", "-", "#57606a"
+            else:
+                fraction = value / top_value if top_value > 0 else 0.0
+                fill = _heat_color(fraction)
+                label = f"{value:.3f}"
+                text_fill = "#ffffff" if fraction > 0.6 else "#1f2328"
+            parts.append(
+                f"<rect x='{x}' y='{y}' width='{cell_w - 2}' "
+                f"height='{cell_h - 2}' fill='{fill}' class='cell'>"
+                f"<title>{html.escape(name)} @ P_sa={rate:g}: {label}"
+                "</title></rect>"
+                f"<text x='{x + (cell_w - 2) / 2:.1f}' "
+                f"y='{y + cell_h - 6:.1f}' class='cellv' fill='{text_fill}' "
+                f"text-anchor='middle'>{label}</text>"
+            )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
 def _svg_sparkline(means: List[Optional[float]]) -> str:
     """Tiny trend polyline over bench baselines; scaled to its own range."""
     points = [(i, m) for i, m in enumerate(means) if m is not None]
@@ -413,6 +494,8 @@ tr.best td { background: #dafbe1; }
 svg { max-width: 100%; height: auto; }
 svg .grid { stroke: #d0d7de; stroke-width: 1; }
 svg .tick, svg .axis { font: 11px sans-serif; fill: #57606a; }
+svg .cell { stroke: #d0d7de; stroke-width: .5; }
+svg .cellv { font: 10px sans-serif; }
 svg.spark { width: 120px; height: 24px; vertical-align: middle; }
 .legend { list-style: none; padding: 0; display: flex; flex-wrap: wrap;
           gap: .4rem 1.2rem; font-size: .85rem; }
@@ -529,6 +612,65 @@ def _render_run(run: dict) -> str:
     return "".join(parts)
 
 
+def _render_forensics(runs: List[dict]) -> str:
+    """Fault-forensics section: one heatmap + attribution per probed run."""
+    parts: List[str] = []
+    for run in runs:
+        aggregates = run.get("forensics") or []
+        whole_model = [a for a in aggregates if not a.get("target")]
+        if not whole_model:
+            continue
+        parts.append(f"<h3><code>{html.escape(run['run_id'])}</code></h3>")
+        parts.append(_svg_deviation_heatmap(whole_model))
+        parts.append(
+            "<p class='meta'>relative L2 deviation of each layer's "
+            "activations under faults (white = clean, red = most "
+            "deviated)</p>"
+        )
+        rows = []
+        for aggregate in whole_model:
+            flips = int(aggregate["num_flipped"])
+            attributed = [
+                (entry["layer"], int(entry["first_divergence"]))
+                for entry in aggregate["layers"]
+                if entry["first_divergence"]
+            ]
+            attributed.sort(key=lambda kv: (-kv[1], kv[0]))
+            undiverged = int(aggregate["undiverged_flips"])
+            if undiverged:
+                attributed.append(("(below threshold)", undiverged))
+            for layer, count in attributed:
+                share = f"{100.0 * count / flips:.1f}%" if flips else "-"
+                rows.append(
+                    [
+                        f"{aggregate['p_sa']:g}",
+                        html.escape(layer),
+                        str(aggregate["num_draws"]),
+                        str(count),
+                        share,
+                    ]
+                )
+        if rows:
+            parts.append(
+                _table(
+                    ["P_sa", "first diverged layer", "draws", "flips",
+                     "share of flips"],
+                    rows,
+                )
+            )
+        else:
+            parts.append(
+                "<p class='empty'>No prediction flips recorded.</p>"
+            )
+    if not parts:
+        return (
+            "<p class='empty'>No forensics events recorded (enable with "
+            "<code>--forensics</code> or "
+            "<code>ForensicsConfig</code>).</p>"
+        )
+    return "".join(parts)
+
+
 def _render_bench(bench: List[dict]) -> str:
     if not bench:
         return "<p class='empty'>No BENCH_*.json baselines found.</p>"
@@ -568,6 +710,8 @@ def render_report(report: dict) -> str:
         _svg_accuracy_chart(report["curves"]),
         "<h2>Stability-Score ranking</h2>",
         _render_stability(report["stability"]),
+        "<h2>Fault forensics</h2>",
+        _render_forensics(report["runs"]),
         "<h2>Runs</h2>",
     ]
     sections.extend(_render_run(run) for run in report["runs"])

@@ -84,6 +84,7 @@ def summarize_run(path: str) -> dict:
         "fault_realization": None,
         "model_cost": [],
         "resources": None,
+        "forensics": None,
     }
     run_meta = _load_optional_json(os.path.join(run_dir, "run.json"))
     if run_meta:
@@ -172,6 +173,10 @@ def summarize_run(path: str) -> dict:
         elif kind == "progress_stall":
             resources["stalls"] += 1
     summary["events_by_kind"] = dict(sorted(by_kind.items()))
+    if by_kind.get("forensics_draw"):
+        from ..forensics.render import forensics_summary
+
+        summary["forensics"] = forensics_summary(events)
     if resources["samples"] or resources["heartbeats"] or resources["stalls"]:
         summary["resources"] = resources
     if faults["injections"]:
@@ -390,6 +395,31 @@ def render_summary(summary: dict, top: Optional[int] = None) -> str:
                 else ""
             )
         )
+
+    forensics = summary.get("forensics")
+    if forensics:
+        lines.append("")
+        flipped = forensics.get("flipped", 0)
+        line = (
+            f"Fault forensics: {forensics.get('draws', 0)} probed draws, "
+            f"{forensics.get('samples', 0)} sample evaluations, "
+            f"{flipped} prediction flips"
+        )
+        divergence = forensics.get("first_divergence") or {}
+        if divergence:
+            leader = next(iter(divergence.items()))
+            line += (
+                f"; first divergence most often at {leader[0]} "
+                f"({leader[1]}×)"
+            )
+        lines.append(line)
+        worst = forensics.get("max_rel_l2")
+        if worst:
+            lines.append(
+                f"  max relative L2 deviation {worst['rel_l2']:.4g} "
+                f"at {worst['layer']} "
+                "(details: python -m repro.telemetry forensics <run>)"
+            )
 
     defect = summary.get("defect") or {}
     if defect:

@@ -66,3 +66,29 @@ def test_invalid_runs(trained, rng):
     model, loader = trained
     with pytest.raises(ValueError):
         layer_sensitivity(model, loader, 0.1, num_runs=0, rng=rng)
+
+
+def test_reports_spread_and_draw_count(trained, rng):
+    model, loader = trained
+    results = layer_sensitivity(model, loader, 0.2, num_runs=4, rng=rng)
+    for r in results:
+        assert r.num_runs == 4
+        assert r.std_accuracy >= 0.0
+        # The spread cannot exceed the full accuracy range.
+        assert r.std_accuracy <= 100.0
+
+
+def test_std_matches_cell_accuracies(trained):
+    model, loader = trained
+    a = layer_sensitivity(model, loader, 0.2, num_runs=3, seed=21)
+    b = layer_sensitivity(model, loader, 0.2, num_runs=3, seed=21)
+    assert a == b  # std/num_runs ride the deterministic-seed contract
+    assert any(r.std_accuracy > 0.0 for r in a)
+
+
+def test_zero_rate_zero_std(trained, rng):
+    model, loader = trained
+    results = layer_sensitivity(model, loader, 0.0, num_runs=3, rng=rng)
+    for r in results:
+        assert r.std_accuracy == pytest.approx(0.0)
+        assert r.num_runs == 3

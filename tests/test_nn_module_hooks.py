@@ -1,0 +1,202 @@
+"""Tests for the forward-hook / activation-tap API on nn.Module."""
+
+import copy
+import pickle
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.parallel import ModelBroadcast
+from repro.reram import convert_to_analog
+
+
+class TwoLayer(nn.Module):
+    def __init__(self, rng):
+        super().__init__()
+        self.fc1 = nn.Linear(4, 3, rng=rng)
+        self.fc2 = nn.Linear(3, 2, rng=rng)
+
+    def forward(self, x):
+        return self.fc2(self.fc1(x))
+
+    def backward(self, g):
+        return self.fc1.backward(self.fc2.backward(g))
+
+
+def test_hook_receives_module_input_output(rng):
+    model = TwoLayer(rng)
+    seen = []
+    model.fc1.register_forward_hook(
+        lambda mod, inp, out: seen.append((mod, inp, out))
+    )
+    x = rng.normal(size=(5, 4))
+    y = model(x)
+    assert len(seen) == 1
+    mod, inp, out = seen[0]
+    assert mod is model.fc1
+    assert inp is x
+    assert out.shape == (5, 3)
+    assert y.shape == (5, 2)
+
+
+def test_hooks_fire_in_registration_order(rng):
+    layer = nn.Linear(4, 3, rng=rng)
+    order = []
+    layer.register_forward_hook(lambda m, i, o: order.append("a"))
+    layer.register_forward_hook(lambda m, i, o: order.append("b"))
+    layer.register_forward_hook(lambda m, i, o: order.append("c"))
+    layer(rng.normal(size=(2, 4)))
+    assert order == ["a", "b", "c"]
+
+
+def test_hook_can_replace_output(rng):
+    layer = nn.Linear(4, 3, rng=rng)
+    layer.register_forward_hook(lambda m, i, o: o * 0.0)
+    out = layer(rng.normal(size=(2, 4)))
+    np.testing.assert_array_equal(out, np.zeros((2, 3)))
+
+
+def test_hook_returning_none_keeps_output(rng):
+    layer = nn.Linear(4, 3, rng=rng)
+    clean = layer(rng.normal(size=(2, 4)))
+    layer.register_forward_hook(lambda m, i, o: None)
+    hooked = layer(rng.normal(size=(2, 4)))
+    assert hooked.shape == clean.shape
+
+
+def test_handle_remove_is_idempotent(rng):
+    layer = nn.Linear(4, 3, rng=rng)
+    calls = []
+    handle = layer.register_forward_hook(lambda m, i, o: calls.append(1))
+    layer(rng.normal(size=(2, 4)))
+    handle.remove()
+    handle.remove()  # second remove is a no-op, not an error
+    layer(rng.normal(size=(2, 4)))
+    assert len(calls) == 1
+
+
+def test_handle_is_context_manager(rng):
+    layer = nn.Linear(4, 3, rng=rng)
+    calls = []
+    with layer.register_forward_hook(lambda m, i, o: calls.append(1)):
+        layer(rng.normal(size=(2, 4)))
+    layer(rng.normal(size=(2, 4)))
+    assert len(calls) == 1
+
+
+def test_removing_one_hook_keeps_others(rng):
+    layer = nn.Linear(4, 3, rng=rng)
+    order = []
+    h1 = layer.register_forward_hook(lambda m, i, o: order.append("a"))
+    layer.register_forward_hook(lambda m, i, o: order.append("b"))
+    h1.remove()
+    layer(rng.normal(size=(2, 4)))
+    assert order == ["b"]
+
+
+def test_clear_forward_hooks(rng):
+    layer = nn.Linear(4, 3, rng=rng)
+    calls = []
+    layer.register_forward_hook(lambda m, i, o: calls.append(1))
+    layer.register_forward_hook(lambda m, i, o: calls.append(2))
+    layer.clear_forward_hooks()
+    layer(rng.normal(size=(2, 4)))
+    assert calls == []
+
+
+def test_register_non_callable_raises(rng):
+    layer = nn.Linear(4, 3, rng=rng)
+    with pytest.raises(TypeError):
+        layer.register_forward_hook("not callable")
+
+
+def test_raising_hook_does_not_corrupt_later_forwards(rng):
+    layer = nn.Linear(4, 3, rng=rng)
+
+    def bad_hook(mod, inp, out):
+        raise RuntimeError("boom")
+
+    handle = layer.register_forward_hook(bad_hook)
+    x = rng.normal(size=(2, 4))
+    with pytest.raises(RuntimeError):
+        layer(x)
+    handle.remove()
+    # The failed call left no residue: a plain forward works and matches.
+    clean = layer.forward(x)
+    np.testing.assert_array_equal(layer(x), clean)
+
+
+def test_no_hooks_forward_unchanged(rng):
+    layer = nn.Linear(4, 3, rng=rng)
+    x = rng.normal(size=(2, 4))
+    np.testing.assert_array_equal(layer(x), layer.forward(x))
+
+
+def test_hooks_fire_through_sequential(rng):
+    model = nn.Sequential(
+        nn.Linear(4, 3, rng=rng), nn.ReLU(), nn.Linear(3, 2, rng=rng)
+    )
+    taps = []
+    for module in model.modules():
+        if isinstance(module, nn.Linear):
+            module.register_forward_hook(
+                lambda m, i, o: taps.append(o.shape)
+            )
+    model(rng.normal(size=(5, 4)))
+    assert taps == [(5, 3), (5, 2)]
+
+
+def test_hooks_fire_through_analog_wrappers(rng):
+    model = TwoLayer(rng)
+    convert_to_analog(model)
+    taps = []
+    handles = [
+        module.register_forward_hook(lambda m, i, o: taps.append(o.shape))
+        for module in model.modules()
+        if not list(module._modules)
+    ]
+    model(rng.normal(size=(5, 4)))
+    assert taps == [(5, 3), (5, 2)]
+    for handle in handles:
+        handle.remove()
+
+
+def test_pickle_drops_hooks(rng):
+    model = TwoLayer(rng)
+
+    class Unpicklable:
+        def __reduce__(self):
+            raise TypeError("must never be pickled")
+
+    captured = []
+    closure = Unpicklable()  # pickling the model must not ship this
+    model.fc1.register_forward_hook(
+        lambda m, i, o: captured.append((closure, o))
+    )
+    clone = pickle.loads(pickle.dumps(model))
+    assert clone.fc1._forward_hooks == {}
+    # The original keeps its hooks.
+    assert len(model.fc1._forward_hooks) == 1
+    x = rng.normal(size=(3, 4))
+    np.testing.assert_array_equal(clone(x), model(x))
+
+
+def test_deepcopy_drops_hooks(rng):
+    model = TwoLayer(rng)
+    model.fc2.register_forward_hook(lambda m, i, o: None)
+    clone = copy.deepcopy(model)
+    assert clone.fc2._forward_hooks == {}
+
+
+def test_model_broadcast_with_hooked_model(rng):
+    model = TwoLayer(rng)
+    model.fc1.register_forward_hook(lambda m, i, o: None)
+    broadcast = ModelBroadcast(model)
+    wire = pickle.loads(pickle.dumps(broadcast))
+    rebuilt = wire.materialize()
+    assert all(
+        module._forward_hooks == {} for module in rebuilt.modules()
+    )
+    x = rng.normal(size=(3, 4))
+    np.testing.assert_array_equal(rebuilt(x), model.forward(x))

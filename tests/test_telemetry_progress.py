@@ -103,6 +103,58 @@ def test_stall_emits_once_and_rearms_on_progress():
     assert run.metrics.snapshot()["counters"]["progress/stalls_total"] == 2
 
 
+def test_zero_total_never_divides_by_zero():
+    sink = MemorySink()
+    clock = FakeClock()
+    tracker = _tracker(
+        sink, total=0, label="empty", min_interval=0.0, clock=clock
+    )
+    clock.advance(1.0)
+    tracker.update(0)  # an empty sweep still ticks
+    tracker.finish()
+    beats = [e for e in sink.events if e["kind"] == "heartbeat"]
+    assert len(beats) == 2
+    for beat in beats:
+        assert beat["total"] == 0
+        assert beat["percent"] is None
+        assert beat["eta_seconds"] is None
+
+
+def test_zero_elapsed_first_sample_omits_rate_and_eta():
+    sink = MemorySink()
+    clock = FakeClock()
+    tracker = _tracker(
+        sink, total=10, label="fast", min_interval=0.0, clock=clock
+    )
+    tracker.update(3)  # clock has not advanced: elapsed == 0
+    (beat,) = [e for e in sink.events if e["kind"] == "heartbeat"]
+    assert beat["elapsed_seconds"] == 0.0
+    assert beat["rate_per_second"] is None
+    assert beat["eta_seconds"] is None
+    assert beat["percent"] == 30.0
+
+
+def test_heartbeat_percent_field():
+    sink = MemorySink()
+    clock = FakeClock()
+    tracker = _tracker(
+        sink, total=8, label="pct", min_interval=0.0, clock=clock
+    )
+    clock.advance(1.0)
+    tracker.update(2)
+    clock.advance(1.0)
+    tracker.update(6)
+    beats = [e for e in sink.events if e["kind"] == "heartbeat"]
+    assert [b["percent"] for b in beats] == [25.0, 100.0]
+    # Unknown totals omit the percent rather than guessing.
+    open_tracker = ProgressTracker(
+        total=None, label="open", run=telemetry.current(),
+        min_interval=0.0, clock=clock,
+    )
+    open_tracker.update()
+    assert sink.events[-1]["percent"] is None
+
+
 def test_disabled_run_emits_nothing():
     tracker = ProgressTracker(
         total=5, label="off", run=telemetry.NULL_RUN, min_interval=0.0

@@ -155,6 +155,86 @@ def test_bench_sparklines_render(ledger, tmp_path):
     assert "conv2d/forward" in html
 
 
+# -- forensics section -------------------------------------------------------
+
+
+def _layer_entry(layer, dev, clean):
+    return {
+        "layer": layer, "sum_sq_dev": dev, "sum_sq_clean": clean,
+        "sum_dot": clean, "sum_sq_fault": clean + dev, "perturbed": 10,
+        "elements": 100, "first_divergence": 1,
+    }
+
+
+@pytest.fixture()
+def forensics_run(tmp_path):
+    parent = tmp_path / "fruns"
+    with telemetry.session(
+        str(parent), config={"experiment": "table1", "seed": 3}
+    ) as run:
+        for p_sa in (0.01, 0.05):
+            for draw in range(2):
+                run.emit(
+                    "forensics_draw", p_sa=p_sa, draw=draw, seed=draw,
+                    num_samples=40, num_flipped=4, undiverged_flips=1,
+                    accuracy=70.0,
+                    layers=[
+                        _layer_entry("net.layer1", 1.0 * (1 + draw), 50.0),
+                        _layer_entry("net.layer3", 4.0 * (1 + draw), 50.0),
+                    ],
+                )
+        run_dir = run.directory
+    return str(parent), run_dir
+
+
+def test_report_renders_forensics_heatmap(forensics_run):
+    parent, _ = forensics_run
+    report = build_report(parent)
+    assert report["runs"][0]["forensics"]
+    html = render_report(report)
+    assert "Fault forensics" in html
+    assert "net.layer1" in html and "net.layer3" in html
+    assert "class='cell'" in html  # heatmap rects rendered
+    assert "(below threshold)" in html
+    assert render_report(build_report(parent)) == html  # still deterministic
+
+
+def test_report_without_forensics_has_empty_state(ledger):
+    parent, _, _ = ledger
+    html = render_report(build_report(parent))
+    assert "Fault forensics" in html
+    assert "class='cell'" not in html
+
+
+def test_cli_forensics_renders_heatmap(forensics_run, capsys):
+    _, run_dir = forensics_run
+    assert cli_main(["forensics", run_dir]) == 0
+    out = capsys.readouterr().out
+    assert "Per-layer deviation heatmap" in out
+    assert "First-divergence attribution" in out
+    assert "p_sa=0.05" in out
+
+
+def test_cli_forensics_json_mode(forensics_run, capsys):
+    _, run_dir = forensics_run
+    assert cli_main(["forensics", run_dir, "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert len(doc) == 2  # one aggregate per rate
+    assert {a["p_sa"] for a in doc} == {0.01, 0.05}
+    assert all(a["num_draws"] == 2 for a in doc)
+
+
+def test_cli_forensics_without_events_reports_empty(ledger, capsys):
+    _, a, _ = ledger
+    assert cli_main(["forensics", a]) == 0
+    assert "no forensics events recorded" in capsys.readouterr().out
+
+
+def test_cli_forensics_missing_run_exits_2(tmp_path, capsys):
+    assert cli_main(["forensics", str(tmp_path / "missing")]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
 # -- CLI ---------------------------------------------------------------------
 
 
