@@ -69,12 +69,6 @@ def format_table(
     return "\n".join(lines)
 
 
-def _params_brief(params: dict) -> str:
-    if not params:
-        return "-"
-    return ",".join(f"{k}={v}" for k, v in sorted(params.items()))
-
-
 def render_bench(doc: dict) -> str:
     """Text report of one BENCH document."""
     prov = doc["provenance"]

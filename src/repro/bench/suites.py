@@ -427,6 +427,36 @@ def _lint_analyze(state):
     return lint_paths(state["paths"])
 
 
+def _lint_flow_setup(params: dict, rng: np.random.Generator) -> dict:
+    state = _lint_setup(params, rng)
+    from ..lint.engine import load_project
+
+    project, _ = load_project(state["paths"])
+    return {"project": project}
+
+
+@benchmark(
+    "lint/flow_analyze",
+    params={"fast": {"scope": "telemetry"}, "full": {"scope": "all"}},
+    setup=_lint_flow_setup,
+    description="Cross-module dataflow rules (RL011-RL015): call-graph "
+    "build + event-schema, RNG-taint, worker-purity and dead-code passes "
+    "over a pre-parsed tree",
+)
+def _lint_flow_analyze(state):
+    from ..lint.flow.callgraph import _CACHE_ATTR
+    from ..lint.engine import lint_sources
+
+    project = state["project"]
+    # Drop the per-project call-graph cache so every iteration measures
+    # the graph build, not just the rule passes over a memoised graph.
+    if hasattr(project, _CACHE_ATTR):
+        delattr(project, _CACHE_ATTR)
+    return lint_sources(
+        project, select=["RL011", "RL012", "RL013", "RL014", "RL015"]
+    )
+
+
 def _trace_export_setup(params: dict, rng: np.random.Generator) -> dict:
     # A synthetic event log shaped like a pooled run: nested spans on
     # the main process, worker_chunk spans on worker lanes, and a

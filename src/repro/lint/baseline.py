@@ -51,6 +51,14 @@ class Baseline:
 
     @classmethod
     def from_findings(cls, findings: List[Finding]) -> "Baseline":
+        # Explicit (path, line, rule, fingerprint, message) ordering:
+        # regeneration must be byte-stable across filesystems, and the
+        # fingerprint tiebreak pins identical-message findings that land
+        # on the same line.
+        ordered = sorted(
+            findings,
+            key=lambda f: (f.path, f.line, f.rule, f.fingerprint, f.message),
+        )
         entries = [
             {
                 "rule": f.rule,
@@ -61,7 +69,7 @@ class Baseline:
                 "line": f.line,
                 "message": f.message,
             }
-            for f in sorted(findings, key=lambda f: f.sort_key)
+            for f in ordered
         ]
         return cls(entries)
 
@@ -101,7 +109,7 @@ class Baseline:
             "entries": self.entries,
         }
         with open(path, "w", encoding="utf-8") as handle:
-            json.dump(doc, handle, indent=2, sort_keys=False)
+            json.dump(doc, handle, indent=2, sort_keys=True)
             handle.write("\n")
 
     def split(

@@ -1,16 +1,22 @@
-"""``python -m repro.lint`` — run, baseline and rules.
+"""``python -m repro.lint`` — run, baseline, schema, and rules.
 
 Usage::
 
     python -m repro.lint run                      # lint src/ (default)
     python -m repro.lint run --format json
+    python -m repro.lint run --format sarif       # code-scanning output
+    python -m repro.lint run --changed            # git-diff-scoped
     python -m repro.lint run src tests --ignore RL007
     python -m repro.lint baseline                 # accept current findings
+    python -m repro.lint schema                   # regenerate the event
+                                                  # registry module
+    python -m repro.lint schema --check           # exit 1 when stale
     python -m repro.lint rules                    # list registered rules
 
 Exit codes: ``run`` exits 0 when no non-baselined finding remains, 1
 when any remains — the contract CI gates on — and 2 on usage errors;
-``baseline`` and ``rules`` exit 0/2.
+``schema --check`` exits 1 when the committed registry drifted from the
+code; ``baseline`` and ``rules`` exit 0/2.
 """
 
 from __future__ import annotations
@@ -31,6 +37,10 @@ __all__ = ["build_parser", "main"]
 #: Committed at the repo root, next to BENCH_0.json.
 DEFAULT_BASELINE = "LINT_BASELINE.json"
 DEFAULT_PATHS = ["src"]
+#: Default location of the committed runtime event-schema registry.
+DEFAULT_SCHEMA_MODULE = os.path.join(
+    "src", "repro", "telemetry", "schema.py"
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -65,7 +75,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--format",
         dest="fmt",
         default="text",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         help="report format (default: text)",
     )
     run.add_argument(
@@ -78,6 +88,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="ignore any baseline file; report every finding",
     )
+    run.add_argument(
+        "--changed",
+        action="store_true",
+        help="lint only git-changed files; falls back to the full tree "
+        "when project-scope rules are selected or git is unavailable",
+    )
 
     baseline = sub.add_parser(
         "baseline", help="write the current findings as the new baseline"
@@ -88,6 +104,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--output",
         default=DEFAULT_BASELINE,
         help=f"baseline path to write (default: {DEFAULT_BASELINE})",
+    )
+
+    schema = sub.add_parser(
+        "schema",
+        help="regenerate the event-schema registry from emit() sites",
+    )
+    schema.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        help=f"files/directories to extract from (default: {DEFAULT_PATHS})",
+    )
+    schema.add_argument(
+        "-o",
+        "--output",
+        default=DEFAULT_SCHEMA_MODULE,
+        help="registry module to rewrite in place "
+        f"(default: {DEFAULT_SCHEMA_MODULE}); '-' prints the generated "
+        "entries to stdout",
+    )
+    schema.add_argument(
+        "--check",
+        action="store_true",
+        help="do not write; exit 1 when the committed registry is stale",
     )
 
     rules = sub.add_parser("rules", help="list registered rules")
@@ -107,22 +147,42 @@ def _split_ids(raw: Optional[str]) -> Optional[List[str]]:
     return [token.strip() for token in raw.split(",") if token.strip()]
 
 
+def _effective_rule_ids(
+    select: Optional[List[str]], ignore: Optional[List[str]]
+) -> List[str]:
+    from . import rules as _rules  # noqa: F401  (registers built-ins)
+
+    out = []
+    for rule in default_registry().rules():
+        if select and rule.id not in select:
+            continue
+        if ignore and rule.id in ignore:
+            continue
+        out.append(rule.id)
+    return out
+
+
 def _analyse(args):
     paths = args.paths or DEFAULT_PATHS
     for path in paths:
         if not os.path.exists(path):
             raise FileNotFoundError(f"no such path: {path}")
-    findings = lint_paths(
-        paths,
-        select=_split_ids(args.select),
-        ignore=_split_ids(args.ignore),
-    )
-    return paths, findings
+    select = _split_ids(args.select)
+    ignore = _split_ids(args.ignore)
+    only: Optional[List[str]] = None
+    if getattr(args, "changed", False):
+        from .changed import scope_to_changed
+
+        only = scope_to_changed(paths, _effective_rule_ids(select, ignore))
+        if only is not None and not only:
+            return paths, [], True
+    findings = lint_paths(paths, select=select, ignore=ignore, only=only)
+    return paths, findings, only is not None
 
 
 def _cmd_run(args) -> int:
     try:
-        paths, findings = _analyse(args)
+        paths, findings, scoped = _analyse(args)
     except FileNotFoundError as exc:
         print(f"run: {exc}", file=sys.stderr)
         return 2
@@ -138,6 +198,16 @@ def _cmd_run(args) -> int:
                 return 2
             baseline_path = candidate
     new, baselined, stale = baseline.split(findings)
+    if scoped:
+        # A git-scoped run only saw a file subset: entries matching
+        # nothing are expected, not stale debt.
+        stale = []
+    if args.fmt == "sarif":
+        from .sarif import build_sarif
+
+        rules = list(default_registry().rules())
+        print(json.dumps(build_sarif(rules, new, baselined), indent=2))
+        return 1 if new else 0
     doc = build_document(paths, new, baselined, stale, baseline_path)
     if args.fmt == "json":
         print(json.dumps(doc, indent=2))
@@ -148,12 +218,72 @@ def _cmd_run(args) -> int:
 
 def _cmd_baseline(args) -> int:
     try:
-        _, findings = _analyse(args)
+        _, findings, _ = _analyse(args)
     except FileNotFoundError as exc:
         print(f"baseline: {exc}", file=sys.stderr)
         return 2
     Baseline.from_findings(findings).write(args.output)
     print(f"{len(findings)} finding(s) baselined -> {args.output}")
+    return 0
+
+
+def _cmd_schema(args) -> int:
+    from .engine import load_project
+    from .flow.contracts import (
+        extract_event_schemas,
+        parse_registry_literal,
+        render_schema_entries,
+        splice_schema_module,
+    )
+
+    paths = args.paths or DEFAULT_PATHS
+    for path in paths:
+        if not os.path.exists(path):
+            print(f"schema: no such path: {path}", file=sys.stderr)
+            return 2
+    project, errors = load_project(paths)
+    if errors:
+        for finding in errors:
+            print(
+                f"schema: {finding.path}:{finding.line}: {finding.message}",
+                file=sys.stderr,
+            )
+        return 2
+    schemas = extract_event_schemas(project)
+    if not schemas:
+        print("schema: no emit() sites found under "
+              f"{', '.join(paths)}", file=sys.stderr)
+        return 2
+    if args.output == "-":
+        print(render_schema_entries(schemas))
+        return 0
+    try:
+        with open(args.output, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as exc:
+        print(f"schema: {exc}", file=sys.stderr)
+        return 2
+    try:
+        updated = splice_schema_module(text, schemas)
+    except ValueError as exc:
+        print(f"schema: {args.output}: {exc}", file=sys.stderr)
+        return 2
+    if args.check:
+        if updated != text:
+            print(
+                f"schema: {args.output} is stale; regenerate with "
+                "`python -m repro.lint schema`",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"{args.output}: up to date ({len(schemas)} kinds)")
+        return 0
+    if updated == text:
+        print(f"{args.output}: already up to date ({len(schemas)} kinds)")
+        return 0
+    with open(args.output, "w", encoding="utf-8") as handle:
+        handle.write(updated)
+    print(f"{args.output}: regenerated ({len(schemas)} kinds)")
     return 0
 
 
@@ -175,6 +305,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_run(args)
     if args.command == "baseline":
         return _cmd_baseline(args)
+    if args.command == "schema":
+        return _cmd_schema(args)
     return _cmd_rules(args)
 
 

@@ -14,8 +14,9 @@ dependency is installed.
 
 from __future__ import annotations
 
+import ast
 import os
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
 
 from .findings import ERROR, Finding
 from .registry import RuleRegistry, default_registry
@@ -58,16 +59,28 @@ def _relpath(filepath: str, roots: Sequence[str]) -> Tuple[str, str]:
     return norm, module_name(norm)
 
 
-def load_project(paths: Sequence[str]) -> Tuple[Project, List[Finding]]:
+def load_project(
+    paths: Sequence[str], only: Optional[Sequence[str]] = None
+) -> Tuple[Project, List[Finding]]:
     """Discover and parse every ``.py`` file under ``paths``.
+
+    ``only`` restricts the discovered set to the named files (used by
+    ``run --changed``) while keeping report paths and module names
+    resolved against the full roots, so findings and baseline entries
+    are byte-identical between scoped and full runs.
 
     Unparsable files become RL000 findings (always-on, not suppressible
     via comments — a file that does not parse cannot carry comments the
     engine trusts).
     """
+    wanted: Optional[Set[str]] = None
+    if only is not None:
+        wanted = {path.replace("\\", "/") for path in only}
     sources: List[SourceFile] = []
     errors: List[Finding] = []
     for filepath in _iter_py_files(paths):
+        if wanted is not None and filepath.replace("\\", "/") not in wanted:
+            continue
         report_path, module = _relpath(filepath, paths)
         try:
             with open(filepath, "r", encoding="utf-8") as handle:
@@ -120,6 +133,31 @@ def _selected_rules(
         yield rule
 
 
+def _suppression_lines(anchor: Anchor, line: int) -> Set[int]:
+    """Physical lines where a disable comment silences this finding.
+
+    The anchor line always counts.  For decorated defs/classes the
+    decorator lines count too (the reader's eye lands there, and some
+    rules anchor on the ``def`` while the comment sits on the decorator).
+    For multi-line *expression* anchors (a call spanning lines), any
+    line of the expression counts, so the comment can ride the closing
+    paren.  Statement-level anchors stay line-scoped: an ``except``
+    block's body should not silence a finding about its header.
+    """
+    lines = {line}
+    if isinstance(anchor, ast.AST):
+        if isinstance(
+            anchor, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            for decorator in anchor.decorator_list:
+                lines.add(decorator.lineno)
+        elif isinstance(anchor, ast.expr):
+            end = getattr(anchor, "end_lineno", None)
+            if end is not None and end > line:
+                lines.update(range(line, end + 1))
+    return lines
+
+
 def lint_sources(
     project: Project,
     registry: Optional[RuleRegistry] = None,
@@ -151,7 +189,10 @@ def lint_sources(
                 message=message,
                 snippet=source.snippet(line),
             )
-            if suppressions[source.path].suppresses(finding):
+            candidate_lines = _suppression_lines(anchor, line)
+            if suppressions[source.path].suppresses(
+                finding, candidate_lines
+            ):
                 continue
             findings.append(finding)
     findings.sort(key=lambda f: f.sort_key)
@@ -163,14 +204,19 @@ def lint_paths(
     registry: Optional[RuleRegistry] = None,
     select: Optional[Sequence[str]] = None,
     ignore: Optional[Sequence[str]] = None,
+    only: Optional[Sequence[str]] = None,
 ) -> List[Finding]:
-    """Discover, parse and lint ``paths``; the one-call entry point."""
+    """Discover, parse and lint ``paths``; the one-call entry point.
+
+    ``only`` restricts analysis to the named files (``run --changed``);
+    see :func:`load_project`.
+    """
     # Importing the rules package registers the built-in rules on the
     # default registry; explicit registries are used as-is.
     if registry is None:
         from . import rules  # noqa: F401  (imported for registration)
 
-    project, errors = load_project(paths)
+    project, errors = load_project(paths, only=only)
     findings = errors + lint_sources(
         project, registry=registry, select=select, ignore=ignore
     )

@@ -1,0 +1,1033 @@
+"""Event-schema contracts: ``emit()`` producers vs telemetry consumers.
+
+**Extraction** — every ``*.emit("kind", field=..., **splat)`` call with a
+constant kind is a producer site.  Keyword names are collected directly;
+``**splat`` arguments are resolved through local dataflow (dict literals,
+``d[k] = v`` with constant keys, ``d.update(...)``) and one level of
+function-return resolution (``**crossbar_footprint(model)`` follows the
+callee — local or imported — and reads its returned dict shape).  A splat
+that cannot be resolved marks the kind *open* (``extra=True``): its field
+set is a lower bound and per-field consumer checks are skipped.  Calls
+whose kind is not a string constant (the worker re-emit path, forwarding
+shims like ``Run.emit``) are producers of *unknown* kinds and are
+deliberately skipped — they forward other sites' events.
+
+**Checking** — a *consumer variable* is any name whose scope reads
+``x["kind"]``/``x.get("kind")``.  Constant kind comparisons against such
+expressions (``==``, ``!=``, ``in`` over literal or module-constant
+sets, kind-keyed dict lookups) are validated against the extracted
+registry (RL011); constant field subscripts/gets/membership tests on the
+variable are validated against the kind set the surrounding control flow
+narrows to (RL012).  Narrowing understands ``if kind == "k":`` bodies,
+``if kind != "k": continue/return`` guards, ``kind in CONSTANT_SET``,
+and ``and``-conjunctions; unresolvable guards fall back to the union of
+all known fields, so the pass under-reports rather than guesses.
+
+RL011 also diffs the committed ``repro/telemetry/schema.py`` registry
+against the freshly-extracted one, so drift between the code and the
+generated module fails lint until ``python -m repro.lint schema`` is
+re-run.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from ..sources import Project, SourceFile
+from .callgraph import CallGraph, get_callgraph
+
+__all__ = [
+    "BOOKKEEPING_FIELDS",
+    "EventSchema",
+    "check_consumers",
+    "check_registry_module",
+    "extract_event_schemas",
+    "iter_emit_calls",
+    "parse_registry_literal",
+    "render_schema_entries",
+    "splice_schema_module",
+    "SCHEMA_MODULE_SUFFIX",
+]
+
+#: Fields stamped by the event log / worker merge, valid on every kind.
+BOOKKEEPING_FIELDS = (
+    "kind",
+    "run_id",
+    "seq",
+    "ts",
+    "worker_pid",
+    "worker_seq",
+    "worker_ts",
+)
+
+#: Project-relative path suffix of the committed runtime registry.
+SCHEMA_MODULE_SUFFIX = "telemetry/schema.py"
+
+
+@dataclass
+class EventSchema:
+    """Statically-extracted schema of one event kind."""
+
+    kind: str
+    fields: Set[str] = field(default_factory=set)
+    extra: bool = False
+    producers: List[Tuple[str, int]] = field(default_factory=list)
+
+    def merge(self, fields: Set[str], extra: bool, site: Tuple[str, int]):
+        self.fields |= fields
+        self.extra = self.extra or extra
+        self.producers.append(site)
+
+
+# ---------------------------------------------------------------------------
+# extraction
+
+
+def _const_str(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def _enclosing_function_map(tree: ast.AST) -> Dict[int, ast.AST]:
+    """Map ``id(node)`` of every node to its innermost enclosing def."""
+    owner: Dict[int, ast.AST] = {}
+
+    def visit(node: ast.AST, current: Optional[ast.AST]) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            current = node
+        for child in ast.iter_child_nodes(node):
+            if current is not None:
+                owner[id(child)] = current
+            visit(child, current)
+
+    visit(tree, None)
+    return owner
+
+
+def _dict_literal_keys(node: ast.Dict) -> Tuple[Set[str], bool]:
+    keys: Set[str] = set()
+    extra = False
+    for key in node.keys:
+        if key is None:  # ``{**other}``
+            extra = True
+            continue
+        text = _const_str(key)
+        if text is None:
+            extra = True
+        else:
+            keys.add(text)
+    return keys, extra
+
+
+def _function_return_keys(
+    graph: CallGraph, key: str, _depth: int = 0
+) -> Tuple[Set[str], bool]:
+    """Dict keys a project function's return value is known to carry."""
+    info = graph.functions.get(key)
+    if info is None or _depth > 2:
+        return set(), True
+    fields: Set[str] = set()
+    extra = False
+    returns = [
+        node
+        for node in ast.walk(info.node)
+        if isinstance(node, ast.Return) and node.value is not None
+    ]
+    if not returns:
+        return set(), True
+    for ret in returns:
+        value = ret.value
+        if isinstance(value, ast.Dict):
+            keys, open_ = _dict_literal_keys(value)
+            fields |= keys
+            extra = extra or open_
+        elif isinstance(value, ast.Name):
+            keys, open_ = _trace_local_dict(
+                graph, info.source.module, info.node, value.id, ret
+            )
+            fields |= keys
+            extra = extra or open_
+        else:
+            extra = True
+    return fields, extra
+
+
+def _resolve_call_keys(
+    graph: CallGraph, module: str, call: ast.Call
+) -> Tuple[Set[str], bool]:
+    """Keys of the dict returned by ``call``, when statically traceable."""
+    table = graph.modules.get(module)
+    if table is None:
+        return set(), True
+    func = call.func
+    target: Optional[str] = None
+    if isinstance(func, ast.Name):
+        name = func.id
+        if name in table.functions:
+            target = table.functions[name]
+        elif name in table.imports:
+            target = graph.resolve_qualified(table.imports[name])
+    if target is None:
+        return set(), True
+    return _function_return_keys(graph, target)
+
+
+def _trace_local_dict(
+    graph: CallGraph,
+    module: str,
+    scope: ast.AST,
+    name: str,
+    before: ast.AST,
+    _depth: int = 0,
+) -> Tuple[Set[str], bool]:
+    """Fields a local dict variable carries at the splat site.
+
+    Scans the enclosing function for statements *before* the use site
+    that shape ``name``: literal assignment, constant-key subscript
+    stores, and ``name.update(...)`` calls.  Any shaping we cannot read
+    (augmented merges, conditional rebinding to calls, ...) marks the
+    schema open rather than wrong.
+    """
+    fields: Set[str] = set()
+    extra = False
+    seeded = False
+    limit = before.lineno
+    for node in ast.walk(scope):
+        lineno = getattr(node, "lineno", None)
+        if lineno is None or lineno > limit:
+            continue
+        if isinstance(node, ast.Assign):
+            targets = [
+                t for t in node.targets if isinstance(t, ast.Name)
+            ]
+            if not any(t.id == name for t in targets):
+                # ``d[k] = v`` subscript store
+                for t in node.targets:
+                    if (
+                        isinstance(t, ast.Subscript)
+                        and isinstance(t.value, ast.Name)
+                        and t.value.id == name
+                    ):
+                        key = _const_str(t.slice)
+                        if key is None:
+                            extra = True
+                        else:
+                            fields.add(key)
+                continue
+            seeded = True
+            value = node.value
+            if isinstance(value, ast.Dict):
+                keys, open_ = _dict_literal_keys(value)
+                fields |= keys
+                extra = extra or open_
+            elif isinstance(value, ast.Call):
+                if _depth > 2:
+                    extra = True
+                else:
+                    keys, open_ = _resolve_call_keys(graph, module, value)
+                    fields |= keys
+                    extra = extra or open_
+            elif isinstance(value, ast.Name) and _depth <= 2:
+                keys, open_ = _trace_local_dict(
+                    graph, module, scope, value.id, node, _depth + 1
+                )
+                fields |= keys
+                extra = extra or open_
+            else:
+                extra = True
+        elif isinstance(node, ast.Expr) and isinstance(node.value, ast.Call):
+            call = node.value
+            func = call.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "update"
+                and isinstance(func.value, ast.Name)
+                and func.value.id == name
+            ):
+                for kw in call.keywords:
+                    if kw.arg is None:
+                        extra = True
+                    else:
+                        fields.add(kw.arg)
+                for arg in call.args:
+                    if isinstance(arg, ast.Dict):
+                        keys, open_ = _dict_literal_keys(arg)
+                        fields |= keys
+                        extra = extra or open_
+                    else:
+                        extra = True
+    if not seeded:
+        extra = True
+    return fields, extra
+
+
+def iter_emit_calls(
+    source: SourceFile,
+) -> Iterator[Tuple[ast.Call, Optional[str]]]:
+    """Yield every ``*.emit(...)`` call with its constant kind (or None)."""
+    for node in ast.walk(source.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr == "emit"):
+            continue
+        if not node.args:
+            continue
+        yield node, _const_str(node.args[0])
+
+
+def extract_event_schemas(project: Project) -> Dict[str, EventSchema]:
+    """Extract the producer-side schema registry for a whole project."""
+    graph = get_callgraph(project)
+    schemas: Dict[str, EventSchema] = {}
+    for source in project.sources:
+        owners = None
+        for call, kind in iter_emit_calls(source):
+            if kind is None:
+                continue  # dynamic forward (worker re-emit, Run.emit shim)
+            fields: Set[str] = set()
+            extra = False
+            for kw in call.keywords:
+                if kw.arg is not None:
+                    fields.add(kw.arg)
+                    continue
+                value = kw.value
+                if isinstance(value, ast.Dict):
+                    keys, open_ = _dict_literal_keys(value)
+                    fields |= keys
+                    extra = extra or open_
+                elif isinstance(value, ast.Call):
+                    keys, open_ = _resolve_call_keys(
+                        graph, source.module, value
+                    )
+                    fields |= keys
+                    extra = extra or open_
+                elif isinstance(value, ast.Name):
+                    if owners is None:
+                        owners = _enclosing_function_map(source.tree)
+                    scope = owners.get(id(call))
+                    if scope is None:
+                        extra = True
+                    else:
+                        keys, open_ = _trace_local_dict(
+                            graph, source.module, scope, value.id, call
+                        )
+                        fields |= keys
+                        extra = extra or open_
+                else:
+                    extra = True
+            schema = schemas.setdefault(kind, EventSchema(kind=kind))
+            schema.merge(fields, extra, (source.path, call.lineno))
+    for schema in schemas.values():
+        schema.producers.sort()
+    return schemas
+
+
+# ---------------------------------------------------------------------------
+# consumer checking
+
+_JUMPS = (ast.Continue, ast.Break, ast.Return, ast.Raise)
+
+
+def _module_string_sets(source: SourceFile) -> Dict[str, Set[str]]:
+    """Module-level names bound to all-string set/frozenset/tuple/list."""
+    out: Dict[str, Set[str]] = {}
+    for stmt in source.tree.body:
+        if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+            continue
+        target = stmt.targets[0]
+        if not isinstance(target, ast.Name):
+            continue
+        value = stmt.value
+        if (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id in ("frozenset", "set", "tuple")
+            and len(value.args) == 1
+        ):
+            value = value.args[0]
+        if isinstance(value, (ast.Set, ast.Tuple, ast.List)):
+            elements = [_const_str(e) for e in value.elts]
+            if elements and all(e is not None for e in elements):
+                out[target.id] = set(elements)
+    return out
+
+
+def _is_kind_access(node: ast.AST) -> Optional[str]:
+    """If ``node`` reads ``x["kind"]``/``x.get("kind")``, return ``x``."""
+    if isinstance(node, ast.Subscript) and isinstance(node.value, ast.Name):
+        if _const_str(node.slice) == "kind":
+            return node.value.id
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "get"
+        and isinstance(node.func.value, ast.Name)
+        and node.args
+        and _const_str(node.args[0]) == "kind"
+    ):
+        return node.func.value.id
+    return None
+
+
+@dataclass
+class _Scope:
+    """Consumer facts for one function (or the module body)."""
+
+    event_vars: Set[str] = field(default_factory=set)
+    kind_vars: Set[str] = field(default_factory=set)
+    kind_dict_vars: Set[str] = field(default_factory=set)
+    #: list name -> kinds stored in it (None = unknown); iterating the
+    #: list yields events of those kinds.
+    list_collections: Dict[str, Optional[Set[str]]] = field(
+        default_factory=dict
+    )
+    #: dict-of-lists name -> kinds; iterating ``d[key]`` yields events.
+    dict_collections: Dict[str, Optional[Set[str]]] = field(
+        default_factory=dict
+    )
+
+
+def _collect_scope(node: ast.AST) -> _Scope:
+    """First pass: find event vars, kind vars, and kind-keyed dicts."""
+    scope = _Scope()
+    nested = _nested_function_nodes(node)
+    for child in ast.walk(node):
+        if id(child) in nested:
+            continue
+        var = _is_kind_access(child)
+        if var is not None:
+            scope.event_vars.add(var)
+        if isinstance(child, ast.Assign):
+            if _is_kind_expr_value(child.value, scope):
+                for t in child.targets:
+                    if isinstance(t, ast.Name):
+                        scope.kind_vars.add(t.id)
+            for t in child.targets:
+                if (
+                    isinstance(t, ast.Subscript)
+                    and isinstance(t.value, ast.Name)
+                    and _is_kind_expr(t.slice, scope)
+                ):
+                    scope.kind_dict_vars.add(t.value.id)
+        if (
+            isinstance(child, ast.Call)
+            and isinstance(child.func, ast.Attribute)
+            and child.func.attr in ("get", "setdefault")
+            and isinstance(child.func.value, ast.Name)
+            and child.args
+            and _is_kind_expr(child.args[0], scope)
+            and _const_str(child.args[0]) is None
+        ):
+            scope.kind_dict_vars.add(child.func.value.id)
+    return scope
+
+
+def _nested_function_nodes(node: ast.AST) -> Set[int]:
+    """ids of nodes inside nested defs (they get their own scope pass)."""
+    out: Set[int] = set()
+    for child in ast.walk(node):
+        if child is node:
+            continue
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for sub in ast.walk(child):
+                if sub is not child:
+                    out.add(id(sub))
+    return out
+
+
+def _is_kind_expr(node: ast.AST, scope: _Scope) -> bool:
+    """Does ``node`` evaluate to an event kind?"""
+    if _is_kind_access(node) is not None:
+        return True
+    if isinstance(node, ast.Name) and node.id in scope.kind_vars:
+        return True
+    return False
+
+
+def _is_kind_expr_value(node: ast.AST, scope: _Scope) -> bool:
+    return _is_kind_access(node) is not None or (
+        isinstance(node, ast.Name) and node.id in scope.kind_vars
+    )
+
+
+def _kind_literals(
+    node: ast.AST, constants: Dict[str, Set[str]]
+) -> Optional[Set[str]]:
+    """Constant kind-set of a comparison operand, if known."""
+    text = _const_str(node)
+    if text is not None:
+        return {text}
+    if isinstance(node, ast.Name) and node.id in constants:
+        return set(constants[node.id])
+    if isinstance(node, (ast.Set, ast.Tuple, ast.List)):
+        elements = [_const_str(e) for e in node.elts]
+        if elements and all(e is not None for e in elements):
+            return set(elements)
+    return None
+
+
+def _test_narrowing(
+    test: ast.AST, scope: _Scope, constants: Dict[str, Set[str]]
+) -> Tuple[Optional[Set[str]], Optional[Set[str]]]:
+    """``(positive, negative)`` kind sets implied by an if-test.
+
+    ``positive`` narrows the body; ``negative`` narrows the code
+    after a ``!= k: continue``-style guard.  ``None`` = no claim.
+    """
+    if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.And):
+        positive: Optional[Set[str]] = None
+        for value in test.values:
+            pos, _ = _test_narrowing(value, scope, constants)
+            if pos is not None:
+                positive = pos if positive is None else positive & pos
+        return positive, None
+    if not isinstance(test, ast.Compare) or len(test.ops) != 1:
+        return None, None
+    left, op, right = test.left, test.ops[0], test.comparators[0]
+    if isinstance(op, (ast.Eq, ast.NotEq)):
+        kind_side = None
+        const_side = None
+        for a, b in ((left, right), (right, left)):
+            if _is_kind_expr(a, scope):
+                kind_side, const_side = a, b
+                break
+        if kind_side is None:
+            return None, None
+        kinds = _kind_literals(const_side, constants)
+        if kinds is None:
+            return None, None
+        if isinstance(op, ast.Eq):
+            return kinds, None
+        return None, kinds
+    if isinstance(op, (ast.In, ast.NotIn)):
+        if not _is_kind_expr(left, scope):
+            return None, None
+        kinds = _kind_literals(right, constants)
+        if kinds is None:
+            return None, None
+        if isinstance(op, ast.In):
+            return kinds, None
+        return None, kinds
+    return None, None
+
+
+def _collection_base(node: ast.AST) -> Optional[str]:
+    """Dict name behind ``C[k]`` or ``C.setdefault(k, default)``."""
+    if isinstance(node, ast.Subscript) and isinstance(node.value, ast.Name):
+        return node.value.id
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "setdefault"
+        and isinstance(node.func.value, ast.Name)
+    ):
+        return node.func.value.id
+    return None
+
+
+def _merge_collection(
+    out: Dict[str, Optional[Set[str]]],
+    name: str,
+    kinds: Optional[Set[str]],
+) -> None:
+    if name in out:
+        previous = out[name]
+        out[name] = (
+            None
+            if previous is None or kinds is None
+            else previous | kinds
+        )
+    else:
+        out[name] = set(kinds) if kinds is not None else None
+
+
+def _collect_collections(
+    stmts: List[ast.stmt],
+    scope: _Scope,
+    constants: Dict[str, Set[str]],
+    kinds: Optional[Set[str]] = None,
+) -> None:
+    """Record collections that store event vars, with the kind
+    narrowing in force at each store site.
+
+    ``events`` appended to a list (``bucket.append(event)``) or filed
+    into a dict of lists (``by_rate.setdefault(r, []).append(event)``)
+    keep their schema; tracking the store lets the checker treat a later
+    ``for d in by_rate[r]`` loop variable as an event of those kinds.
+    An unnarrowed store poisons the collection to ``None`` (no claim).
+    """
+    for stmt in stmts:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue  # own scope
+        if isinstance(stmt, ast.If):
+            positive, _ = _test_narrowing(stmt.test, scope, constants)
+            body_kinds = kinds
+            if positive is not None:
+                body_kinds = positive if kinds is None else positive & kinds
+            _collect_collections(stmt.body, scope, constants, body_kinds)
+            _collect_collections(stmt.orelse, scope, constants, kinds)
+            continue
+        if isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+            _collect_collections(stmt.body, scope, constants, kinds)
+            _collect_collections(stmt.orelse, scope, constants, kinds)
+            continue
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            _collect_collections(stmt.body, scope, constants, kinds)
+            continue
+        if isinstance(stmt, ast.Try):
+            _collect_collections(stmt.body, scope, constants, kinds)
+            for handler in stmt.handlers:
+                _collect_collections(handler.body, scope, constants, kinds)
+            _collect_collections(stmt.orelse, scope, constants, kinds)
+            _collect_collections(stmt.finalbody, scope, constants, kinds)
+            continue
+        for child in ast.walk(stmt):
+            if (
+                isinstance(child, ast.Call)
+                and isinstance(child.func, ast.Attribute)
+                and child.func.attr == "append"
+                and len(child.args) == 1
+                and isinstance(child.args[0], ast.Name)
+                and child.args[0].id in scope.event_vars
+            ):
+                target = child.func.value
+                if isinstance(target, ast.Name):
+                    _merge_collection(
+                        scope.list_collections, target.id, kinds
+                    )
+                else:
+                    base = _collection_base(target)
+                    if base is not None:
+                        _merge_collection(
+                            scope.dict_collections, base, kinds
+                        )
+            if (
+                isinstance(child, ast.Assign)
+                and isinstance(child.value, ast.Name)
+                and child.value.id in scope.event_vars
+            ):
+                for assign_target in child.targets:
+                    base = _collection_base(assign_target)
+                    if base is not None:
+                        _merge_collection(
+                            scope.dict_collections, base, kinds
+                        )
+
+
+#: Sentinel distinguishing "not an event collection" from a collection
+#: whose stored kinds are unknown (``None``).
+_NOT_A_COLLECTION = object()
+
+
+class _ConsumerChecker:
+    """Second pass over one scope: validate kinds and narrowed fields."""
+
+    def __init__(
+        self,
+        source: SourceFile,
+        scope: _Scope,
+        schemas: Dict[str, EventSchema],
+        constants: Dict[str, Set[str]],
+    ) -> None:
+        self.source = source
+        self.scope = scope
+        self.schemas = schemas
+        self.constants = constants
+        self.all_fields: Set[str] = set(BOOKKEEPING_FIELDS)
+        for schema in schemas.values():
+            self.all_fields |= schema.fields
+        self.any_open = any(s.extra for s in schemas.values())
+        self.findings: List[Tuple[str, ast.AST, str]] = []
+
+    # -- checks ---------------------------------------------------------
+
+    def _check_kind(self, kind: str, anchor: ast.AST) -> None:
+        if kind not in self.schemas:
+            self.findings.append(
+                (
+                    "RL011",
+                    anchor,
+                    f"unknown event kind {kind!r}: no emit() site "
+                    "produces it",
+                )
+            )
+
+    def _check_field(
+        self, name: str, kinds: Optional[Set[str]], anchor: ast.AST
+    ) -> None:
+        if name in BOOKKEEPING_FIELDS:
+            return
+        if kinds is None:
+            if name not in self.all_fields and not self.any_open:
+                self.findings.append(
+                    (
+                        "RL012",
+                        anchor,
+                        f"unknown event field {name!r}: no emit() site "
+                        "produces it under any kind",
+                    )
+                )
+            return
+        known = {k for k in kinds if k in self.schemas}
+        if not known:
+            return  # RL011 already reported the unknown kind
+        if any(self.schemas[k].extra for k in known):
+            return
+        allowed: Set[str] = set()
+        for k in known:
+            allowed |= self.schemas[k].fields
+        if name not in allowed:
+            label = ", ".join(sorted(known))
+            self.findings.append(
+                (
+                    "RL012",
+                    anchor,
+                    f"unknown event field {name!r}: no emit() site for "
+                    f"kind {label} produces it",
+                )
+            )
+
+    def _check_expr(
+        self, node: ast.AST, kinds: Optional[Set[str]]
+    ) -> None:
+        """Walk one expression tree, validating accesses."""
+        nested = _nested_function_nodes(node)
+        for child in ast.walk(node):
+            if id(child) in nested:
+                continue
+            self._check_node(child, kinds)
+
+    def _stored_event_kinds(self, node: ast.AST):
+        """Kinds of events yielded by iterating ``node``, or the
+        ``_NOT_A_COLLECTION`` sentinel."""
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in ("sorted", "list", "reversed")
+            and len(node.args) >= 1
+        ):
+            return self._stored_event_kinds(node.args[0])
+        if (
+            isinstance(node, ast.Name)
+            and node.id in self.scope.list_collections
+        ):
+            return self.scope.list_collections[node.id]
+        if (
+            isinstance(node, ast.Subscript)
+            and isinstance(node.value, ast.Name)
+            and node.value.id in self.scope.dict_collections
+        ):
+            return self.scope.dict_collections[node.value.id]
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "get"
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id in self.scope.dict_collections
+        ):
+            return self.scope.dict_collections[node.func.value.id]
+        return _NOT_A_COLLECTION
+
+    def _check_node(self, node: ast.AST, kinds: Optional[Set[str]]) -> None:
+        # comprehensions: re-derive narrowing from their generators
+        # (iterating a tracked event collection binds a new event var)
+        # and their if-clauses
+        if isinstance(
+            node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)
+        ):
+            local = kinds
+            for gen in node.generators:
+                if isinstance(gen.target, ast.Name):
+                    stored = self._stored_event_kinds(gen.iter)
+                    if stored is not _NOT_A_COLLECTION:
+                        self.scope.event_vars.add(gen.target.id)
+                        local = stored
+                for cond in gen.ifs:
+                    pos, _ = _test_narrowing(
+                        cond, self.scope, self.constants
+                    )
+                    if pos is not None:
+                        local = pos if local is None else local & pos
+            if local is not kinds:
+                # elt was/will be visited with the outer narrowing by the
+                # surrounding walk; re-check it under the tighter one.
+                self._check_expr(node.elt, local)
+            return
+        # kind usages
+        if isinstance(node, ast.Compare) and len(node.ops) == 1:
+            left, op, right = node.left, node.ops[0], node.comparators[0]
+            if isinstance(op, (ast.Eq, ast.NotEq)):
+                for a, b in ((left, right), (right, left)):
+                    if _is_kind_expr(a, self.scope):
+                        literals = _kind_literals(b, self.constants)
+                        if literals is not None:
+                            for kind in sorted(literals):
+                                self._check_kind(kind, b)
+                        break
+            elif isinstance(op, (ast.In, ast.NotIn)) and _is_kind_expr(
+                left, self.scope
+            ):
+                literals = _kind_literals(right, self.constants)
+                if literals is not None:
+                    for kind in sorted(literals):
+                        self._check_kind(kind, right)
+                # membership over an event var: ``"field" in event``
+        if isinstance(node, ast.Compare) and len(node.ops) == 1:
+            left, op, right = node.left, node.ops[0], node.comparators[0]
+            if (
+                isinstance(op, (ast.In, ast.NotIn))
+                and isinstance(right, ast.Name)
+                and right.id in self.scope.event_vars
+            ):
+                name = _const_str(left)
+                if name is not None:
+                    self._check_field(name, kinds, left)
+        # field subscript ``event["f"]``
+        if isinstance(node, ast.Subscript) and isinstance(
+            node.value, ast.Name
+        ):
+            var = node.value.id
+            name = _const_str(node.slice)
+            if name is not None:
+                if var in self.scope.event_vars and name != "kind":
+                    self._check_field(name, kinds, node)
+                elif var in self.scope.kind_dict_vars:
+                    self._check_kind(name, node)
+        # ``event.get("f", ...)`` / kind-dict ``by_kind.get("k")``
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "get"
+            and isinstance(node.func.value, ast.Name)
+            and node.args
+        ):
+            var = node.func.value.id
+            name = _const_str(node.args[0])
+            if name is not None:
+                if var in self.scope.event_vars and name != "kind":
+                    self._check_field(name, kinds, node)
+                elif var in self.scope.kind_dict_vars:
+                    self._check_kind(name, node)
+
+    def check_statements(
+        self, stmts: List[ast.stmt], kinds: Optional[Set[str]]
+    ) -> None:
+        index = 0
+        while index < len(stmts):
+            stmt = stmts[index]
+            index += 1
+            if isinstance(stmt, ast.If):
+                positive, negative = _test_narrowing(
+                    stmt.test, self.scope, self.constants
+                )
+                self._check_expr(stmt.test, kinds)
+                if positive is not None:
+                    body_kinds = (
+                        positive if kinds is None else positive & kinds
+                    )
+                    self.check_statements(stmt.body, body_kinds)
+                    self.check_statements(stmt.orelse, kinds)
+                    continue
+                if negative is not None and any(
+                    isinstance(s, _JUMPS) for s in stmt.body
+                ):
+                    self.check_statements(stmt.body, kinds)
+                    self.check_statements(stmt.orelse, kinds)
+                    remaining = (
+                        negative if kinds is None else negative & kinds
+                    )
+                    self.check_statements(stmts[index:], remaining)
+                    return
+                self.check_statements(stmt.body, kinds)
+                self.check_statements(stmt.orelse, kinds)
+                continue
+            if isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+                body_kinds = kinds
+                if isinstance(stmt, ast.While):
+                    self._check_expr(stmt.test, kinds)
+                else:
+                    self._check_expr(stmt.iter, kinds)
+                    if isinstance(stmt.target, ast.Name):
+                        stored = self._stored_event_kinds(stmt.iter)
+                        if stored is not _NOT_A_COLLECTION:
+                            self.scope.event_vars.add(stmt.target.id)
+                            body_kinds = stored
+                self.check_statements(stmt.body, body_kinds)
+                self.check_statements(stmt.orelse, kinds)
+                continue
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                for item in stmt.items:
+                    self._check_expr(item.context_expr, kinds)
+                self.check_statements(stmt.body, kinds)
+                continue
+            if isinstance(stmt, ast.Try):
+                self.check_statements(stmt.body, kinds)
+                for handler in stmt.handlers:
+                    self.check_statements(handler.body, kinds)
+                self.check_statements(stmt.orelse, kinds)
+                self.check_statements(stmt.finalbody, kinds)
+                continue
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue  # own scope; handled separately
+            self._check_expr(stmt, kinds)
+
+
+def _iter_scopes(source: SourceFile) -> Iterator[Tuple[ast.AST, List[ast.stmt]]]:
+    yield source.tree, [
+        s
+        for s in source.tree.body
+        if not isinstance(s, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+    for node in ast.walk(source.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node, list(node.body)
+
+
+def check_consumers(
+    project: Project, schemas: Dict[str, EventSchema]
+) -> Iterator[Tuple[str, SourceFile, ast.AST, str]]:
+    """Yield ``(rule, source, anchor, message)`` consumer violations."""
+    if not schemas:
+        return  # partial-path run with no producers: nothing to check
+    for source in project.sources:
+        constants = _module_string_sets(source)
+        for scope_node, stmts in _iter_scopes(source):
+            scope = _collect_scope(scope_node)
+            if not (scope.event_vars or scope.kind_dict_vars):
+                continue
+            _collect_collections(stmts, scope, constants)
+            checker = _ConsumerChecker(source, scope, schemas, constants)
+            checker.check_statements(stmts, None)
+            for rule, anchor, message in checker.findings:
+                yield rule, source, anchor, message
+
+
+# ---------------------------------------------------------------------------
+# committed-registry staleness
+
+
+#: Markers bounding the generated region of ``repro/telemetry/schema.py``.
+SCHEMA_BEGIN = "# --- BEGIN GENERATED EVENT SCHEMAS"
+SCHEMA_END = "# --- END GENERATED EVENT SCHEMAS"
+
+
+def render_schema_entries(schemas: Dict[str, EventSchema]) -> str:
+    """The generated ``EVENT_SCHEMAS`` literal, deterministically ordered."""
+    lines = ["EVENT_SCHEMAS: Dict[str, Dict[str, object]] = {"]
+    for kind in sorted(schemas):
+        schema = schemas[kind]
+        lines.append(f"    {kind!r}: {{")
+        field_items = sorted(schema.fields)
+        if field_items:
+            lines.append('        "fields": (')
+            for name in field_items:
+                lines.append(f"            {name!r},")
+            lines.append("        ),")
+        else:
+            lines.append('        "fields": (),')
+        lines.append(f'        "extra": {schema.extra},')
+        lines.append("    },")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def splice_schema_module(text: str, schemas: Dict[str, EventSchema]) -> str:
+    """Replace the generated region of the runtime schema module."""
+    lines = text.splitlines()
+    begin = end = None
+    for index, line in enumerate(lines):
+        if line.strip().startswith(SCHEMA_BEGIN):
+            begin = index
+        elif line.strip().startswith(SCHEMA_END):
+            end = index
+    if begin is None or end is None or end <= begin:
+        raise ValueError(
+            "schema module has no generated-region markers "
+            f"({SCHEMA_BEGIN!r} ... {SCHEMA_END!r})"
+        )
+    out = (
+        lines[: begin + 1]
+        + render_schema_entries(schemas).splitlines()
+        + lines[end:]
+    )
+    return "\n".join(out) + "\n"
+
+
+def parse_registry_literal(
+    source: SourceFile,
+) -> Optional[Dict[str, Dict[str, object]]]:
+    """Read ``EVENT_SCHEMAS`` out of the committed registry module."""
+    for stmt in source.tree.body:
+        target: Optional[ast.AST] = None
+        value_node: Optional[ast.AST] = None
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target, value_node = stmt.targets[0], stmt.value
+        elif isinstance(stmt, ast.AnnAssign):
+            target, value_node = stmt.target, stmt.value
+        if (
+            not isinstance(target, ast.Name)
+            or target.id != "EVENT_SCHEMAS"
+            or value_node is None
+        ):
+            continue
+        try:
+            value = ast.literal_eval(value_node)
+        except (ValueError, SyntaxError):
+            return None
+        if isinstance(value, dict):
+            return value
+        return None
+    return None
+
+
+def check_registry_module(
+    project: Project, schemas: Dict[str, EventSchema]
+) -> Iterator[Tuple[str, SourceFile, ast.AST, str]]:
+    """RL011: diff the committed registry against the extracted one."""
+    if not schemas:
+        return
+    registry_source = None
+    for source in project.sources:
+        if source.path.replace("\\", "/").endswith(SCHEMA_MODULE_SUFFIX):
+            registry_source = source
+            break
+    if registry_source is None:
+        return
+    committed = parse_registry_literal(registry_source)
+    if committed is None:
+        yield (
+            "RL011",
+            registry_source,
+            1,
+            "event-schema registry has no readable EVENT_SCHEMAS literal; "
+            "regenerate with `python -m repro.lint schema`",
+        )
+        return
+    problems: List[str] = []
+    for kind in sorted(set(schemas) - set(committed)):
+        problems.append(f"missing kind {kind!r}")
+    for kind in sorted(set(committed) - set(schemas)):
+        problems.append(f"stale kind {kind!r}")
+    for kind in sorted(set(committed) & set(schemas)):
+        entry = committed[kind]
+        want_fields = tuple(sorted(schemas[kind].fields))
+        have_fields = tuple(entry.get("fields", ()))
+        if have_fields != want_fields or bool(entry.get("extra")) != bool(
+            schemas[kind].extra
+        ):
+            problems.append(f"drifted entry for kind {kind!r}")
+    if problems:
+        detail = "; ".join(problems[:4])
+        if len(problems) > 4:
+            detail += f"; +{len(problems) - 4} more"
+        yield (
+            "RL011",
+            registry_source,
+            1,
+            f"event-schema registry is stale ({detail}); regenerate with "
+            "`python -m repro.lint schema`",
+        )

@@ -1,0 +1,443 @@
+"""RL014 — worker purity at parallel submission sites; RL015 — dead code.
+
+``repro.parallel`` pickles task callables into worker processes, so a
+callable handed to a submission site must be a *module-level function*
+(bound methods, lambdas, and nested closures either fail to pickle or
+silently drag parent state across the fork), and its body must not lean
+on module-global mutable state: globals are re-imported per worker, so
+an open file, a lock, a live ``Run`` handle, or a module-level dict
+mutated by the parent is at best a stale copy and at worst a deadlock.
+
+Submission sites are declared, not guessed: ``repro.parallel`` exports
+``LINT_SUBMISSION_SITES`` mapping ``"Class.method"`` to the positional
+index of the callable argument.  The pass reads that marker out of the
+linted project's AST (falling back to the built-in default when linting
+fixture projects that don't vendor ``repro.parallel``), then resolves
+the callable expression at each site: direct names, ``IfExp`` selections
+between names, and cross-module imports are followed; anything it cannot
+prove module-level is reported.
+
+RL015 walks the same graph for module-level ``_private`` functions and
+methods with no reference anywhere in the project — decorated defs,
+dunders, and ``__all__`` entries are exempt (registration or export *is*
+the use).  Dead helpers are warnings: they rot schemas and taint passes
+alike, but deleting code is a human call.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from ..sources import Project, SourceFile
+from .callgraph import CallGraph, FunctionInfo, get_callgraph
+
+__all__ = [
+    "DEFAULT_SUBMISSION_SITES",
+    "check_dead_code",
+    "check_worker_purity",
+    "submission_sites",
+]
+
+#: Built-in fallback: ``ParallelMap.map(fn, ...)`` / ``Broadcast.run(fn)``.
+DEFAULT_SUBMISSION_SITES = {
+    "ParallelMap.map": 0,
+    "Broadcast.run": 0,
+}
+
+_MARKER_NAME = "LINT_SUBMISSION_SITES"
+
+#: Calls whose module-level result is inherently worker-hostile.
+_IMPURE_FACTORIES = frozenset(
+    {
+        "open",
+        "Lock",
+        "RLock",
+        "Condition",
+        "Event",
+        "Semaphore",
+        "BoundedSemaphore",
+        "Queue",
+        "session",
+        "start_run",
+        "Run",
+    }
+)
+
+
+def submission_sites(project: Project) -> Dict[str, int]:
+    """Read ``LINT_SUBMISSION_SITES`` markers out of the project."""
+    sites = dict(DEFAULT_SUBMISSION_SITES)
+    for source in project.sources:
+        for stmt in source.tree.body:
+            if (
+                isinstance(stmt, ast.Assign)
+                and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)
+                and stmt.targets[0].id == _MARKER_NAME
+            ):
+                try:
+                    value = ast.literal_eval(stmt.value)
+                except (ValueError, SyntaxError):
+                    continue
+                if isinstance(value, dict):
+                    for name, index in value.items():
+                        if isinstance(name, str) and isinstance(index, int):
+                            sites[name] = index
+    return sites
+
+
+def _site_classes(sites: Dict[str, int]) -> Dict[str, Dict[str, int]]:
+    """``{"ParallelMap": {"map": 0}, ...}``"""
+    out: Dict[str, Dict[str, int]] = {}
+    for dotted, index in sites.items():
+        cls, _, method = dotted.partition(".")
+        if method:
+            out.setdefault(cls, {})[method] = index
+    return out
+
+
+def _own_nodes(scope: ast.AST):
+    """Walk a scope's nodes, skipping nested function subtrees.
+
+    ``_scopes`` yields every def as its own scope, so descending into
+    nested defs here would double-count their submission sites.
+    """
+    skip: Set[int] = set()
+    for node in ast.walk(scope):
+        if id(node) in skip:
+            continue
+        if (
+            isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and node is not scope
+        ):
+            for sub in ast.walk(node):
+                if sub is not node:
+                    skip.add(id(sub))
+            continue
+        yield node
+
+
+def _instance_vars(
+    scope: ast.AST, class_names: Set[str]
+) -> Dict[str, str]:
+    """Local names assigned from ``SiteClass(...)`` in this scope."""
+    out: Dict[str, str] = {}
+    for node in _own_nodes(scope):
+        if not isinstance(node, ast.Assign):
+            continue
+        value = node.value
+        if not (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id in class_names
+        ):
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                out[target.id] = value.func.id
+    return out
+
+
+def _callable_arg(
+    call: ast.Call, index: int
+) -> Optional[ast.AST]:
+    if len(call.args) > index:
+        return call.args[index]
+    return None
+
+
+def _local_assignments(scope: ast.AST, name: str) -> List[ast.AST]:
+    values = []
+    for node in ast.walk(scope):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == name:
+                    values.append(node.value)
+    return values
+
+
+def _nested_def_names(scope: ast.AST) -> Set[str]:
+    out: Set[str] = set()
+    for node in ast.walk(scope):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node is not scope:
+                out.add(node.name)
+    return out
+
+
+def _resolve_worker_names(
+    expr: ast.AST, scope: ast.AST, _depth: int = 0
+) -> Tuple[List[str], List[Tuple[ast.AST, str]]]:
+    """Resolve a callable expression to candidate names.
+
+    Returns ``(names, problems)`` where problems are immediately
+    reportable (lambda, bound attribute) with their anchors.
+    """
+    if _depth > 3:
+        return [], []
+    if isinstance(expr, ast.Name):
+        values = _local_assignments(scope, expr.id)
+        if not values:
+            return [expr.id], []
+        names: List[str] = []
+        problems: List[Tuple[ast.AST, str]] = []
+        for value in values:
+            sub_names, sub_problems = _resolve_worker_names(
+                value, scope, _depth + 1
+            )
+            names.extend(sub_names)
+            problems.extend(sub_problems)
+        return names, problems
+    if isinstance(expr, ast.IfExp):
+        names, problems = _resolve_worker_names(expr.body, scope, _depth + 1)
+        more, more_problems = _resolve_worker_names(
+            expr.orelse, scope, _depth + 1
+        )
+        return names + more, problems + more_problems
+    if isinstance(expr, ast.Lambda):
+        return [], [
+            (expr, "lambda cannot be shipped to workers: not picklable")
+        ]
+    if isinstance(expr, ast.Attribute):
+        return [], [
+            (
+                expr,
+                "bound attribute cannot be shipped to workers: pass a "
+                "module-level function instead",
+            )
+        ]
+    if isinstance(expr, (ast.Call, ast.Constant)):
+        return [], []  # functools.partial etc.: out of scope, and None
+    return [], []
+
+
+def _module_global_mutables(source: SourceFile) -> Dict[str, str]:
+    """Module-level names bound to mutable state, with a description."""
+    out: Dict[str, str] = {}
+    for stmt in source.tree.body:
+        targets: List[ast.Name] = []
+        value: Optional[ast.AST] = None
+        if isinstance(stmt, ast.Assign):
+            targets = [t for t in stmt.targets if isinstance(t, ast.Name)]
+            value = stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(
+            stmt.target, ast.Name
+        ):
+            targets = [stmt.target]
+            value = stmt.value
+        if not targets or value is None:
+            continue
+        label: Optional[str] = None
+        if isinstance(value, (ast.List, ast.Dict, ast.Set)):
+            label = "module-global mutable literal"
+        elif isinstance(value, (ast.ListComp, ast.DictComp, ast.SetComp)):
+            label = "module-global mutable comprehension"
+        elif isinstance(value, ast.Call):
+            func = value.func
+            name = None
+            if isinstance(func, ast.Name):
+                name = func.id
+            elif isinstance(func, ast.Attribute):
+                name = func.attr
+            if name in _IMPURE_FACTORIES:
+                label = f"module-global {name}(...) handle"
+            elif name in ("list", "dict", "set", "defaultdict", "deque"):
+                label = "module-global mutable container"
+        if label is None:
+            continue
+        for target in targets:
+            # ALL_CAPS tuples/frozensets never get here; anything that
+            # does is mutable no matter the naming convention.
+            out[target.id] = label
+    return out
+
+
+def _purity_problems(
+    graph: CallGraph, info: FunctionInfo
+) -> List[Tuple[ast.AST, str]]:
+    """Impurities of one module-level worker function."""
+    problems: List[Tuple[ast.AST, str]] = []
+    mutables = _module_global_mutables(info.source)
+    params = set(info.params)
+    locals_: Set[str] = set(params)
+    for node in ast.walk(info.node):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    locals_.add(target.id)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            for target in ast.walk(node.target):
+                if isinstance(target, ast.Name):
+                    locals_.add(target.id)
+        elif isinstance(node, ast.comprehension):
+            for target in ast.walk(node.target):
+                if isinstance(target, ast.Name):
+                    locals_.add(target.id)
+        elif isinstance(node, ast.Global):
+            problems.append(
+                (
+                    info.node,
+                    f"{info.qualname}() declares `global "
+                    f"{', '.join(node.names)}`: workers mutate a copy, "
+                    "not the parent's module state",
+                )
+            )
+    reported: Set[str] = set()
+    for node in ast.walk(info.node):
+        if (
+            isinstance(node, ast.Name)
+            and isinstance(node.ctx, ast.Load)
+            and node.id in mutables
+            and node.id not in locals_
+            and node.id not in reported
+        ):
+            reported.add(node.id)
+            problems.append(
+                (
+                    node,
+                    f"worker {info.qualname}() captures {node.id!r} "
+                    f"({mutables[node.id]}): workers see a re-imported "
+                    "copy, not the parent's instance",
+                )
+            )
+    return problems
+
+
+def check_worker_purity(
+    project: Project,
+) -> Iterator[Tuple[SourceFile, ast.AST, str]]:
+    """Yield ``(source, anchor, message)`` RL014 findings."""
+    graph = get_callgraph(project)
+    classes = _site_classes(submission_sites(project))
+    for source in project.sources:
+        table = graph.modules[source.module]
+        # Names under which a site class is visible in this module.
+        visible: Dict[str, str] = {}
+        for cls in classes:
+            if cls in table.classes:
+                visible[cls] = cls
+        for local, qualified in table.imports.items():
+            tail = qualified.rsplit(".", 1)[-1]
+            if tail in classes:
+                visible[local] = tail
+        if not visible:
+            continue
+        for scope_node in _scopes(source):
+            instances = _instance_vars(scope_node, set(visible))
+            for node in _own_nodes(scope_node):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                if not isinstance(func, ast.Attribute):
+                    continue
+                cls_local: Optional[str] = None
+                if (
+                    isinstance(func.value, ast.Name)
+                    and func.value.id in instances
+                ):
+                    cls_local = instances[func.value.id]
+                elif (
+                    isinstance(func.value, ast.Call)
+                    and isinstance(func.value.func, ast.Name)
+                    and func.value.func.id in visible
+                ):
+                    cls_local = func.value.func.id
+                if cls_local is None:
+                    continue
+                site_cls = visible[cls_local]
+                index = classes[site_cls].get(func.attr)
+                if index is None:
+                    continue
+                worker = _callable_arg(node, index)
+                if worker is None:
+                    continue
+                yield from _check_worker_expr(
+                    graph, source, scope_node, worker
+                )
+
+
+def _scopes(source: SourceFile) -> Iterator[ast.AST]:
+    yield source.tree
+    for node in ast.walk(source.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _check_worker_expr(
+    graph: CallGraph,
+    source: SourceFile,
+    scope: ast.AST,
+    worker: ast.AST,
+) -> Iterator[Tuple[SourceFile, ast.AST, str]]:
+    names, problems = _resolve_worker_names(worker, scope)
+    for anchor, message in problems:
+        yield source, anchor, message
+    nested = _nested_def_names(scope) if not isinstance(
+        scope, ast.Module
+    ) else set()
+    table = graph.modules[source.module]
+    for name in sorted(set(names)):
+        if name in nested:
+            yield (
+                source,
+                worker,
+                f"worker {name!r} is a nested function: closures do not "
+                "pickle; hoist it to module level",
+            )
+            continue
+        key: Optional[str] = None
+        if name in table.functions:
+            key = table.functions[name]
+        elif name in table.imports:
+            key = graph.resolve_qualified(table.imports[name])
+        if key is None:
+            continue  # unresolved: do not guess
+        info = graph.functions.get(key)
+        if info is None:
+            continue
+        for anchor, message in _purity_problems(graph, info):
+            yield info.source, anchor, message
+
+
+# ---------------------------------------------------------------------------
+# RL015 — dead private helpers
+
+
+def check_dead_code(
+    project: Project,
+) -> Iterator[Tuple[SourceFile, ast.AST, str]]:
+    """Yield ``(source, anchor, message)`` RL015 findings."""
+    graph = get_callgraph(project)
+    # Every name referenced anywhere (loads, attributes, string literals
+    # — the latter covers getattr/registry-by-name indirection).
+    referenced: Set[str] = set()
+    for source in project.sources:
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Name) and isinstance(
+                node.ctx, ast.Load
+            ):
+                referenced.add(node.id)
+            elif isinstance(node, ast.Attribute):
+                referenced.add(node.attr)
+            elif isinstance(node, ast.Constant) and isinstance(
+                node.value, str
+            ):
+                if node.value.isidentifier():
+                    referenced.add(node.value)
+    for key in sorted(graph.functions):
+        info = graph.functions[key]
+        name = info.name
+        if not name.startswith("_") or name.startswith("__"):
+            continue
+        if info.node.decorator_list:
+            continue  # registration is the use
+        if name in referenced:
+            continue
+        kind = "method" if info.is_method else "function"
+        yield (
+            info.source,
+            info.node,
+            f"private {kind} {info.qualname}() is never referenced "
+            "anywhere in the project",
+        )

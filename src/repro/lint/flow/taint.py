@@ -1,0 +1,178 @@
+"""RL013 — interprocedural RNG taint.
+
+The per-file rules already police *direct* draws: RL001 flags unseeded
+``default_rng()``/legacy ``np.random.*`` calls, RL002 flags functions
+that take an ``rng`` but ignore it locally.  What they cannot see is
+entropy reaching a caller *through a call chain*::
+
+    def _noise():                       # RL001 fires here...
+        return np.random.default_rng().normal()
+
+    def evaluate(model):                # ...but this public API is just
+        return model.score() + _noise() # as irreproducible, and silent.
+
+This pass marks functions containing hidden-entropy evidence (the RL001
+conditions, evaluated interprocedurally) as *origins*, propagates taint
+backwards along resolved call edges — hidden entropy inside a callee
+cannot be fixed by any argument the caller passes — and reports the
+functions that acquire taint purely by propagation:
+
+* a **public** function/method with no ``rng``/``seed`` parameter in its
+  signature (the paper's Monte Carlo results cannot be replayed through
+  such an API), and
+* any function that *does* take ``rng``/``seed`` — its signature
+  promises determinism its body cannot deliver.
+
+Origins themselves are RL001/RL002's findings and are not re-reported.
+``repro.seeding`` is exempt: it is the sanctioned home of generator
+construction.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..sources import Project, SourceFile
+from .callgraph import CallGraph, FunctionInfo, get_callgraph
+
+__all__ = ["check_rng_taint", "RNG_PARAM_NAMES"]
+
+#: Parameter names that count as caller-supplied determinism.
+RNG_PARAM_NAMES = frozenset({"rng", "seed", "base_seed", "seed_sequence"})
+
+#: Modules whose internals are allowed to construct generators.
+_EXEMPT_MODULES = ("repro.seeding",)
+
+#: Legacy module-level numpy draws (mirrors the RL001 pattern set).
+_LEGACY_SUFFIXES = (
+    "numpy.random.rand",
+    "numpy.random.randn",
+    "numpy.random.randint",
+    "numpy.random.random",
+    "numpy.random.choice",
+    "numpy.random.normal",
+    "numpy.random.uniform",
+    "numpy.random.permutation",
+    "numpy.random.shuffle",
+    "numpy.random.seed",
+)
+
+
+def _references_rng_names(node: ast.AST) -> bool:
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name) and child.id in RNG_PARAM_NAMES:
+            return True
+        if (
+            isinstance(child, ast.Attribute)
+            and child.attr in RNG_PARAM_NAMES
+        ):
+            return True
+    return False
+
+
+def _is_origin_call(name: str, call: ast.Call) -> bool:
+    """Does this external call mint hidden entropy?"""
+    if name.endswith(("default_rng",)) and (
+        name.startswith(("numpy.", "np."))
+        or name == "default_rng"
+    ):
+        # Unseeded ``default_rng()`` pulls OS entropy; any argument
+        # (seed, SeedSequence, Generator) makes it reproducible.
+        return not call.args and not call.keywords
+    if name.endswith("SeedSequence") and not call.args and not call.keywords:
+        # ``SeedSequence()`` with no entropy argument is fresh entropy.
+        return True
+    for suffix in _LEGACY_SUFFIXES:
+        if name == suffix or name.endswith("." + suffix):
+            return True
+        # ``np.random.x`` with the common alias
+        if name == suffix.replace("numpy.", "np."):
+            return True
+    return False
+
+
+def _has_rng_param(info: FunctionInfo) -> bool:
+    return any(p in RNG_PARAM_NAMES for p in info.params)
+
+
+def _find_origins(graph: CallGraph) -> Dict[str, str]:
+    """Function keys containing direct hidden-entropy calls."""
+    origins: Dict[str, str] = {}
+    for external in graph.externals:
+        if not _is_origin_call(external.name, external.call):
+            continue
+        if _references_rng_names(external.call):
+            continue  # ``default_rng(seed)`` etc: caller-controlled
+        info = graph.functions.get(external.caller)
+        if info is None:
+            continue  # module-level draw: RL001 territory
+        if info.module.startswith(_EXEMPT_MODULES):
+            continue
+        origins.setdefault(external.caller, external.name)
+    return origins
+
+
+def check_rng_taint(
+    project: Project,
+) -> Iterator[Tuple[SourceFile, ast.AST, str]]:
+    """Yield ``(source, anchor, message)`` RL013 findings."""
+    graph = get_callgraph(project)
+    origins = _find_origins(graph)
+    # Backward propagation: taint[key] = (via_callee, origin_name)
+    taint: Dict[str, Tuple[Optional[str], str]] = {
+        key: (None, name) for key, name in origins.items()
+    }
+    frontier: List[str] = sorted(origins)
+    while frontier:
+        next_frontier: List[str] = []
+        for callee in frontier:
+            for edge in graph.callers.get(callee, ()):
+                if edge.caller in taint:
+                    continue
+                info = graph.functions.get(edge.caller)
+                if info is not None and info.module.startswith(
+                    _EXEMPT_MODULES
+                ):
+                    continue
+                taint[edge.caller] = (callee, taint[callee][1])
+                next_frontier.append(edge.caller)
+        frontier = sorted(next_frontier)
+    for key in sorted(taint):
+        via, origin_name = taint[key]
+        if via is None:
+            continue  # direct origin: RL001/RL002 already fire there
+        info = graph.functions.get(key)
+        if info is None:
+            continue  # module-level pseudo caller
+        chain = _chain_of(taint, key)
+        if _has_rng_param(info):
+            yield (
+                info.source,
+                info.node,
+                f"{info.qualname}() accepts an rng/seed parameter but "
+                f"reaches hidden entropy ({origin_name}) via {chain}",
+            )
+        elif info.is_public:
+            yield (
+                info.source,
+                info.node,
+                f"public API {info.qualname}() is stochastic via {chain} "
+                f"({origin_name}) but exposes no rng/seed parameter",
+            )
+
+
+def _chain_of(
+    taint: Dict[str, Tuple[Optional[str], str]], key: str
+) -> str:
+    parts = [key.split(":", 1)[1]]
+    seen = {key}
+    current = key
+    while True:
+        via = taint[current][0]
+        if via is None or via in seen:
+            break
+        parts.append(via.split(":", 1)[1])
+        seen.add(via)
+        current = via
+    return " -> ".join(parts)

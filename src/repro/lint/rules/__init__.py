@@ -8,6 +8,7 @@ case registration.
 from . import (
     api,
     docs,
+    flow,
     hygiene,
     imports,
     mutation,
@@ -19,6 +20,7 @@ from . import (
 __all__ = [
     "api",
     "docs",
+    "flow",
     "hygiene",
     "imports",
     "mutation",

@@ -1,0 +1,101 @@
+"""SARIF 2.1.0 output for GitHub code-scanning annotations.
+
+One run, one tool, one result per *new* finding — baselined findings
+are suppressed SARIF-side (``suppressions`` with kind ``external``)
+rather than dropped, so code-scanning shows the debt without failing
+the check.  The document is deterministic: rules are id-sorted, results
+follow the engine's ``(path, line, col, rule, message)`` order, and no
+timestamps or absolute paths are embedded.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from .findings import ERROR, Finding
+from .registry import LintRule
+
+__all__ = ["build_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _level(severity: str) -> str:
+    return "error" if severity == ERROR else "warning"
+
+
+def _result(finding: Finding, suppressed: bool) -> Dict[str, object]:
+    result: Dict[str, object] = {
+        "ruleId": finding.rule,
+        "level": _level(finding.severity),
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path.replace("\\", "/"),
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.col + 1,
+                    },
+                }
+            }
+        ],
+        "partialFingerprints": {
+            "reproLint/v1": finding.fingerprint,
+        },
+    }
+    if suppressed:
+        result["suppressions"] = [
+            {
+                "kind": "external",
+                "justification": "accepted in LINT_BASELINE.json",
+            }
+        ]
+    return result
+
+
+def build_sarif(
+    rules: Sequence[LintRule],
+    new: Sequence[Finding],
+    baselined: Sequence[Finding],
+) -> Dict[str, object]:
+    """The SARIF log document for one lint run."""
+    descriptors: List[Dict[str, object]] = []
+    for rule in sorted(rules, key=lambda r: r.id):
+        descriptor: Dict[str, object] = {
+            "id": rule.id,
+            "name": rule.name,
+            "shortDescription": {"text": rule.description},
+            "defaultConfiguration": {"level": _level(rule.severity)},
+        }
+        if rule.rationale:
+            descriptor["fullDescription"] = {"text": rule.rationale}
+        descriptors.append(descriptor)
+    results = [_result(f, suppressed=False) for f in new]
+    results.extend(_result(f, suppressed=True) for f in baselined)
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro.lint",
+                        "rules": descriptors,
+                    }
+                },
+                "columnKind": "utf16CodeUnits",
+                "originalUriBaseIds": {
+                    "SRCROOT": {"uri": "file:///./"}
+                },
+                "results": results,
+            }
+        ],
+    }

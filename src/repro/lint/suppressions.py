@@ -15,7 +15,7 @@ belongs in the baseline file instead (see :mod:`repro.lint.baseline`).
 from __future__ import annotations
 
 import re
-from typing import Dict, Iterable, Set
+from typing import Dict, Iterable, Optional, Set
 
 from .findings import Finding
 
@@ -48,9 +48,19 @@ class Suppressions:
                     _parse_rule_list(match.group(1))
                 )
 
-    def suppresses(self, finding: Finding) -> bool:
-        """True when an inline comment silences this finding."""
-        for scope in (self.file_wide, self.by_line.get(finding.line, ())):
+    def suppresses(
+        self, finding: Finding, lines: Optional[Iterable[int]] = None
+    ) -> bool:
+        """True when an inline comment silences this finding.
+
+        ``lines`` widens the candidate set beyond the finding's own line
+        (decorator lines of a flagged def, continuation lines of a
+        multi-line expression); the engine computes it from the anchor.
+        """
+        scopes = [self.file_wide]
+        for line in set(lines) if lines is not None else {finding.line}:
+            scopes.append(self.by_line.get(line, set()))
+        for scope in scopes:
             if finding.rule in scope or "all" in scope:
                 return True
         return False

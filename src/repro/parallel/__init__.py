@@ -28,12 +28,22 @@ from .broadcast import Broadcast, ModelBroadcast
 from .config import WORKERS_ENV, default_chunk_size, resolve_workers
 from .executor import ParallelExecutionError, ParallelMap, TaskFailure
 
+#: Declared worker-submission sites for ``repro.lint`` rule RL014:
+#: ``"Class.method"`` -> positional index of the callable that crosses
+#: the process boundary.  The worker-purity pass reads this mapping out
+#: of the AST (no import), so adding a new executor entry point here is
+#: what puts it under static analysis.
+LINT_SUBMISSION_SITES = {
+    "ParallelMap.map": 0,
+}
+
 __all__ = [
     "Broadcast",
     "ModelBroadcast",
     "ParallelMap",
     "ParallelExecutionError",
     "TaskFailure",
+    "LINT_SUBMISSION_SITES",
     "WORKERS_ENV",
     "resolve_workers",
     "default_chunk_size",

@@ -25,8 +25,13 @@ run directory also gets a Perfetto-loadable ``trace.json``
 indexes a directory of runs into ``index.json`` for the
 ``python -m repro.telemetry ls|show|diff|trace`` CLI.
 
-Schema and metric names are documented in ``docs/OBSERVABILITY.md``; a
-finished run is inspected with ``python -m repro.experiments summary``.
+Schema and metric names are documented in ``docs/OBSERVABILITY.md``;
+the canonical event-kind registry lives in
+:mod:`~repro.telemetry.schema` (generated from the ``emit()`` sites by
+``python -m repro.lint schema`` and enforced by lint rules RL011/RL012),
+and a recorded run is checked against it with ``python -m
+repro.telemetry validate``.  A finished run is inspected with ``python
+-m repro.experiments summary``.
 """
 
 from .events import (
@@ -54,6 +59,13 @@ from .run import (
     start_run,
 )
 from .report import build_report, render_report, write_report
+from .schema import (
+    EVENT_SCHEMAS,
+    fields_for,
+    known_kinds,
+    validate_event,
+    validate_events,
+)
 from .summary import find_run_dir, render_summary, summarize_run
 from .timing import ModuleProfiler, SpanTracker, Stopwatch, named_modules
 from .trace import build_trace, export_run_trace, validate_trace, write_trace
@@ -96,6 +108,11 @@ __all__ = [
     "write_trace",
     "export_run_trace",
     "validate_trace",
+    "EVENT_SCHEMAS",
+    "known_kinds",
+    "fields_for",
+    "validate_event",
+    "validate_events",
     "RunRecord",
     "scan_runs",
     "build_index",

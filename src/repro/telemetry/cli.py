@@ -7,6 +7,7 @@ Usage::
     python -m repro.telemetry diff results/telemetry/run-A run-B
     python -m repro.telemetry trace results/telemetry/run-…
     python -m repro.telemetry forensics results/telemetry/run-…
+    python -m repro.telemetry validate results/telemetry/run-…
     python -m repro.telemetry report results/telemetry [-o report.html]
 
 ``ls`` scans the directory, refreshes ``index.json`` and prints one line
@@ -15,9 +16,11 @@ summary`` report, or the raw ledger record with ``--json``); ``diff``
 compares two runs' metrics/spans; ``trace`` (re-)exports a run's
 ``trace.json`` for Perfetto; ``forensics`` renders the per-layer
 deviation heatmap and first-divergence attribution of a run recorded
-with fault forensics enabled; ``report`` builds the self-contained HTML
-dashboard (accuracy-vs-P_sa curves, Stability ranking, time/memory
-breakdowns, bench sparklines) over every run in the ledger.
+with fault forensics enabled; ``validate`` checks every recorded event
+against the canonical registry (:mod:`repro.telemetry.schema`), exiting
+1 on drift; ``report`` builds the self-contained HTML dashboard
+(accuracy-vs-P_sa curves, Stability ranking, time/memory breakdowns,
+bench sparklines) over every run in the ledger.
 
 Exit codes: 0 on success, 2 on usage errors or missing runs; ``diff``
 additionally exits 1 when ``--fail-on-regression`` is given and a
@@ -107,6 +110,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="print the aggregated forensics document as JSON",
+    )
+
+    validate = sub.add_parser(
+        "validate",
+        help="check a run's events against the canonical event schemas",
+    )
+    validate.add_argument(
+        "run", help="run directory (or parent; latest run wins)"
+    )
+    validate.add_argument(
+        "--max-problems",
+        type=int,
+        default=20,
+        help="problems printed before truncating (default: %(default)s)",
     )
 
     report = sub.add_parser(
@@ -223,6 +240,30 @@ def _cmd_forensics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from .events import read_events
+    from .schema import validate_events
+
+    run_dir = find_run_dir(args.run)
+    _require_events(run_dir)
+    events = read_events(os.path.join(run_dir, "events.jsonl"))
+    problems = validate_events(events)
+    if not problems:
+        print(f"{run_dir}: {len(events)} event(s) conform to the schema")
+        return 0
+    shown = problems[: max(args.max_problems, 0)]
+    for problem in shown:
+        print(problem)
+    hidden = len(problems) - len(shown)
+    if hidden > 0:
+        print(f"... {hidden} more problem(s)")
+    print(
+        f"{run_dir}: {len(problems)} schema problem(s) across "
+        f"{len(events)} event(s)"
+    )
+    return 1
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from .report import build_report, write_report
 
@@ -247,6 +288,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "diff": _cmd_diff,
         "trace": _cmd_trace,
         "forensics": _cmd_forensics,
+        "validate": _cmd_validate,
         "report": _cmd_report,
     }
     try:

@@ -1,0 +1,518 @@
+"""Cross-module dataflow rules (RL011–RL015) and the event registry.
+
+Fixture projects are in-memory multi-file snippets run through the real
+engine, plus acceptance checks against the actual ``src/repro`` tree:
+the committed registry must cover every ``emit()`` site, and the tree
+must be clean under all five flow rules.
+"""
+
+import ast
+import os
+import textwrap
+
+import repro.lint.rules  # noqa: F401  (registers the built-in rules)
+from repro.lint import lint_paths, lint_sources
+from repro.lint.engine import load_project
+from repro.lint.flow.contracts import extract_event_schemas
+from repro.lint.flow.purity import submission_sites
+from repro.lint.sources import Project, SourceFile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC_ROOT = os.path.join(REPO_ROOT, "src")
+
+FLOW_RULES = ["RL011", "RL012", "RL013", "RL014", "RL015"]
+
+#: A producer module shared by the contract fixtures: one closed kind.
+PRODUCER = """
+def produce(log):
+    log.emit("epoch_done", epoch=1, accuracy=0.5)
+"""
+
+
+def source(text, path="pkg/mod.py", module="pkg.mod"):
+    return SourceFile.from_text(
+        textwrap.dedent(text), path=path, module=module
+    )
+
+
+def lint_project(*sources, select=None):
+    return lint_sources(Project(list(sources)), select=select)
+
+
+def rules_fired(findings):
+    return {f.rule for f in findings}
+
+
+# -- RL011 unknown-event-kind ----------------------------------------------
+
+
+def test_rl011_flags_unknown_kind():
+    producer = source(PRODUCER, path="pkg/prod.py", module="pkg.prod")
+    consumer = source(
+        """
+        def consume(events):
+            for event in events:
+                if event["kind"] == "train_done":
+                    yield event
+        """,
+        path="pkg/cons.py",
+        module="pkg.cons",
+    )
+    findings = lint_project(producer, consumer, select=["RL011"])
+    assert rules_fired(findings) == {"RL011"}
+    assert "train_done" in findings[0].message
+    assert findings[0].path == "pkg/cons.py"
+
+
+def test_rl011_accepts_known_kind():
+    producer = source(PRODUCER, path="pkg/prod.py", module="pkg.prod")
+    consumer = source(
+        """
+        def consume(events):
+            return [e for e in events if e["kind"] == "epoch_done"]
+        """,
+        path="pkg/cons.py",
+        module="pkg.cons",
+    )
+    assert not lint_project(producer, consumer, select=["RL011"])
+
+
+def test_rl011_silent_without_any_emit_site():
+    # A fixture project with no producer at all must not flag every
+    # consumer: no extraction means no contract to check.
+    consumer = source(
+        """
+        def consume(events):
+            return [e for e in events if e["kind"] == "anything"]
+        """
+    )
+    assert not lint_project(consumer, select=["RL011"])
+
+
+def test_rl011_flags_stale_committed_registry():
+    producer = source(PRODUCER, path="pkg/prod.py", module="pkg.prod")
+    registry = source(
+        """
+        # --- BEGIN GENERATED EVENT SCHEMAS (python -m repro.lint schema) ---
+        EVENT_SCHEMAS = {
+            "other_kind": {"fields": (), "extra": False},
+        }
+        # --- END GENERATED EVENT SCHEMAS ---
+        """,
+        path="pkg/telemetry/schema.py",
+        module="pkg.telemetry.schema",
+    )
+    findings = lint_project(producer, registry, select=["RL011"])
+    assert findings, "stale registry must be reported"
+    assert all(f.path == "pkg/telemetry/schema.py" for f in findings)
+    assert any("repro.lint schema" in f.message for f in findings)
+
+
+# -- RL012 unknown-event-field ---------------------------------------------
+
+
+def test_rl012_flags_misspelled_field_under_narrowing():
+    producer = source(PRODUCER, path="pkg/prod.py", module="pkg.prod")
+    consumer = source(
+        """
+        def consume(events):
+            for event in events:
+                if event["kind"] == "epoch_done":
+                    yield event["acuracy"]
+        """,
+        path="pkg/cons.py",
+        module="pkg.cons",
+    )
+    findings = lint_project(producer, consumer, select=["RL012"])
+    assert rules_fired(findings) == {"RL012"}
+    assert "acuracy" in findings[0].message
+
+
+def test_rl012_accepts_schema_and_bookkeeping_fields():
+    producer = source(PRODUCER, path="pkg/prod.py", module="pkg.prod")
+    consumer = source(
+        """
+        def consume(events):
+            for event in events:
+                if event["kind"] == "epoch_done":
+                    yield event["accuracy"], event.get("ts"), event["seq"]
+        """,
+        path="pkg/cons.py",
+        module="pkg.cons",
+    )
+    assert not lint_project(producer, consumer, select=["RL012"])
+
+
+def test_rl012_open_kind_skips_field_checks():
+    producer = source(
+        """
+        def produce(log, extras):
+            log.emit("epoch_done", epoch=1, **extras)
+        """,
+        path="pkg/prod.py",
+        module="pkg.prod",
+    )
+    consumer = source(
+        """
+        def consume(events):
+            for event in events:
+                if event["kind"] == "epoch_done":
+                    yield event["whatever"]
+        """,
+        path="pkg/cons.py",
+        module="pkg.cons",
+    )
+    # The unresolvable **extras makes the kind open: never guess.
+    assert not lint_project(producer, consumer, select=["RL012"])
+
+
+def test_rl012_follows_events_through_collections():
+    # The summarize_run pattern: events filed into a dict of lists
+    # under kind narrowing, then read back in a later loop.
+    producer = source(PRODUCER, path="pkg/prod.py", module="pkg.prod")
+    consumer = source(
+        """
+        def summarize(events):
+            draws = {}
+            for event in events:
+                kind = event["kind"]
+                if kind == "epoch_done":
+                    draws.setdefault(event["epoch"], []).append(event)
+            out = []
+            for key in sorted(draws):
+                out.append([d["acuracy"] for d in draws[key]])
+            return out
+        """,
+        path="pkg/cons.py",
+        module="pkg.cons",
+    )
+    findings = lint_project(producer, consumer, select=["RL012"])
+    assert rules_fired(findings) == {"RL012"}
+    assert "acuracy" in findings[0].message
+    assert "epoch_done" in findings[0].message
+
+
+def test_rl012_collection_tracking_accepts_valid_fields():
+    producer = source(PRODUCER, path="pkg/prod.py", module="pkg.prod")
+    consumer = source(
+        """
+        def summarize(events):
+            bucket = []
+            for event in events:
+                if event["kind"] == "epoch_done":
+                    bucket.append(event)
+            for d in bucket:
+                yield d["accuracy"], d.get("ts")
+        """,
+        path="pkg/cons.py",
+        module="pkg.cons",
+    )
+    assert not lint_project(producer, consumer, select=["RL012"])
+
+
+def test_rl012_unnarrowed_collection_store_makes_no_claim():
+    producer = source(PRODUCER, path="pkg/prod.py", module="pkg.prod")
+    consumer = source(
+        """
+        def summarize(events, extras):
+            bucket = []
+            for event in events:
+                event["kind"]
+                bucket.append(event)  # no narrowing at the store site
+            return [d["anything"] for d in bucket]
+        """,
+        path="pkg/cons.py",
+        module="pkg.cons",
+    )
+    # One closed kind and no open kinds: the all-kinds fallback still
+    # applies, so 'anything' is flagged — but against no specific kind.
+    findings = lint_project(producer, consumer, select=["RL012"])
+    assert all("epoch_done" not in f.message for f in findings)
+
+
+def test_rl012_unnarrowed_access_checked_against_all_kinds():
+    producer = source(PRODUCER, path="pkg/prod.py", module="pkg.prod")
+    consumer = source(
+        """
+        def consume(events):
+            return [e["nowhere"] for e in events if e["kind"] == "epoch_done"]
+        """,
+        path="pkg/cons.py",
+        module="pkg.cons",
+    )
+    findings = lint_project(producer, consumer, select=["RL012"])
+    assert rules_fired(findings) == {"RL012"}
+
+
+# -- RL013 rng-taint --------------------------------------------------------
+
+
+def test_rl013_flags_public_api_hiding_entropy():
+    mod = source(
+        """
+        import numpy as np
+
+        def _noise():
+            return np.random.default_rng().normal()
+
+        def sample_devices(count):
+            return [_noise() for _ in range(count)]
+        """
+    )
+    findings = lint_project(mod, select=["RL013"])
+    assert rules_fired(findings) == {"RL013"}
+    assert any("sample_devices" in f.message for f in findings)
+
+
+def test_rl013_flags_rng_param_reaching_hidden_entropy():
+    mod = source(
+        """
+        import numpy as np
+
+        def _noise():
+            return np.random.default_rng().normal()
+
+        def jitter(rng, x):
+            return x + _noise()
+        """
+    )
+    findings = lint_project(mod, select=["RL013"])
+    messages = " | ".join(f.message for f in findings)
+    assert "jitter" in messages and "rng" in messages
+
+
+def test_rl013_accepts_threaded_rng_and_seeded_generators():
+    mod = source(
+        """
+        import numpy as np
+
+        def _noise(rng):
+            return rng.normal()
+
+        def sample_devices(count, rng):
+            return [_noise(rng) for _ in range(count)]
+
+        def reference_draw():
+            return np.random.default_rng(1234).normal()
+        """
+    )
+    assert not lint_project(mod, select=["RL013"])
+
+
+# -- RL014 impure-worker ----------------------------------------------------
+
+
+def test_rl014_flags_worker_capturing_module_global_mutable():
+    mod = source(
+        """
+        from repro.parallel import ParallelMap
+
+        _CACHE = {}
+
+        def bad_task(task, context):
+            return _CACHE[task]
+
+        def run(tasks, ctx):
+            pmap = ParallelMap(workers=2)
+            return pmap.map(bad_task, tasks, ctx)
+        """
+    )
+    findings = lint_project(mod, select=["RL014"])
+    assert rules_fired(findings) == {"RL014"}
+    assert "_CACHE" in findings[0].message
+
+
+def test_rl014_flags_lambda_worker():
+    mod = source(
+        """
+        from repro.parallel import ParallelMap
+
+        def run(tasks, ctx):
+            pmap = ParallelMap(workers=2)
+            return pmap.map(lambda t, c: t, tasks, ctx)
+        """
+    )
+    findings = lint_project(mod, select=["RL014"])
+    assert rules_fired(findings) == {"RL014"}
+
+
+def test_rl014_flags_nested_def_worker():
+    mod = source(
+        """
+        from repro.parallel import ParallelMap
+
+        def run(tasks, ctx):
+            def task(t, c):
+                return t
+
+            pmap = ParallelMap(workers=2)
+            return pmap.map(task, tasks, ctx)
+        """
+    )
+    findings = lint_project(mod, select=["RL014"])
+    assert rules_fired(findings) == {"RL014"}
+
+
+def test_rl014_accepts_pure_module_level_worker():
+    mod = source(
+        """
+        from repro.parallel import ParallelMap
+
+        _SCALE = 2.0
+
+        def good_task(task, context):
+            return task * _SCALE
+
+        def run(tasks, ctx):
+            pmap = ParallelMap(workers=2)
+            return pmap.map(good_task, tasks, ctx)
+        """
+    )
+    # _SCALE is an immutable module constant: safe to re-import per worker.
+    assert not lint_project(mod, select=["RL014"])
+
+
+def test_rl014_submission_site_marker_extends_defaults():
+    marker = source(
+        """
+        LINT_SUBMISSION_SITES = {"MyPool.run": 0}
+
+        class MyPool:
+            def run(self, fn):
+                return fn()
+        """,
+        path="pkg/pool.py",
+        module="pkg.pool",
+    )
+    user = source(
+        """
+        from pkg.pool import MyPool
+
+        def launch():
+            pool = MyPool()
+            return pool.run(lambda: 1)
+        """,
+        path="pkg/use.py",
+        module="pkg.use",
+    )
+    project = Project([marker, user])
+    sites = submission_sites(project)
+    assert sites["MyPool.run"] == 0
+    assert sites["ParallelMap.map"] == 0  # defaults survive the merge
+    findings = lint_sources(project, select=["RL014"])
+    assert rules_fired(findings) == {"RL014"}
+
+
+# -- RL015 dead-private-helper ----------------------------------------------
+
+
+def test_rl015_flags_unreferenced_private_helper():
+    mod = source(
+        """
+        def _unused_helper():
+            return 1
+
+        def _used_helper():
+            return 2
+
+        def public():
+            return _used_helper()
+        """
+    )
+    findings = lint_project(mod, select=["RL015"])
+    assert [f.rule for f in findings] == ["RL015"]
+    assert "_unused_helper" in findings[0].message
+    assert findings[0].severity == "warning"
+
+
+def test_rl015_exempts_decorated_and_cross_module_references():
+    mod = source(
+        """
+        def fixture(fn):
+            return fn
+
+        @fixture
+        def _registered():
+            return 1
+        """,
+        path="pkg/a.py",
+        module="pkg.a",
+    )
+    other = source(
+        """
+        from pkg.b import _shared
+
+        def use():
+            return _shared()
+        """,
+        path="pkg/c.py",
+        module="pkg.c",
+    )
+    shared = source(
+        """
+        def _shared():
+            return 3
+        """,
+        path="pkg/b.py",
+        module="pkg.b",
+    )
+    assert not lint_project(mod, other, shared, select=["RL015"])
+
+
+# -- acceptance against the real tree ---------------------------------------
+
+
+def _sweep_emit_kinds():
+    """Independent AST sweep: every constant-kind ``.emit(`` call."""
+    kinds = set()
+    for dirpath, dirnames, filenames in os.walk(
+        os.path.join(SRC_ROOT, "repro")
+    ):
+        dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+        for name in filenames:
+            if not name.endswith(".py"):
+                continue
+            with open(
+                os.path.join(dirpath, name), "r", encoding="utf-8"
+            ) as handle:
+                tree = ast.parse(handle.read())
+            for node in ast.walk(tree):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "emit"
+                    and node.args
+                    and isinstance(node.args[0], ast.Constant)
+                    and isinstance(node.args[0].value, str)
+                ):
+                    kinds.add(node.args[0].value)
+    return kinds
+
+
+def test_registry_covers_every_emit_site():
+    from repro.telemetry.schema import EVENT_SCHEMAS
+
+    swept = _sweep_emit_kinds()
+    assert swept, "the tree must contain emit() sites"
+    assert swept == set(EVENT_SCHEMAS), (
+        "committed registry drifted from the emit() sites; regenerate "
+        "with `python -m repro.lint schema`"
+    )
+
+
+def test_extraction_matches_committed_registry():
+    from repro.telemetry.schema import EVENT_SCHEMAS
+
+    project, errors = load_project([SRC_ROOT])
+    assert not errors
+    schemas = extract_event_schemas(project)
+    assert set(schemas) == set(EVENT_SCHEMAS)
+    for kind, schema in schemas.items():
+        entry = EVENT_SCHEMAS[kind]
+        assert tuple(sorted(schema.fields)) == tuple(entry["fields"]), kind
+        assert schema.extra == entry["extra"], kind
+
+
+def test_repo_is_clean_under_flow_rules():
+    findings = lint_paths([SRC_ROOT], select=FLOW_RULES)
+    assert findings == [], [f.to_dict() for f in findings]

@@ -30,7 +30,7 @@ def rules_fired(findings):
 
 def test_all_rules_registered():
     ids = [rule.id for rule in default_registry().rules()]
-    assert ids == [f"RL{i:03d}" for i in range(1, 11)]
+    assert ids == [f"RL{i:03d}" for i in range(1, 16)]
 
 
 def test_rule_metadata_complete():

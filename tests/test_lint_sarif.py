@@ -1,0 +1,103 @@
+"""Golden-file test for the SARIF 2.1.0 report format.
+
+The document is built from hand-made findings and rules (no tree scan),
+so the golden bytes are fully deterministic: any change to the SARIF
+shape shows up as a readable diff against ``tests/data/lint_sarif.json``.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+from repro.lint.findings import ERROR, WARNING, Finding
+from repro.lint.registry import LintRule
+from repro.lint.sarif import build_sarif
+
+GOLDEN = os.path.join(os.path.dirname(__file__), "data", "lint_sarif.json")
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _fixture_document():
+    rules = [
+        LintRule(
+            id="RL099",
+            name="fixture-warning",
+            severity=WARNING,
+            scope="file",
+            check=lambda source: (),
+            description="fixture warning rule",
+            rationale="keeps the golden file independent of real rules",
+        ),
+        LintRule(
+            id="RL098",
+            name="fixture-error",
+            severity=ERROR,
+            scope="file",
+            check=lambda source: (),
+            description="fixture error rule",
+        ),
+    ]
+    new = [
+        Finding(
+            rule="RL098",
+            severity=ERROR,
+            path="pkg/mod.py",
+            line=3,
+            col=4,
+            message="fixture error finding",
+            snippet="x = broken()",
+        )
+    ]
+    baselined = [
+        Finding(
+            rule="RL099",
+            severity=WARNING,
+            path="pkg/old.py",
+            line=10,
+            col=0,
+            message="fixture baselined finding",
+            snippet="legacy()",
+        )
+    ]
+    return build_sarif(rules, new, baselined)
+
+
+def test_sarif_matches_golden_file():
+    rendered = json.dumps(_fixture_document(), indent=2) + "\n"
+    with open(GOLDEN, "r", encoding="utf-8") as handle:
+        assert rendered == handle.read()
+
+
+def test_sarif_shape_and_suppressions():
+    doc = _fixture_document()
+    assert doc["version"] == "2.1.0"
+    run = doc["runs"][0]
+    # Rules are id-sorted regardless of registration order.
+    assert [r["id"] for r in run["tool"]["driver"]["rules"]] == [
+        "RL098",
+        "RL099",
+    ]
+    new_result, baselined_result = run["results"]
+    assert "suppressions" not in new_result
+    assert baselined_result["suppressions"][0]["kind"] == "external"
+    region = new_result["locations"][0]["physicalLocation"]["region"]
+    assert region == {"startLine": 3, "startColumn": 5}  # col is 1-based
+    assert new_result["partialFingerprints"]["reproLint/v1"]
+
+
+def test_cli_sarif_output_parses(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text("import numpy as np\nrng = np.random.default_rng()\n")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.lint", "run", "--format", "sarif",
+         "--no-baseline", str(target)],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+        env={**os.environ, "PYTHONPATH": os.path.join(REPO_ROOT, "src")},
+    )
+    assert proc.returncode == 1
+    doc = json.loads(proc.stdout)
+    results = doc["runs"][0]["results"]
+    assert any(r["ruleId"] == "RL001" for r in results)

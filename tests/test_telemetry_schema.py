@@ -1,0 +1,127 @@
+"""Runtime side of the event registry: validate_event(s) and helpers.
+
+The registry itself is generated and its freshness is covered by
+``tests/test_lint_flow.py``; here we pin the runtime validation
+semantics a recorded run is checked against.
+"""
+
+import os
+import subprocess
+import sys
+
+from repro.telemetry.schema import (
+    BOOKKEEPING_FIELDS,
+    EVENT_SCHEMAS,
+    fields_for,
+    known_kinds,
+    validate_event,
+    validate_events,
+)
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def closed_kind():
+    kind = next(
+        k for k in sorted(EVENT_SCHEMAS) if not EVENT_SCHEMAS[k]["extra"]
+    )
+    return kind, EVENT_SCHEMAS[kind]["fields"]
+
+
+def open_kind():
+    return next(
+        k for k in sorted(EVENT_SCHEMAS) if EVENT_SCHEMAS[k]["extra"]
+    )
+
+
+def test_known_kinds_sorted_and_nonempty():
+    kinds = known_kinds()
+    assert kinds == tuple(sorted(kinds))
+    assert "run_start" in kinds and "epoch_end" in kinds
+
+
+def test_fields_for():
+    kind, fields = closed_kind()
+    assert fields_for(kind) == tuple(fields)
+    assert fields_for("no_such_kind") is None
+
+
+def test_validate_event_accepts_schema_and_bookkeeping_fields():
+    kind, fields = closed_kind()
+    event = {name: 0 for name in fields}
+    event.update({name: 0 for name in BOOKKEEPING_FIELDS})
+    event["kind"] = kind
+    assert validate_event(event) == []
+
+
+def test_validate_event_flags_unknown_kind():
+    problems = validate_event({"kind": "no_such_kind"})
+    assert problems and "no_such_kind" in problems[0]
+
+
+def test_validate_event_flags_missing_kind_and_non_mapping():
+    assert validate_event({"ts": 0.0}) == [
+        "event: missing or non-string 'kind'"
+    ]
+    assert validate_event(["not", "a", "mapping"]) == [
+        "event: not a mapping"
+    ]
+
+
+def test_validate_event_flags_unknown_field_on_closed_kind():
+    kind, _ = closed_kind()
+    problems = validate_event({"kind": kind, "no_such_field": 1}, index=3)
+    assert problems == [
+        f"event 3 ({kind}): field 'no_such_field' is not in the schema"
+    ]
+
+
+def test_validate_event_tolerates_open_kind_extras():
+    assert validate_event({"kind": open_kind(), "anything": 1}) == []
+
+
+def test_validate_event_never_requires_fields():
+    # Producers emit conditionally; an event with only bookkeeping is fine.
+    kind, _ = closed_kind()
+    assert validate_event({"kind": kind}) == []
+
+
+def test_validate_events_orders_and_indexes_problems():
+    kind, _ = closed_kind()
+    problems = validate_events(
+        [{"kind": kind}, {"kind": "bogus"}, {"kind": kind, "zzz": 1}]
+    )
+    assert len(problems) == 2
+    assert problems[0].startswith("event 1")
+    assert problems[1].startswith("event 2")
+
+
+def test_cli_validate_catches_drifted_run(tmp_path):
+    run_dir = tmp_path / "run-19700101-000000-test"
+    run_dir.mkdir()
+    kind, _ = closed_kind()
+    (run_dir / "events.jsonl").write_text(
+        f'{{"kind": "{kind}", "run_id": "r", "seq": 0, "ts": 0.0}}\n'
+        '{"kind": "bogus_kind", "run_id": "r", "seq": 1, "ts": 1.0}\n'
+    )
+    env = {**os.environ, "PYTHONPATH": os.path.join(REPO_ROOT, "src")}
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.telemetry", "validate", str(run_dir)],
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+    assert proc.returncode == 1
+    assert "bogus_kind" in proc.stdout
+    # Drop the drifted line: the run now conforms and validate exits 0.
+    (run_dir / "events.jsonl").write_text(
+        f'{{"kind": "{kind}", "run_id": "r", "seq": 0, "ts": 0.0}}\n'
+    )
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.telemetry", "validate", str(run_dir)],
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+    assert proc.returncode == 0
+    assert "conform" in proc.stdout
