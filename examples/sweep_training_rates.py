@@ -2,89 +2,37 @@
 
 Table I's key engineering insight: given the failure rate of your target
 devices, the best training rate P_sa^T is *moderately above* it — too
-small underprotects, too large sacrifices clean accuracy.  This example
-sweeps P_sa^T, prints the trade-off matrix, and recommends a training
-rate per testing rate.
+small underprotects, too large sacrifices clean accuracy.  This used to
+be ~90 lines of hand-rolled training loops; it is now a declarative
+``repro.sweep`` spec.  The sweep validates fail-fast, runs every cell
+through the standard pipeline with per-cell telemetry, resumes if
+interrupted (re-run the script), and prints the ranked Stability-Score
+leaderboard — the recommended training rate per testing rate is simply
+the best-ranked ``p_sa_train`` at each ``p_sa``.
 
     python examples/sweep_training_rates.py
 """
 
-import copy
+from repro.sweep import run_sweep
 
-import numpy as np
-
-from repro import (
-    OneShotFaultTolerantTrainer,
-    Trainer,
-    evaluate_accuracy,
-    evaluate_defect_accuracy,
-    nn,
-)
-from repro.datasets import DataLoader, make_synthetic_pair
-from repro.models import SimpleCNN
-
-TRAIN_RATES = (0.01, 0.05, 0.1)
-TEST_RATES = (0.005, 0.02, 0.05, 0.1)
+SPEC = {
+    "name": "training-rates",
+    "description": "Which P_sa^T protects best at each device rate?",
+    "axes": {
+        "arch": ["simple_cnn"],
+        "p_sa": [0.005, 0.02, 0.05, 0.1],
+        "variant": ["baseline", "one_shot"],
+        "p_sa_train": [0.01, 0.05, 0.1],
+    },
+    "seeds": [0],
+}
 
 
 def main():
-    train_set, test_set = make_synthetic_pair(
-        num_classes=5, image_size=8, train_size=400, test_size=200,
-        seed=17, noise_sigma=0.5, max_shift=1,
-    )
-    train = DataLoader(train_set, 50, shuffle=True, seed=0)
-    test = DataLoader(test_set, 200, shuffle=False)
-
-    model = SimpleCNN(in_channels=3, num_classes=5, image_size=8, width=12,
-                      rng=np.random.default_rng(0))
-    opt = nn.SGD(model.parameters(), lr=0.1, momentum=0.9, weight_decay=1e-4)
-    Trainer(model, opt,
-            scheduler=nn.CosineAnnealingLR(opt, t_max=12)).fit(train, 12)
-    acc_pretrain = evaluate_accuracy(model, test)
-    print(f"pretrained accuracy: {acc_pretrain:.2f}%\n")
-
-    rows = {}
-    # Baseline row: no fault-tolerant training at all.
-    rows["baseline"] = {
-        rate: evaluate_defect_accuracy(
-            model, test, rate, num_runs=8, rng=np.random.default_rng(1)
-        ).mean_accuracy
-        for rate in TEST_RATES
-    }
-    rows["baseline"][0.0] = acc_pretrain
-
-    for p_train in TRAIN_RATES:
-        ft = copy.deepcopy(model)
-        ft_opt = nn.SGD(ft.parameters(), lr=0.02, momentum=0.9)
-        OneShotFaultTolerantTrainer(
-            ft, ft_opt, p_sa_target=p_train, rng=np.random.default_rng(2)
-        ).fit(train, 10)
-        curve = {
-            rate: evaluate_defect_accuracy(
-                ft, test, rate, num_runs=8, rng=np.random.default_rng(1)
-            ).mean_accuracy
-            for rate in TEST_RATES
-        }
-        curve[0.0] = evaluate_accuracy(ft, test)
-        rows[f"P_sa^T={p_train:g}"] = curve
-        print(f"trained P_sa^T={p_train:g}")
-
-    print()
-    header = f"{'model':<14}" + "".join(
-        f"{f'@{r:g}':>9}" for r in (0.0,) + TEST_RATES
-    )
-    print(header)
-    print("-" * len(header))
-    for name, curve in rows.items():
-        print(f"{name:<14}" + "".join(
-            f"{curve[r]:>9.2f}" for r in (0.0,) + TEST_RATES
-        ))
-
-    print("\nrecommended training rate per device failure rate:")
-    ft_rows = {k: v for k, v in rows.items() if k != "baseline"}
-    for rate in TEST_RATES:
-        best = max(ft_rows, key=lambda k: ft_rows[k][rate])
-        print(f"  device rate {rate:g}: train with {best}")
+    outcome = run_sweep(SPEC, sweep_dir="sweeps/training-rates")
+    print(outcome.rendered)
+    if outcome.leaderboard_path:
+        print(f"\nleaderboard written to {outcome.leaderboard_path}")
 
 
 if __name__ == "__main__":

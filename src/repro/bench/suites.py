@@ -30,7 +30,10 @@ kernels the paper's pipeline spends its time in:
   Chrome trace-event JSON, the work every session close performs;
 * ``telemetry/report_render`` — aggregating a synthetic multi-run
   ledger into the self-contained HTML dashboard, the work
-  ``python -m repro.telemetry report`` performs.
+  ``python -m repro.telemetry report`` performs;
+* ``sweep/plan_and_validate`` — fail-fast sweep-spec validation plus
+  deterministic grid expansion with per-cell config digests, the fixed
+  cost every ``repro.sweep`` invocation (and resume) pays.
 
 The ``fast`` tier sizes each case for CI (whole suite well under two
 minutes); ``full`` uses the microbenchmark sizes for real optimisation
@@ -579,3 +582,40 @@ def _report_render(state):
     from ..telemetry.report import build_report, render_report
 
     return render_report(build_report(state["directory"]))
+
+
+def _sweep_plan_setup(params: dict, rng: np.random.Generator) -> dict:
+    # A grid shaped like a real study: rates x variants x training rates
+    # x seeds, with profile overrides to validate too.
+    rates = [round(0.005 * (i + 1), 4) for i in range(params["rates"])]
+    raw = {
+        "name": "bench",
+        "axes": {
+            "arch": ["mlp", "simple_cnn"],
+            "p_sa": rates,
+            "variant": ["baseline", "one_shot", "progressive"],
+            "p_sa_train": [0.01, 0.05, 0.1],
+        },
+        "seeds": list(range(params["seeds"])),
+        "profiles": {"full": {"pretrain_epochs": 8, "defect_runs": 10}},
+        "max_cells": 65536,
+    }
+    return {"raw": raw}
+
+
+@benchmark(
+    "sweep/plan_and_validate",
+    params={
+        "fast": {"rates": 4, "seeds": 2},
+        "full": {"rates": 10, "seeds": 5},
+    },
+    setup=_sweep_plan_setup,
+    description="Fail-fast spec validation plus deterministic grid "
+    "expansion with per-cell config digests (the fixed cost every "
+    "sweep invocation pays before and after training)",
+)
+def _sweep_plan_and_validate(state):
+    from ..sweep import build_spec, expand_plan
+
+    spec = build_spec(state["raw"], strict=True)
+    return expand_plan(spec, "full")

@@ -42,6 +42,7 @@ __all__ = [
     "train_fault_tolerant",
     "evaluate_defect_grid",
     "method_report",
+    "run_pipeline_cell",
 ]
 
 
@@ -299,6 +300,109 @@ def evaluate_defect_grid(
             )
             results[rate] = evaluation.mean_accuracy
     return results
+
+
+def run_pipeline_cell(
+    scale: ExperimentScale,
+    variant: str,
+    p_sa: float,
+    p_sa_train: Optional[float] = None,
+    sparsity: float = 0.0,
+    quant_bits: int = 0,
+    num_classes: Optional[int] = None,
+) -> Dict[str, Optional[float]]:
+    """One sweep cell: pretrain -> (prune) -> (retrain) -> (quantize) -> score.
+
+    The full Figure-1 flow at one grid point, composed from the pipeline
+    stages above — this is what every ``repro.sweep`` cell executes.  The
+    result is deterministic given ``scale`` (cells pin ``scale.seed`` and
+    run the Monte Carlo evaluation serial), so a cell computes identical
+    bits no matter which sweep worker hosts it.
+
+    Parameters
+    ----------
+    scale:
+        Fully-resolved scale; ``scale.model`` is the cell's architecture
+        and ``scale.seed`` its seed.
+    variant:
+        ``"baseline"`` (no retraining), ``"one_shot"`` or
+        ``"progressive"``.
+    p_sa:
+        Testing stuck-at rate the cell is scored at.
+    p_sa_train:
+        Training stuck-at rate ``P_sa^T``; defaults to ``p_sa`` (train at
+        the rate you expect to see, the paper's Table-I insight).
+        Ignored for the baseline variant.
+    sparsity:
+        Magnitude-pruning ratio applied after pretraining (0 = dense);
+        retraining preserves the zero pattern.
+    quant_bits:
+        Post-training symmetric weight quantization to ``2**quant_bits``
+        magnitude levels (0 = full precision).
+    num_classes:
+        Class count of the task; ``scale.num_classes_small`` by default.
+
+    Returns
+    -------
+    dict
+        ``{"acc_pretrain", "acc_retrain", "acc_defect", "acc_std",
+        "stability_score", "p_sa", "p_sa_train"}`` — accuracies in
+        percent, ``stability_score`` per equation (1).
+    """
+    from ..core.stability import stability_score
+    from ..pruning import magnitude_prune
+    from ..quantization import quantize_model_weights
+
+    classes = num_classes if num_classes is not None else scale.num_classes_small
+    telemetry = _telemetry()
+    with telemetry.span("sweep_cell"):
+        train_loader, test_loader = make_loaders(scale, classes)
+        model, acc_pretrain = pretrain_model(
+            scale, classes, train_loader, test_loader
+        )
+        if sparsity > 0.0:
+            magnitude_prune(model, sparsity)
+        if variant == "baseline":
+            evaluated = model
+            effective_train_rate = None
+        else:
+            effective_train_rate = p_sa_train if p_sa_train is not None else p_sa
+            evaluated = train_fault_tolerant(
+                model,
+                variant,
+                effective_train_rate,
+                scale,
+                train_loader,
+                preserve_sparsity=sparsity > 0.0,
+            )
+        if quant_bits:
+            quantize_model_weights(evaluated, levels=2 ** quant_bits)
+        acc_retrain = (
+            acc_pretrain
+            if variant == "baseline" and sparsity == 0.0 and not quant_bits
+            else evaluate_accuracy(evaluated, test_loader)
+        )
+        evaluation = evaluate_defect_accuracy(
+            evaluated,
+            test_loader,
+            p_sa,
+            num_runs=scale.defect_runs,
+            seed=scale.seed + 30 + int(round(p_sa * 1e6)),
+            workers=scale.workers,
+        )
+    return {
+        "acc_pretrain": float(acc_pretrain),
+        "acc_retrain": float(acc_retrain),
+        "acc_defect": float(evaluation.mean_accuracy),
+        "acc_std": float(evaluation.std_accuracy),
+        "stability_score": float(
+            stability_score(acc_pretrain, acc_retrain, evaluation.mean_accuracy)
+        ),
+        "p_sa": float(p_sa),
+        "p_sa_train": (
+            None if effective_train_rate is None else float(effective_train_rate)
+        ),
+    }
 
 
 def method_report(

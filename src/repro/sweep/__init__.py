@@ -1,0 +1,81 @@
+"""Declarative experiment sweeps over the fault-tolerance pipeline.
+
+``repro.sweep`` turns the paper's comparison surface — architecture x
+stuck-at fault rate x training variant, optionally crossed with training
+fault rate, pruning sparsity and quantization bits, repeated over seeds
+— into a declarative grid spec that is
+
+* **validated fail-fast** (:mod:`~repro.sweep.validate`): unknown keys,
+  out-of-range fault rates and incompatible axis combinations are
+  rejected in milliseconds, before any training;
+* **expanded deterministically** (:mod:`~repro.sweep.plan`) into
+  config-digested cells;
+* **executed resumably** (:mod:`~repro.sweep.execute`) through
+  :mod:`repro.parallel`, one telemetry run per cell — a re-invoked sweep
+  skips every digest already completed in the run ledger;
+* **ranked** (:mod:`~repro.sweep.report`) into a Stability-Score
+  leaderboard that is byte-identical regardless of worker count or
+  interruption.
+
+Entry points: :func:`run_sweep` from code, ``python -m repro.sweep``
+from the shell (``check`` / ``run`` / ``status`` / ``report``).
+"""
+
+from .execute import (
+    ExecutionOutcome,
+    SweepOutcome,
+    execute_plan,
+    run_cell_task,
+    run_sweep,
+)
+from .plan import SweepCell, SweepPlan, cell_digest, expand_plan
+from .report import (
+    build_leaderboard,
+    emit_sweep_report,
+    render_leaderboard,
+    write_leaderboard,
+)
+from .resume import completed_cells, load_cell_result, split_pending
+from .spec import (
+    OPTIONAL_AXES,
+    PROFILES,
+    REQUIRED_AXES,
+    VARIANTS,
+    SweepSpec,
+)
+from .validate import (
+    SpecProblem,
+    SweepValidationError,
+    build_spec,
+    load_spec,
+    validate_spec,
+)
+
+__all__ = [
+    "PROFILES",
+    "VARIANTS",
+    "REQUIRED_AXES",
+    "OPTIONAL_AXES",
+    "SweepSpec",
+    "load_spec",
+    "SpecProblem",
+    "SweepValidationError",
+    "validate_spec",
+    "build_spec",
+    "SweepCell",
+    "SweepPlan",
+    "cell_digest",
+    "expand_plan",
+    "completed_cells",
+    "load_cell_result",
+    "split_pending",
+    "run_cell_task",
+    "execute_plan",
+    "ExecutionOutcome",
+    "run_sweep",
+    "SweepOutcome",
+    "build_leaderboard",
+    "render_leaderboard",
+    "write_leaderboard",
+    "emit_sweep_report",
+]

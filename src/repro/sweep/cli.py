@@ -1,0 +1,189 @@
+"""``python -m repro.sweep`` — check, run, status, report.
+
+Exit codes follow the repo convention: 0 success, 1 validation errors /
+failed work, 2 unusable input (unreadable spec, empty sweep directory).
+"""
+
+from __future__ import annotations
+
+import argparse
+import logging
+import os
+import sys
+from typing import List, Optional
+
+from .execute import run_sweep
+from .plan import expand_plan
+from .report import build_leaderboard, render_leaderboard
+from .resume import completed_cells, split_pending
+from .validate import SweepValidationError, load_spec
+
+__all__ = ["main"]
+
+_PROFILES = ("smoke", "full")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sweep",
+        description="Declarative experiment sweeps with fail-fast "
+        "validation, resumable grids and a Stability-Score leaderboard.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_spec(p):
+        p.add_argument("spec", help="sweep spec file (.json or .yaml)")
+
+    def add_common(p):
+        p.add_argument(
+            "--sweep-dir",
+            help="working directory (default: sweeps/<spec name>)",
+        )
+        p.add_argument(
+            "--profile", choices=_PROFILES, default="full",
+            help="experiment scale profile (default: full)",
+        )
+
+    check = sub.add_parser(
+        "check", help="validate a spec and show its run plan"
+    )
+    add_spec(check)
+    check.add_argument(
+        "--strict", action="store_true",
+        help="treat unknown keys and other warnings as errors",
+    )
+    check.add_argument(
+        "--profile", choices=_PROFILES, default="full",
+        help="profile to expand the plan summary for (default: full)",
+    )
+
+    run = sub.add_parser(
+        "run", help="execute a sweep (strict validation implied, resumable)"
+    )
+    add_spec(run)
+    add_common(run)
+    run.add_argument(
+        "--workers", type=int, default=None,
+        help="sweep-level worker processes (default: REPRO_WORKERS)",
+    )
+    run.add_argument(
+        "--limit", type=int, default=None,
+        help="run at most N pending cells, then stop (resume later)",
+    )
+    run.add_argument(
+        "--no-joint-test", action="store_true",
+        help="skip the smoke-profile joint test before a full run",
+    )
+
+    status = sub.add_parser(
+        "status", help="completed/pending cell counts for a sweep"
+    )
+    add_spec(status)
+    add_common(status)
+
+    report = sub.add_parser(
+        "report", help="render the leaderboard from a sweep directory"
+    )
+    report.add_argument("sweep_dir", help="sweep working directory")
+    report.add_argument(
+        "--profile", choices=_PROFILES, default="full",
+        help="profile to report on (default: full)",
+    )
+    return parser
+
+
+def _cmd_check(args) -> int:
+    try:
+        spec = load_spec(args.spec, strict=args.strict)
+    except (OSError, ValueError) as exc:
+        if isinstance(exc, SweepValidationError):
+            for problem in exc.problems:
+                print(problem, file=sys.stderr)
+            errors = sum(1 for p in exc.problems if p.severity == "error")
+            print(f"check failed: {errors} error(s)", file=sys.stderr)
+            return 1
+        print(f"error: cannot read spec: {exc}", file=sys.stderr)
+        return 2
+    for problem in spec.warnings:
+        print(problem, file=sys.stderr)
+    plan = expand_plan(spec, args.profile)
+    summary = plan.summary()
+    axes = ", ".join(f"{k}={v}" for k, v in summary["axes"].items())
+    print(f"ok: sweep {spec.name} [{args.profile}] — "
+          f"{summary['cells']} cell(s) ({axes})")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    try:
+        outcome = run_sweep(
+            args.spec,
+            sweep_dir=args.sweep_dir,
+            profile=args.profile,
+            workers=args.workers,
+            limit=args.limit,
+            joint_test=not args.no_joint_test,
+        )
+    except SweepValidationError as exc:
+        for problem in exc.problems:
+            print(problem, file=sys.stderr)
+        errors = sum(1 for p in exc.problems if p.severity == "error")
+        print(f"run refused: {errors} error(s)", file=sys.stderr)
+        return 1
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(outcome.rendered)
+    if outcome.leaderboard_path:
+        print(f"leaderboard written to {outcome.leaderboard_path}")
+    return 0
+
+
+def _cmd_status(args) -> int:
+    try:
+        spec = load_spec(args.spec, strict=False)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read spec: {exc}", file=sys.stderr)
+        return 2
+    sweep_dir = args.sweep_dir or os.path.join("sweeps", spec.name)
+    runs_dir = os.path.join(sweep_dir, "runs")
+    completed = completed_cells(runs_dir)
+    for profile in _PROFILES:
+        plan = expand_plan(spec, profile)
+        done, pending = split_pending(plan.cells, completed)
+        marker = "*" if profile == args.profile else " "
+        print(f"{marker} {profile:6s} {len(done)}/{len(plan.cells)} "
+              f"cell(s) complete, {len(pending)} pending")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    runs_dir = os.path.join(args.sweep_dir, "runs")
+    results = [
+        result for result in completed_cells(runs_dir).values()
+        if result.get("profile") == args.profile
+    ]
+    if not results:
+        print(
+            f"error: no completed {args.profile!r} cells under {runs_dir}",
+            file=sys.stderr,
+        )
+        return 2
+    leaderboard = build_leaderboard(
+        results, sweep=results[0].get("sweep", "?"), profile=args.profile
+    )
+    print(render_leaderboard(leaderboard))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    logging.basicConfig(level=logging.INFO, format="%(message)s")
+    args = _build_parser().parse_args(argv)
+    handler = {
+        "check": _cmd_check,
+        "run": _cmd_run,
+        "status": _cmd_status,
+        "report": _cmd_report,
+    }[args.command]
+    return handler(args)

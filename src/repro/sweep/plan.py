@@ -1,0 +1,172 @@
+"""Deterministic plan expansion: spec x profile -> ordered, digested cells.
+
+The plan is the unit of resumability.  Every cell gets a **config
+digest** — the SHA-256 of a canonical JSON document containing the spec
+version, the profile, the fully-resolved
+:class:`~repro.experiments.config.ExperimentScale`, and the cell's grid
+point — so two cells compute the same bits if and only if their digests
+match.  The digest doubles as the cell's telemetry run id
+(``cell-<digest[:12]>``), which is what the resume logic looks up in the
+run ledger.
+
+Expansion order is fixed (arch, variant, p_sa, p_sa_train, sparsity,
+quant_bits, seed, in spec order within each axis) and ``baseline`` cells
+normalise ``p_sa_train`` to ``None`` before digesting — a baseline never
+retrains, so grid points differing only in the training rate collapse to
+one cell instead of silently duplicating work.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .spec import SPEC_VERSION, SweepSpec
+
+__all__ = ["SweepCell", "SweepPlan", "expand_plan", "cell_digest"]
+
+#: Hex digits of the digest used in run ids and short listings.
+DIGEST_PREFIX = 12
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One grid point of one profile: everything needed to run it."""
+
+    index: int
+    profile: str
+    arch: str
+    variant: str
+    p_sa: float
+    p_sa_train: Optional[float]
+    sparsity: float
+    quant_bits: int
+    seed: int
+    digest: str
+
+    @property
+    def run_id(self) -> str:
+        """Telemetry run id of this cell's recorded run."""
+        return f"cell-{self.digest[:DIGEST_PREFIX]}"
+
+    def point(self) -> Dict[str, object]:
+        """The grid point as a plain dict (digest/event payload form)."""
+        return {
+            "arch": self.arch,
+            "variant": self.variant,
+            "p_sa": self.p_sa,
+            "p_sa_train": self.p_sa_train,
+            "sparsity": self.sparsity,
+            "quant_bits": self.quant_bits,
+            "seed": self.seed,
+        }
+
+    def label(self) -> str:
+        """Compact human-readable cell label for listings."""
+        parts = [self.arch, self.variant, f"p_sa={self.p_sa:g}"]
+        if self.p_sa_train is not None:
+            parts.append(f"p_sa_train={self.p_sa_train:g}")
+        if self.sparsity:
+            parts.append(f"sparsity={self.sparsity:g}")
+        if self.quant_bits:
+            parts.append(f"bits={self.quant_bits}")
+        parts.append(f"seed={self.seed}")
+        return " ".join(parts)
+
+
+def cell_digest(
+    spec: SweepSpec, profile: str, point: Dict[str, object]
+) -> str:
+    """SHA-256 digest of one cell's full resolved configuration.
+
+    The document covers everything that can change the cell's numbers:
+    the spec schema version, the profile name, the resolved scale (base
+    fields plus the spec's profile overrides), and the grid point.  The
+    sweep *name* is deliberately excluded — renaming a sweep must not
+    re-run its grid.
+    """
+    scale = spec.scale_for(profile, str(point["arch"]), int(point["seed"]))
+    document = {
+        "spec_version": SPEC_VERSION,
+        "profile": profile,
+        "scale": dataclasses.asdict(scale),
+        "point": point,
+    }
+    canonical = json.dumps(document, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class SweepPlan:
+    """The ordered run plan of one (spec, profile) pair."""
+
+    spec: SweepSpec
+    profile: str
+    cells: Tuple[SweepCell, ...]
+
+    def by_digest(self) -> Dict[str, SweepCell]:
+        """Cells keyed by config digest."""
+        return {cell.digest: cell for cell in self.cells}
+
+    def summary(self) -> Dict[str, object]:
+        """Axis sizes and the total cell count (for ``check``/``status``)."""
+        return {
+            "sweep": self.spec.name,
+            "profile": self.profile,
+            "cells": len(self.cells),
+            "axes": {
+                "arch": len(self.spec.axis("arch")),
+                "variant": len(self.spec.axis("variant")),
+                "p_sa": len(self.spec.axis("p_sa")),
+                "p_sa_train": len(self.spec.axis("p_sa_train")),
+                "sparsity": len(self.spec.axis("sparsity")),
+                "quant_bits": len(self.spec.axis("quant_bits")),
+                "seeds": len(self.spec.seeds),
+            },
+        }
+
+
+def expand_plan(spec: SweepSpec, profile: str) -> SweepPlan:
+    """Expand ``spec`` under ``profile`` into the deterministic cell list.
+
+    Baseline cells normalise ``p_sa_train`` to ``None`` and the expansion
+    de-duplicates by digest, so a grid mixing ``baseline`` with trained
+    variants runs each baseline point exactly once.
+    """
+    cells: List[SweepCell] = []
+    seen: set = set()
+    for arch in spec.axis("arch"):
+        for variant in spec.axis("variant"):
+            for p_sa in spec.axis("p_sa"):
+                for p_sa_train in spec.axis("p_sa_train"):
+                    for sparsity in spec.axis("sparsity"):
+                        for quant_bits in spec.axis("quant_bits"):
+                            for seed in spec.seeds:
+                                point = {
+                                    "arch": str(arch),
+                                    "variant": str(variant),
+                                    "p_sa": float(p_sa),
+                                    "p_sa_train": (
+                                        None
+                                        if variant == "baseline"
+                                        or p_sa_train is None
+                                        else float(p_sa_train)
+                                    ),
+                                    "sparsity": float(sparsity),
+                                    "quant_bits": int(quant_bits),
+                                    "seed": int(seed),
+                                }
+                                digest = cell_digest(spec, profile, point)
+                                if digest in seen:
+                                    continue
+                                seen.add(digest)
+                                cells.append(SweepCell(
+                                    index=len(cells),
+                                    profile=profile,
+                                    digest=digest,
+                                    **point,  # type: ignore[arg-type]
+                                ))
+    return SweepPlan(spec=spec, profile=profile, cells=tuple(cells))

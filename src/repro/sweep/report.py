@@ -1,0 +1,160 @@
+"""Stability-Score leaderboard: aggregate, rank, render, record.
+
+A leaderboard entry is one grid point *minus its seed axis*: cells that
+differ only in ``seed`` aggregate into one entry (mean over seeds of
+every metric).  Entries rank by mean Stability Score, descending —
+SS = Acc_retrain / max(Acc_pretrain - Acc_defect, eps) from the paper —
+with the canonical point key as a deterministic tiebreak, so the same
+set of cell results always produces byte-identical leaderboard JSON
+regardless of worker count, interruption, or completion order.
+
+The finished leaderboard is also recorded as a ``sweep_report``
+telemetry event in a dedicated run (``sweep-report-<profile>``) under
+the sweep's runs directory, which is how the HTML dashboard
+(:mod:`repro.telemetry.report`) picks it up.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+from typing import Dict, List, Sequence
+
+from .. import telemetry
+from ..bench.report import format_table
+
+__all__ = [
+    "LEADERBOARD_VERSION",
+    "build_leaderboard",
+    "render_leaderboard",
+    "write_leaderboard",
+    "emit_sweep_report",
+]
+
+#: Version of the leaderboard JSON document.
+LEADERBOARD_VERSION = 1
+
+#: Metrics averaged over seeds within one leaderboard entry.
+_METRICS = ("acc_pretrain", "acc_retrain", "acc_defect", "stability_score")
+
+
+def _entry_key(point: Dict[str, object]) -> str:
+    """Canonical identity of a leaderboard entry (the point sans seed)."""
+    reduced = {k: v for k, v in point.items() if k != "seed"}
+    return json.dumps(reduced, sort_keys=True, separators=(",", ":"))
+
+
+def build_leaderboard(
+    results: Sequence[dict], sweep: str, profile: str
+) -> dict:
+    """Aggregate cell result documents into the ranked leaderboard.
+
+    ``results`` are ``cell.json`` documents (see
+    :mod:`repro.sweep.execute`); input order is irrelevant — grouping,
+    averaging and ranking are all deterministic functions of the set.
+    """
+    groups: Dict[str, List[dict]] = {}
+    for result in results:
+        groups.setdefault(_entry_key(result["point"]), []).append(result)
+    entries = []
+    for key, members in groups.items():
+        members = sorted(members, key=lambda r: r["point"]["seed"])
+        point = {k: v for k, v in members[0]["point"].items() if k != "seed"}
+        entry = dict(point)
+        entry["seeds"] = [m["point"]["seed"] for m in members]
+        for metric in _METRICS:
+            values = [float(m["metrics"][metric]) for m in members]
+            entry[metric] = sum(values) / len(values)
+        entry["digests"] = sorted(m["digest"] for m in members)
+        entries.append((key, entry))
+    entries.sort(key=lambda pair: (-pair[1]["stability_score"], pair[0]))
+    ranked = []
+    for rank, (_, entry) in enumerate(entries, start=1):
+        entry["rank"] = rank
+        ranked.append(entry)
+    return {
+        "version": LEADERBOARD_VERSION,
+        "sweep": sweep,
+        "profile": profile,
+        "cells": len(results),
+        "entries": ranked,
+    }
+
+
+def render_leaderboard(leaderboard: dict) -> str:
+    """Fixed-width text rendering of a leaderboard document."""
+    headers = [
+        "#", "arch", "variant", "P_sa", "P_sa^T", "sparsity", "bits",
+        "seeds", "Acc_re", "Acc_defect", "SS",
+    ]
+    rows = []
+    for entry in leaderboard["entries"]:
+        p_sa_train = entry["p_sa_train"]
+        rows.append([
+            entry["rank"],
+            entry["arch"],
+            entry["variant"],
+            f"{entry['p_sa']:g}",
+            "-" if p_sa_train is None else f"{p_sa_train:g}",
+            f"{entry['sparsity']:g}",
+            entry["quant_bits"] or "-",
+            len(entry["seeds"]),
+            f"{entry['acc_retrain']:.4f}",
+            f"{entry['acc_defect']:.4f}",
+            f"{entry['stability_score']:.4f}",
+        ])
+    table = format_table(headers, rows, aligns=["r", "l", "l"] + ["r"] * 8)
+    title = (
+        f"Stability-Score leaderboard — sweep {leaderboard['sweep']} "
+        f"[{leaderboard['profile']}], {leaderboard['cells']} cell(s)"
+    )
+    return f"{title}\n{table}"
+
+
+def write_leaderboard(leaderboard: dict, sweep_dir: str) -> str:
+    """Write the leaderboard JSON under ``sweep_dir``; return its path.
+
+    Byte-identical output for identical content: sorted keys, fixed
+    indentation, trailing newline.
+    """
+    os.makedirs(sweep_dir, exist_ok=True)
+    path = os.path.join(
+        sweep_dir, f"leaderboard-{leaderboard['profile']}.json"
+    )
+    staging = path + ".tmp"
+    with open(staging, "w") as handle:
+        json.dump(leaderboard, handle, sort_keys=True, indent=2)
+        handle.write("\n")
+    os.replace(staging, path)
+    return path
+
+
+def emit_sweep_report(leaderboard: dict, runs_dir: str) -> str:
+    """Record the leaderboard as a ``sweep_report`` telemetry event.
+
+    Uses a deterministic run id per profile and replaces any previous
+    report run wholesale (the event sink appends; stale events must not
+    accumulate), so re-running a finished sweep keeps exactly one
+    up-to-date report run in the ledger.  Returns the run directory.
+    """
+    run_id = f"sweep-report-{leaderboard['profile']}"
+    run_dir = os.path.join(runs_dir, run_id)
+    if os.path.isdir(run_dir):
+        shutil.rmtree(run_dir)
+    with telemetry.session(
+        runs_dir,
+        run_id=run_id,
+        config={
+            "sweep": leaderboard["sweep"],
+            "sweep_profile": leaderboard["profile"],
+        },
+    ) as run:
+        run.emit(
+            "sweep_report",
+            sweep=leaderboard["sweep"],
+            profile=leaderboard["profile"],
+            cells=leaderboard["cells"],
+            entries=leaderboard["entries"],
+        )
+        return run.directory

@@ -1,0 +1,125 @@
+"""Ledger-backed resume: which cells of a sweep are already done?
+
+Completion contract (the "ledger digest contract" of ``docs/SWEEPS.md``):
+a cell counts as **complete** exactly when its run directory under
+``<sweep_dir>/runs/`` both
+
+1. appears in the telemetry ledger with ``config.sweep_digest`` equal to
+   the cell's digest (``run.json`` is written when the cell's telemetry
+   session closes cleanly), and
+2. contains a parseable ``cell.json`` result document whose ``digest``
+   field matches.
+
+``cell.json`` is written *after* the telemetry session closes, so a cell
+killed at any point leaves no result document and is re-executed on the
+next invocation; the stale partial run directory is removed before
+resubmission (the JSONL event sink appends, so a half-written log must
+not be reused).  Because the digest covers the full resolved cell
+configuration, editing the spec or a profile override automatically
+invalidates exactly the cells whose numbers would change.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import shutil
+from typing import Dict, Iterable, Optional, Tuple
+
+from ..telemetry.ledger import runs_by_config
+from .plan import SweepCell
+
+__all__ = [
+    "DIGEST_CONFIG_KEY",
+    "cell_result_path",
+    "load_cell_result",
+    "completed_cells",
+    "clear_stale_cell_run",
+    "split_pending",
+]
+
+_log = logging.getLogger("repro.sweep")
+
+#: Run-config key carrying the cell digest (what the ledger is queried by).
+DIGEST_CONFIG_KEY = "sweep_digest"
+
+#: Result-document file name inside a completed cell's run directory.
+RESULT_FILENAME = "cell.json"
+
+
+def cell_result_path(run_dir: str) -> str:
+    """Path of the cell result document inside ``run_dir``."""
+    return os.path.join(run_dir, RESULT_FILENAME)
+
+
+def load_cell_result(run_dir: str, digest: Optional[str] = None) -> Optional[dict]:
+    """The parsed ``cell.json`` of ``run_dir``, or ``None``.
+
+    ``None`` (never an exception) when the file is missing, unparseable,
+    or — when ``digest`` is given — recorded for a different digest;
+    every such case simply means "not complete, run the cell".
+    """
+    path = cell_result_path(run_dir)
+    try:
+        with open(path) as handle:
+            result = json.load(handle)
+    except FileNotFoundError:
+        return None
+    except (json.JSONDecodeError, OSError) as exc:
+        _log.warning("%s: unreadable cell result (%s); treating as "
+                     "incomplete", path, exc)
+        return None
+    if not isinstance(result, dict):
+        return None
+    if digest is not None and result.get("digest") != digest:
+        return None
+    return result
+
+
+def completed_cells(runs_dir: str) -> Dict[str, dict]:
+    """Every completed cell under ``runs_dir``, keyed by config digest.
+
+    Uses the telemetry ledger lookup
+    (:func:`repro.telemetry.ledger.runs_by_config`) to find candidate
+    runs, then applies the completion contract above.  When a digest
+    somehow has several completed runs (e.g. a run directory restored
+    from backup next to a fresh one), the lexicographically last run id
+    wins, deterministically.
+    """
+    results: Dict[str, dict] = {}
+    for digest, records in runs_by_config(runs_dir, DIGEST_CONFIG_KEY).items():
+        for record in records:  # sorted by run id: last one wins
+            result = load_cell_result(record.run_dir, digest=digest)
+            if result is not None:
+                results[digest] = result
+    return results
+
+
+def clear_stale_cell_run(runs_dir: str, cell: SweepCell) -> bool:
+    """Remove an incomplete run directory left by a killed cell.
+
+    Returns whether anything was removed.  Refuses (raises
+    ``RuntimeError``) to remove a directory that *is* complete — callers
+    decide about re-running finished work explicitly, never implicitly.
+    """
+    run_dir = os.path.join(runs_dir, cell.run_id)
+    if not os.path.isdir(run_dir):
+        return False
+    if load_cell_result(run_dir, digest=cell.digest) is not None:
+        raise RuntimeError(
+            f"{run_dir}: refusing to clear a completed cell run"
+        )
+    shutil.rmtree(run_dir)
+    _log.info("cleared stale partial run %s", run_dir)
+    return True
+
+
+def split_pending(
+    cells: Iterable[SweepCell], completed: Dict[str, dict]
+) -> Tuple[list, list]:
+    """Split plan cells into ``(done, pending)`` by the completed map."""
+    done, pending = [], []
+    for cell in cells:
+        (done if cell.digest in completed else pending).append(cell)
+    return done, pending

@@ -1,0 +1,203 @@
+"""The declarative sweep specification: grid axes, seeds, profiles.
+
+A sweep spec is a plain mapping (hand-written dict, JSON file, or YAML
+file when PyYAML is importable) describing the comparison surface of the
+paper — every combination of
+
+    architecture x testing fault rate x training variant
+    [x training fault rate] [x pruning sparsity] [x quantization bits]
+
+repeated over one or more seeds.  This module is the dependency *leaf*
+of the package: schema constants, profile bases and the
+:class:`SweepSpec` dataclass live here; the validating constructor
+(:func:`repro.sweep.validate.load_spec`) lives in
+:mod:`repro.sweep.validate`, which refuses to build a spec whose
+validation has errors — so a ``SweepSpec`` obtained through it is
+always well-formed.
+
+Profiles
+--------
+Every spec can run under two built-in profiles:
+
+* ``smoke`` — toy scale (tiny synthetic data, one epoch, two fault
+  draws).  DeepPavlov's "joint test": exercise *every* grid cell
+  end-to-end in seconds so a config error surfaces before hours of real
+  training are spent.
+* ``full`` — the real run (CI-scale synthetic data by default; override
+  fields under ``profiles: {full: {...}}`` to scale up).
+
+A spec's ``profiles`` section may override any runtime
+:class:`~repro.experiments.config.ExperimentScale` field of either
+profile except the cell-controlled ones (``model``, ``seed``,
+``workers``, ``name`` — those belong to the grid, not the profile).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Tuple
+
+from ..experiments.config import ExperimentScale
+
+__all__ = [
+    "SPEC_VERSION",
+    "PROFILES",
+    "VARIANTS",
+    "REQUIRED_AXES",
+    "OPTIONAL_AXES",
+    "CELL_CONTROLLED_FIELDS",
+    "DEFAULT_MAX_CELLS",
+    "SweepSpec",
+    "parse_spec_file",
+    "profile_base_fields",
+]
+
+#: Version stamped into every cell digest; bump on semantic change to
+#: the spec -> pipeline mapping (invalidates completed cells on resume).
+SPEC_VERSION = 1
+
+#: Training variants a cell may request (the paper's two Algorithm-1
+#: branches plus the untrained baseline row).
+VARIANTS = ("baseline", "one_shot", "progressive")
+
+#: Axes every spec must provide.
+REQUIRED_AXES = ("arch", "p_sa", "variant")
+
+#: Axes a spec may provide; defaults used otherwise.
+OPTIONAL_AXES = ("p_sa_train", "sparsity", "quant_bits")
+
+#: ``ExperimentScale`` fields a profile override may *not* touch — they
+#: are owned by the grid expansion (one value per cell), not the profile.
+CELL_CONTROLLED_FIELDS = ("model", "seed", "workers", "name")
+
+#: Fail-fast ceiling on the expanded grid (errors above this are almost
+#: always a spec mistake; raise ``max_cells`` explicitly to go bigger).
+DEFAULT_MAX_CELLS = 4096
+
+#: Per-profile ``ExperimentScale`` base fields.  ``smoke`` is the joint
+#: test (seconds per cell); ``full`` reproduces the repo's CI scale and
+#: is meant to be overridden upward for real studies.
+_PROFILE_BASES: Dict[str, Dict[str, object]] = {
+    "smoke": dict(
+        image_size=8,
+        train_size=96,
+        train_size_large=96,
+        test_size=48,
+        batch_size=24,
+        pretrain_epochs=1,
+        ft_epochs=1,
+        ft_lr=0.02,
+        progressive_levels=2,
+        progressive_epoch_fraction=1.0,
+        defect_runs=2,
+        num_classes_small=5,
+        num_classes_large=5,
+        noise_sigma=0.35,
+        max_shift=1,
+    ),
+    "full": dict(
+        image_size=8,
+        train_size=200,
+        train_size_large=200,
+        test_size=120,
+        batch_size=40,
+        pretrain_epochs=6,
+        ft_epochs=4,
+        ft_lr=0.02,
+        progressive_levels=2,
+        progressive_epoch_fraction=0.6,
+        defect_runs=5,
+        num_classes_small=10,
+        num_classes_large=8,
+        noise_sigma=0.35,
+        max_shift=2,
+    ),
+}
+
+#: The built-in profile names, in execution order (joint test first).
+PROFILES = tuple(_PROFILE_BASES)
+
+
+def profile_base_fields(profile: str) -> Dict[str, object]:
+    """Copy of the built-in ``ExperimentScale`` fields of ``profile``."""
+    if profile not in _PROFILE_BASES:
+        raise KeyError(
+            f"unknown profile {profile!r}; choose from {sorted(_PROFILE_BASES)}"
+        )
+    return dict(_PROFILE_BASES[profile])
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A validated, normalised sweep specification.
+
+    Construct via :func:`repro.sweep.validate.load_spec` — it runs the
+    fail-fast validator and raises
+    :class:`~repro.sweep.validate.SweepValidationError` on any error, so
+    an instance in hand is safe to expand into a run plan.
+    """
+
+    name: str
+    axes: Dict[str, Tuple]
+    seeds: Tuple[int, ...] = (0,)
+    description: str = ""
+    profiles: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    max_cells: int = DEFAULT_MAX_CELLS
+    #: Non-fatal validation findings (unknown keys outside ``--strict``).
+    warnings: Tuple[str, ...] = ()
+
+    def axis(self, name: str) -> Tuple:
+        """Values of axis ``name`` (its default when the spec omits it)."""
+        if name in self.axes:
+            return self.axes[name]
+        if name == "p_sa_train":
+            return (None,)
+        if name == "sparsity":
+            return (0.0,)
+        if name == "quant_bits":
+            return (0,)
+        raise KeyError(f"unknown axis {name!r}")
+
+    def scale_for(self, profile: str, arch: str, seed: int) -> ExperimentScale:
+        """The resolved :class:`ExperimentScale` of one cell.
+
+        Profile base fields, then the spec's profile overrides, then the
+        cell-controlled fields (``model``/``seed``); inner Monte Carlo
+        evaluation always runs serial (``workers=0``) so a cell computes
+        the same bits no matter which sweep worker hosts it.
+        """
+        fields = profile_base_fields(profile)
+        fields.update(self.profiles.get(profile, {}))
+        fields.update(
+            name=f"sweep-{profile}",
+            model=arch,
+            seed=int(seed),
+            workers=0,
+            forensics=False,
+        )
+        return ExperimentScale(**fields)
+
+
+def parse_spec_file(path: str) -> Mapping:
+    """Parse a spec file by extension: ``.json`` always, YAML when
+    PyYAML is importable."""
+    extension = os.path.splitext(path)[1].lower()
+    with open(path) as handle:
+        text = handle.read()
+    if extension in (".yaml", ".yml"):
+        try:
+            import yaml
+        except ImportError as exc:
+            raise RuntimeError(
+                f"{path}: reading YAML specs needs PyYAML, which is not "
+                "installed; rewrite the spec as JSON (same schema) or "
+                "install pyyaml"
+            ) from exc
+        loaded = yaml.safe_load(text)
+    else:
+        loaded = json.loads(text)
+    if not isinstance(loaded, Mapping):
+        raise ValueError(f"{path}: spec must be a mapping, got {type(loaded).__name__}")
+    return loaded

@@ -1,0 +1,390 @@
+"""Fail-fast spec validation: reject a bad grid before any training.
+
+``python -m repro.sweep check --strict`` (and every ``run``) pushes the
+whole spec through :func:`validate_spec` first, so a typo'd axis name, an
+out-of-range fault rate, or an incompatible axis combination costs
+milliseconds instead of surfacing hours into a 200-cell grid.
+
+Severity model
+--------------
+* **error** — the spec cannot run (missing/garbled sections, values the
+  pipeline would reject, incompatible combinations).  ``from_dict``
+  refuses to construct the spec.
+* **warning** — the spec runs but probably not as intended (unknown
+  top-level or axis keys, which are silently ignored otherwise).
+  ``strict=True`` upgrades warnings to errors.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import List, Mapping, Sequence, Union
+
+from ..experiments.config import ExperimentScale
+from .spec import (
+    CELL_CONTROLLED_FIELDS,
+    DEFAULT_MAX_CELLS,
+    OPTIONAL_AXES,
+    PROFILES,
+    REQUIRED_AXES,
+    VARIANTS,
+    SweepSpec,
+    parse_spec_file,
+)
+
+__all__ = [
+    "SpecProblem",
+    "SweepValidationError",
+    "validate_spec",
+    "build_spec",
+    "load_spec",
+]
+
+#: Top-level keys the spec schema defines.
+_KNOWN_TOP_KEYS = (
+    "name",
+    "description",
+    "axes",
+    "seeds",
+    "profiles",
+    "max_cells",
+    "version",
+)
+
+#: Inclusive bounds on stuck-at rates: the paper's protocol never tests
+#: beyond 0.2; half the cells stuck is already beyond any useful part.
+_P_SA_MAX = 0.5
+
+#: Pruning beyond this leaves too few weights for the crossbar mapping
+#: (and the fault-tolerant retraining) to be meaningful.
+_SPARSITY_MAX = 0.95
+
+_QUANT_BITS_MAX = 16
+
+
+@dataclass(frozen=True)
+class SpecProblem:
+    """One validation finding."""
+
+    severity: str  # "error" | "warning"
+    where: str  # dotted location inside the spec, e.g. "axes.p_sa[2]"
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.severity}: {self.where}: {self.message}"
+
+
+class SweepValidationError(ValueError):
+    """Raised when a spec has validation errors; carries every finding."""
+
+    def __init__(self, problems: Sequence[SpecProblem]) -> None:
+        self.problems = list(problems)
+        errors = [p for p in self.problems if p.severity == "error"]
+        lines = [f"sweep spec has {len(errors)} error(s):"]
+        lines.extend(f"  {p}" for p in self.problems)
+        super().__init__("\n".join(lines))
+
+
+def _is_number(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _check_axis_values(
+    axis: str, values: Sequence, problems: List[SpecProblem]
+) -> None:
+    """Per-axis value checks (range, type, registry membership)."""
+    if axis == "arch":
+        from ..models import MODEL_REGISTRY
+
+        for i, value in enumerate(values):
+            if value not in MODEL_REGISTRY:
+                problems.append(SpecProblem(
+                    "error", f"axes.arch[{i}]",
+                    f"unknown model {value!r}; registered: "
+                    f"{sorted(MODEL_REGISTRY)}",
+                ))
+    elif axis in ("p_sa", "p_sa_train"):
+        for i, value in enumerate(values):
+            if not _is_number(value) or not 0.0 < value <= _P_SA_MAX:
+                problems.append(SpecProblem(
+                    "error", f"axes.{axis}[{i}]",
+                    f"stuck-at rate must be in (0, {_P_SA_MAX}], got {value!r}",
+                ))
+    elif axis == "variant":
+        for i, value in enumerate(values):
+            if value not in VARIANTS:
+                problems.append(SpecProblem(
+                    "error", f"axes.variant[{i}]",
+                    f"unknown training variant {value!r}; "
+                    f"choose from {list(VARIANTS)}",
+                ))
+    elif axis == "sparsity":
+        for i, value in enumerate(values):
+            if not _is_number(value) or not 0.0 <= value <= _SPARSITY_MAX:
+                problems.append(SpecProblem(
+                    "error", f"axes.sparsity[{i}]",
+                    f"pruning sparsity must be in [0, {_SPARSITY_MAX}], "
+                    f"got {value!r}",
+                ))
+    elif axis == "quant_bits":
+        for i, value in enumerate(values):
+            ok = (
+                isinstance(value, int)
+                and not isinstance(value, bool)
+                and (value == 0 or 2 <= value <= _QUANT_BITS_MAX)
+            )
+            if not ok:
+                problems.append(SpecProblem(
+                    "error", f"axes.quant_bits[{i}]",
+                    "quantization bits must be 0 (off) or an integer in "
+                    f"[2, {_QUANT_BITS_MAX}], got {value!r}",
+                ))
+
+
+def _check_profiles(profiles: object, problems: List[SpecProblem]) -> None:
+    """Profile overrides must name real, non-cell-controlled scale fields
+    with plausibly-typed values."""
+    if not isinstance(profiles, Mapping):
+        problems.append(SpecProblem(
+            "error", "profiles", "must be a mapping of profile name to "
+            "ExperimentScale field overrides",
+        ))
+        return
+    scale_fields = {f.name: f for f in dataclasses.fields(ExperimentScale)}
+    defaults = ExperimentScale()
+    for profile, overrides in profiles.items():
+        if profile not in PROFILES:
+            problems.append(SpecProblem(
+                "error", f"profiles.{profile}",
+                f"unknown profile; built-ins are {list(PROFILES)}",
+            ))
+            continue
+        if not isinstance(overrides, Mapping):
+            problems.append(SpecProblem(
+                "error", f"profiles.{profile}", "overrides must be a mapping",
+            ))
+            continue
+        for key, value in overrides.items():
+            where = f"profiles.{profile}.{key}"
+            if key in CELL_CONTROLLED_FIELDS or key == "forensics":
+                problems.append(SpecProblem(
+                    "error", where,
+                    "this field is cell-controlled (set by the grid "
+                    "expansion), not a profile override",
+                ))
+                continue
+            if key not in scale_fields:
+                problems.append(SpecProblem(
+                    "error", where,
+                    f"not an ExperimentScale field; known fields: "
+                    f"{sorted(scale_fields)}",
+                ))
+                continue
+            default = getattr(defaults, key)
+            if isinstance(default, bool):
+                if not isinstance(value, bool):
+                    problems.append(SpecProblem(
+                        "error", where, f"expected a bool, got {value!r}"))
+            elif isinstance(default, int):
+                if not isinstance(value, int) or isinstance(value, bool):
+                    problems.append(SpecProblem(
+                        "error", where, f"expected an int, got {value!r}"))
+            elif isinstance(default, float):
+                if not _is_number(value):
+                    problems.append(SpecProblem(
+                        "error", where, f"expected a number, got {value!r}"))
+            elif isinstance(default, str):
+                if not isinstance(value, str):
+                    problems.append(SpecProblem(
+                        "error", where, f"expected a string, got {value!r}"))
+            elif isinstance(default, tuple):
+                if not isinstance(value, (list, tuple)) or not all(
+                    _is_number(v) for v in value
+                ):
+                    problems.append(SpecProblem(
+                        "error", where,
+                        f"expected a list of numbers, got {value!r}"))
+
+
+def _grid_size(axes: Mapping, seeds: Sequence) -> int:
+    size = max(len(seeds), 1)
+    for axis in (*REQUIRED_AXES, *OPTIONAL_AXES):
+        values = axes.get(axis)
+        if isinstance(values, (list, tuple)) and values:
+            size *= len(values)
+    return size
+
+
+def validate_spec(raw: Mapping, strict: bool = False) -> List[SpecProblem]:
+    """Every problem with ``raw``, errors and warnings, in schema order.
+
+    Parameters
+    ----------
+    raw:
+        The candidate spec mapping.
+    strict:
+        Upgrade warnings (unknown keys) to errors — what
+        ``check --strict`` and every ``run`` use, so nothing silently
+        ignored can reach training.
+    """
+    problems: List[SpecProblem] = []
+    if not isinstance(raw, Mapping):
+        return [SpecProblem("error", "<spec>", "spec must be a mapping")]
+
+    warning = "error" if strict else "warning"
+    for key in raw:
+        if key not in _KNOWN_TOP_KEYS:
+            problems.append(SpecProblem(
+                warning, str(key), "unknown top-level key (ignored)",
+            ))
+
+    name = raw.get("name")
+    if not isinstance(name, str) or not name.strip():
+        problems.append(SpecProblem(
+            "error", "name", "required: a non-empty sweep name",
+        ))
+
+    axes = raw.get("axes")
+    if not isinstance(axes, Mapping):
+        problems.append(SpecProblem(
+            "error", "axes", "required: a mapping of axis name to values",
+        ))
+        axes = {}
+    known_axes = (*REQUIRED_AXES, *OPTIONAL_AXES)
+    for axis in axes:
+        if axis not in known_axes:
+            problems.append(SpecProblem(
+                warning, f"axes.{axis}",
+                f"unknown axis (ignored); known axes: {list(known_axes)}",
+            ))
+    for axis in REQUIRED_AXES:
+        if axis not in axes:
+            problems.append(SpecProblem(
+                "error", f"axes.{axis}", "required axis is missing",
+            ))
+    for axis in known_axes:
+        values = axes.get(axis)
+        if values is None:
+            continue
+        if not isinstance(values, (list, tuple)) or not values:
+            problems.append(SpecProblem(
+                "error", f"axes.{axis}", "must be a non-empty list of values",
+            ))
+            continue
+        seen = set()
+        for i, value in enumerate(values):
+            if value in seen:
+                problems.append(SpecProblem(
+                    "error", f"axes.{axis}[{i}]",
+                    f"duplicate value {value!r} (each grid point would run "
+                    "twice)",
+                ))
+            seen.add(value)
+        _check_axis_values(axis, values, problems)
+
+    seeds = raw.get("seeds", (0,))
+    if not isinstance(seeds, (list, tuple)) or not seeds:
+        problems.append(SpecProblem(
+            "error", "seeds", "must be a non-empty list of integers",
+        ))
+        seeds = (0,)
+    else:
+        seen = set()
+        for i, seed in enumerate(seeds):
+            if not isinstance(seed, int) or isinstance(seed, bool) or seed < 0:
+                problems.append(SpecProblem(
+                    "error", f"seeds[{i}]",
+                    f"seeds must be non-negative integers, got {seed!r}",
+                ))
+            elif seed in seen:
+                problems.append(SpecProblem(
+                    "error", f"seeds[{i}]", f"duplicate seed {seed!r}",
+                ))
+            seen.add(seed)
+
+    if "profiles" in raw:
+        _check_profiles(raw["profiles"], problems)
+
+    max_cells = raw.get("max_cells", DEFAULT_MAX_CELLS)
+    if not isinstance(max_cells, int) or isinstance(max_cells, bool) or max_cells < 1:
+        problems.append(SpecProblem(
+            "error", "max_cells", f"must be a positive integer, got {max_cells!r}",
+        ))
+        max_cells = DEFAULT_MAX_CELLS
+
+    # --- incompatible axis combinations -----------------------------------
+    variants = axes.get("variant")
+    if (
+        isinstance(variants, (list, tuple))
+        and set(variants) == {"baseline"}
+        and "p_sa_train" in axes
+    ):
+        problems.append(SpecProblem(
+            "error", "axes.p_sa_train",
+            "incompatible with variant=[baseline]: no cell retrains, so a "
+            "training fault-rate axis multiplies the grid without effect",
+        ))
+    size = _grid_size(axes, seeds)
+    if size > max_cells:
+        problems.append(SpecProblem(
+            "error", "axes",
+            f"grid expands to {size} cells, above max_cells={max_cells}; "
+            "shrink an axis or raise max_cells explicitly",
+        ))
+    return problems
+
+
+def build_spec(raw: Mapping, strict: bool = False) -> SweepSpec:
+    """Validate ``raw`` and construct the spec; raises on any error.
+
+    Parameters
+    ----------
+    raw:
+        The spec mapping (see ``docs/SWEEPS.md`` for the schema).
+    strict:
+        Treat warnings (unknown keys) as errors, mirroring
+        ``python -m repro.sweep check --strict``.
+    """
+    problems = validate_spec(raw, strict=strict)
+    errors = [p for p in problems if p.severity == "error"]
+    if errors:
+        raise SweepValidationError(problems)
+    axes = {
+        axis: tuple(raw["axes"][axis])
+        for axis in (*REQUIRED_AXES, *OPTIONAL_AXES)
+        if axis in raw["axes"]
+    }
+    profiles = {
+        str(profile): dict(overrides)
+        for profile, overrides in (raw.get("profiles") or {}).items()
+    }
+    return SweepSpec(
+        name=str(raw["name"]),
+        axes=axes,
+        seeds=tuple(int(seed) for seed in raw.get("seeds", (0,))),
+        description=str(raw.get("description", "")),
+        profiles=profiles,
+        max_cells=int(raw.get("max_cells", DEFAULT_MAX_CELLS)),
+        warnings=tuple(str(p) for p in problems),
+    )
+
+
+def load_spec(
+    source: Union[str, Mapping, SweepSpec], strict: bool = False
+) -> SweepSpec:
+    """Normalise any accepted spec source into a :class:`SweepSpec`.
+
+    Parameters
+    ----------
+    source:
+        A :class:`SweepSpec` (returned unchanged), a mapping, or a path
+        to a ``.json``/``.yaml`` spec file.
+    strict:
+        Passed through to :func:`build_spec`.
+    """
+    if isinstance(source, SweepSpec):
+        return source
+    if isinstance(source, Mapping):
+        return build_spec(source, strict=strict)
+    return build_spec(parse_spec_file(source), strict=strict)

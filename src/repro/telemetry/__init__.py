@@ -44,7 +44,14 @@ from .events import (
     read_events,
     read_events_with_errors,
 )
-from .ledger import RunRecord, build_index, diff_runs, load_index, scan_runs
+from .ledger import (
+    RunRecord,
+    build_index,
+    diff_runs,
+    load_index,
+    runs_by_config,
+    scan_runs,
+)
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .monitor import ResourceMonitor, sample_resources
 from .progress import ProgressTracker
@@ -116,6 +123,7 @@ __all__ = [
     "RunRecord",
     "scan_runs",
     "build_index",
+    "runs_by_config",
     "load_index",
     "diff_runs",
 ]

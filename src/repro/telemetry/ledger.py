@@ -34,6 +34,7 @@ __all__ = [
     "scan_runs",
     "build_index",
     "load_index",
+    "runs_by_config",
     "diff_runs",
     "render_diff",
 ]
@@ -186,6 +187,39 @@ def load_index(directory: str) -> dict:
     if index is None or index.get("version") != INDEX_VERSION:
         return build_index(directory)
     return index
+
+
+def runs_by_config(directory: str, key: str) -> Dict[str, List[RunRecord]]:
+    """Group a directory's runs by the value of one ``config`` entry.
+
+    The ledger lookup API behind resumable sweeps: ``repro.sweep`` stamps
+    every cell run's config with its ``sweep_digest`` and asks this
+    function which digests already have a recorded run.  Scalar values
+    are grouped by their string form; runs whose config lacks ``key``
+    (or whose value is not a scalar) are skipped; a
+    missing or empty ``directory`` yields ``{}`` rather than raising, so
+    a first invocation against a fresh sweep directory is not an error.
+
+    Parameters
+    ----------
+    directory:
+        Telemetry parent directory holding one subdirectory per run.
+    key:
+        Config entry to group by (e.g. ``"sweep_digest"``).
+
+    Returns
+    -------
+    dict
+        ``{value: [RunRecord, ...]}`` with each group sorted by run id.
+    """
+    if not os.path.isdir(directory):
+        return {}
+    grouped: Dict[str, List[RunRecord]] = {}
+    for record in scan_runs(directory):
+        value = record.config.get(key)
+        if isinstance(value, (str, int, float)) and not isinstance(value, bool):
+            grouped.setdefault(str(value), []).append(record)
+    return grouped
 
 
 def _as_record(run: Union[RunRecord, dict, str]) -> RunRecord:

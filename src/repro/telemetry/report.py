@@ -206,6 +206,23 @@ def _forensics_aggregates(events: List[dict]) -> List[dict]:
     return aggregate_events(events)
 
 
+def _sweep_reports(events: List[dict]) -> List[dict]:
+    """The ``sweep_report`` leaderboards recorded in a run, if any."""
+    reports = []
+    for event in events:
+        if event.get("kind") != "sweep_report":
+            continue
+        reports.append(
+            {
+                "sweep": str(event.get("sweep", "?")),
+                "profile": str(event.get("profile", "?")),
+                "cells": event.get("cells"),
+                "entries": list(event.get("entries") or []),
+            }
+        )
+    return reports
+
+
 def _collect_run(record: RunRecord) -> dict:
     events_path = os.path.join(record.run_dir, "events.jsonl")
     events: List[dict] = []
@@ -224,6 +241,7 @@ def _collect_run(record: RunRecord) -> dict:
         "resources": _resource_summary(record, events),
         "model_cost": _model_cost_totals(events),
         "forensics": _forensics_aggregates(events),
+        "sweeps": _sweep_reports(events),
         "spans": [
             {
                 "path": path,
@@ -306,6 +324,9 @@ def build_report(
         key=lambda e: (-e["stability_score"], e["run_id"], e["method"])
     )
 
+    sweeps = [sweep for run in runs for sweep in run["sweeps"]]
+    sweeps.sort(key=lambda s: (s["sweep"], s["profile"]))
+
     bench_files = find_bench_files(bench_dir) if bench_dir else []
     return {
         "directory": os.path.abspath(directory),
@@ -313,6 +334,7 @@ def build_report(
         "runs": runs,
         "curves": curves,
         "stability": stability,
+        "sweeps": sweeps,
         "bench": _bench_trends(bench_files),
     }
 
@@ -548,6 +570,51 @@ def _render_stability(stability: List[dict]) -> str:
     )
 
 
+def _render_sweeps(sweeps: List[dict]) -> str:
+    """Sweep-leaderboard section: one ranked table per recorded sweep."""
+    if not sweeps:
+        return (
+            "<p class='empty'>No sweep leaderboards recorded (run one with "
+            "<code>python -m repro.sweep run</code>).</p>"
+        )
+    parts: List[str] = []
+    for sweep in sweeps:
+        parts.append(
+            f"<h3><code>{html.escape(sweep['sweep'])}</code> "
+            f"[{html.escape(sweep['profile'])}] · "
+            f"{sweep['cells']} cell(s)</h3>"
+        )
+        rows = []
+        classes = []
+        for entry in sweep["entries"]:
+            p_sa_train = entry.get("p_sa_train")
+            rows.append(
+                [
+                    str(entry.get("rank", "-")),
+                    html.escape(str(entry.get("arch", "-"))),
+                    html.escape(str(entry.get("variant", "-"))),
+                    f"{entry.get('p_sa', 0):g}",
+                    "-" if p_sa_train is None else f"{p_sa_train:g}",
+                    f"{entry.get('sparsity', 0):g}",
+                    str(entry.get("quant_bits") or "-"),
+                    str(len(entry.get("seeds") or [])),
+                    _fmt(entry.get("acc_retrain")),
+                    _fmt(entry.get("acc_defect")),
+                    _fmt(entry.get("stability_score"), 4),
+                ]
+            )
+            classes.append("best" if entry.get("rank") == 1 else "")
+        parts.append(
+            _table(
+                ["#", "arch", "variant", "P_sa", "P_sa^T", "sparsity",
+                 "bits", "seeds", "Acc_re %", "Acc_defect %", "Stability"],
+                rows,
+                classes,
+            )
+        )
+    return "".join(parts)
+
+
 def _render_run(run: dict) -> str:
     parts = [f"<h3><code>{html.escape(run['run_id'])}</code></h3>"]
     config = ", ".join(
@@ -710,6 +777,8 @@ def render_report(report: dict) -> str:
         _svg_accuracy_chart(report["curves"]),
         "<h2>Stability-Score ranking</h2>",
         _render_stability(report["stability"]),
+        "<h2>Sweep leaderboards</h2>",
+        _render_sweeps(report["sweeps"]),
         "<h2>Fault forensics</h2>",
         _render_forensics(report["runs"]),
         "<h2>Runs</h2>",

@@ -298,6 +298,34 @@ EVENT_SCHEMAS: Dict[str, Dict[str, object]] = {
         ),
         "extra": False,
     },
+    'sweep_cell': {
+        "fields": (
+            'acc_defect',
+            'acc_pretrain',
+            'acc_retrain',
+            'arch',
+            'digest',
+            'p_sa',
+            'p_sa_train',
+            'profile',
+            'quant_bits',
+            'seed',
+            'sparsity',
+            'stability_score',
+            'sweep',
+            'variant',
+        ),
+        "extra": False,
+    },
+    'sweep_report': {
+        "fields": (
+            'cells',
+            'entries',
+            'profile',
+            'sweep',
+        ),
+        "extra": False,
+    },
     'train_end': {
         "fields": (
             'epochs',

@@ -20,6 +20,7 @@ SUBPACKAGES = [
     "repro.experiments",
     "repro.lint",
     "repro.seeding",
+    "repro.sweep",
 ]
 
 

@@ -1,0 +1,104 @@
+"""Tests for the python -m repro.sweep command-line interface."""
+
+import json
+
+import pytest
+
+from repro.sweep.cli import main
+
+GOOD = {
+    "name": "cli",
+    "axes": {
+        "arch": ["mlp"],
+        "p_sa": [0.05],
+        "variant": ["baseline", "one_shot"],
+    },
+    "seeds": [0],
+    "profiles": {
+        "smoke": {
+            "train_size": 48,
+            "train_size_large": 48,
+            "test_size": 32,
+            "batch_size": 16,
+            "defect_runs": 2,
+            "num_classes_small": 4,
+            "num_classes_large": 4,
+        }
+    },
+}
+
+
+@pytest.fixture()
+def spec_path(tmp_path):
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(GOOD))
+    return str(path)
+
+
+def test_check_ok(spec_path, capsys):
+    assert main(["check", spec_path]) == 0
+    out = capsys.readouterr().out
+    assert "ok: sweep cli" in out and "2 cell(s)" in out
+
+
+def test_check_strict_rejects_unknown_key(tmp_path, capsys):
+    raw = dict(GOOD, typo_knob=1)
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(raw))
+    assert main(["check", str(path)]) == 0
+    assert "typo_knob" in capsys.readouterr().err
+    assert main(["check", str(path), "--strict"]) == 1
+    assert "typo_knob" in capsys.readouterr().err
+
+
+def test_check_invalid_spec_exits_1(tmp_path, capsys):
+    raw = dict(GOOD, axes={"arch": ["mlp"], "p_sa": [2.0], "variant": ["baseline"]})
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(raw))
+    assert main(["check", str(path)]) == 1
+    assert "stuck-at rate" in capsys.readouterr().err
+
+
+def test_check_unreadable_spec_exits_2(tmp_path, capsys):
+    missing = str(tmp_path / "nope.json")
+    assert main(["check", missing]) == 2
+    garbled = tmp_path / "bad.json"
+    garbled.write_text("{nope")
+    assert main(["check", str(garbled)]) == 2
+
+
+def test_run_refuses_invalid_spec(tmp_path, capsys):
+    raw = dict(GOOD, typo_knob=1)  # run implies --strict
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(raw))
+    assert main(["run", str(path), "--sweep-dir", str(tmp_path / "sw")]) == 1
+    assert "run refused" in capsys.readouterr().err
+
+
+def test_run_limit_status_resume_report(spec_path, tmp_path, capsys):
+    sweep_dir = str(tmp_path / "sw")
+    # "interrupt" after one cell
+    assert main([
+        "run", spec_path, "--sweep-dir", sweep_dir, "--profile", "smoke",
+        "--workers", "0", "--limit", "1",
+    ]) == 0
+    assert "re-run to resume" in capsys.readouterr().out
+    assert main([
+        "status", spec_path, "--sweep-dir", sweep_dir, "--profile", "smoke",
+    ]) == 0
+    assert "1/2" in capsys.readouterr().out
+    # resume the remaining cell
+    assert main([
+        "run", spec_path, "--sweep-dir", sweep_dir, "--profile", "smoke",
+        "--workers", "0",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "Stability-Score leaderboard" in out
+    assert "leaderboard written to" in out
+    assert main(["report", sweep_dir, "--profile", "smoke"]) == 0
+    assert "Stability-Score leaderboard" in capsys.readouterr().out
+
+
+def test_report_without_cells_exits_2(tmp_path, capsys):
+    assert main(["report", str(tmp_path), "--profile", "smoke"]) == 2
+    assert "no completed" in capsys.readouterr().err

@@ -1,0 +1,137 @@
+"""End-to-end sweep execution: resume, interruption, worker determinism."""
+
+import json
+import os
+
+import pytest
+
+from repro import telemetry
+from repro.sweep import (
+    completed_cells,
+    execute_plan,
+    expand_plan,
+    load_spec,
+    run_sweep,
+)
+
+MICRO = {
+    "name": "micro",
+    "axes": {
+        "arch": ["mlp"],
+        "p_sa": [0.02, 0.1],
+        "variant": ["baseline", "one_shot"],
+    },
+    "seeds": [0],
+    "profiles": {
+        "smoke": {
+            "train_size": 48,
+            "train_size_large": 48,
+            "test_size": 32,
+            "batch_size": 16,
+            "defect_runs": 2,
+            "num_classes_small": 4,
+            "num_classes_large": 4,
+        }
+    },
+}
+
+
+def leaderboard_bytes(outcome):
+    with open(outcome.leaderboard_path, "rb") as handle:
+        return handle.read()
+
+
+@pytest.fixture(scope="module")
+def reference(tmp_path_factory):
+    """One uninterrupted serial smoke run of the micro grid."""
+    sweep_dir = str(tmp_path_factory.mktemp("ref") / "sw")
+    outcome = run_sweep(MICRO, sweep_dir=sweep_dir, profile="smoke", workers=0)
+    return sweep_dir, outcome, leaderboard_bytes(outcome)
+
+
+def test_full_run_completes_and_records_cells(reference):
+    sweep_dir, outcome, _ = reference
+    last = outcome.outcomes[-1]
+    assert last.executed == 4 and last.skipped == 0 and last.complete
+    assert outcome.leaderboard["cells"] == 4
+    # every cell run carries its digest in the ledger and a result doc
+    completed = completed_cells(os.path.join(sweep_dir, "runs"))
+    assert set(completed) == {c.digest for c in last.plan.cells}
+
+
+def test_rerun_is_a_noop_and_bit_identical(reference):
+    sweep_dir, _, reference_bytes = reference
+    again = run_sweep(MICRO, sweep_dir=sweep_dir, profile="smoke", workers=0)
+    last = again.outcomes[-1]
+    assert last.executed == 0 and last.skipped == 4
+    assert leaderboard_bytes(again) == reference_bytes
+
+
+def test_interrupt_and_resume_bit_identical(reference, tmp_path):
+    _, _, reference_bytes = reference
+    sweep_dir = str(tmp_path / "sw")
+    first = run_sweep(
+        MICRO, sweep_dir=sweep_dir, profile="smoke", workers=0, limit=2
+    )
+    assert first.leaderboard is None
+    assert first.outcomes[-1].executed == 2
+    assert first.outcomes[-1].remaining == 2
+    assert "re-run to resume" in first.rendered
+    resumed = run_sweep(MICRO, sweep_dir=sweep_dir, profile="smoke", workers=0)
+    # resume runs only the n-k missing cells ...
+    assert resumed.outcomes[-1].executed == 2
+    assert resumed.outcomes[-1].skipped == 2
+    # ... and the leaderboard is byte-identical to the uninterrupted run
+    assert leaderboard_bytes(resumed) == reference_bytes
+
+
+def test_parallel_workers_bit_identical(reference, tmp_path):
+    _, _, reference_bytes = reference
+    outcome = run_sweep(
+        MICRO, sweep_dir=str(tmp_path / "sw"), profile="smoke", workers=2
+    )
+    assert leaderboard_bytes(outcome) == reference_bytes
+
+
+def test_stale_partial_run_cleared_and_reexecuted(tmp_path):
+    spec = load_spec(MICRO)
+    plan = expand_plan(spec, "smoke")
+    runs_dir = tmp_path / "sw" / "runs"
+    stale = runs_dir / plan.cells[0].run_id
+    stale.mkdir(parents=True)
+    (stale / "events.jsonl").write_text('{"kind": "half-written"\n')
+    outcome = execute_plan(plan, str(tmp_path / "sw"), workers=0)
+    # the junk directory did not count as complete, and was replaced
+    assert outcome.executed == len(plan.cells)
+    assert (stale / "cell.json").is_file()
+
+
+def test_execute_plan_refuses_active_telemetry_session(tmp_path):
+    plan = expand_plan(load_spec(MICRO), "smoke")
+    with telemetry.session(str(tmp_path / "runs")):
+        with pytest.raises(RuntimeError, match="telemetry"):
+            execute_plan(plan, str(tmp_path / "sw"), workers=0)
+
+
+def test_cell_and_report_events_recorded(reference):
+    sweep_dir, outcome, _ = reference
+    runs_dir = os.path.join(sweep_dir, "runs")
+    cell = outcome.outcomes[-1].plan.cells[0]
+    with open(os.path.join(runs_dir, cell.run_id, "events.jsonl")) as handle:
+        kinds = [json.loads(line).get("kind") for line in handle]
+    assert "sweep_cell" in kinds
+    report_dir = os.path.join(runs_dir, "sweep-report-smoke")
+    with open(os.path.join(report_dir, "events.jsonl")) as handle:
+        events = [json.loads(line) for line in handle]
+    reports = [e for e in events if e.get("kind") == "sweep_report"]
+    assert len(reports) == 1
+    assert reports[0]["cells"] == 4
+    assert reports[0]["entries"][0]["rank"] == 1
+
+
+def test_leaderboard_ranks_by_stability_score(reference):
+    _, outcome, _ = reference
+    entries = outcome.leaderboard["entries"]
+    scores = [e["stability_score"] for e in entries]
+    assert scores == sorted(scores, reverse=True)
+    assert [e["rank"] for e in entries] == list(range(1, len(entries) + 1))

@@ -1,0 +1,84 @@
+"""Tests for repro.sweep.plan (deterministic expansion + digests)."""
+
+from repro.sweep import expand_plan, load_spec
+
+
+def make_spec(**overrides):
+    raw = {
+        "name": "t",
+        "axes": {
+            "arch": ["mlp"],
+            "p_sa": [0.02, 0.1],
+            "variant": ["baseline", "one_shot"],
+        },
+        "seeds": [0, 1],
+    }
+    raw.update(overrides)
+    return load_spec(raw)
+
+
+def test_expansion_size_and_order_deterministic():
+    spec = make_spec()
+    plan_a = expand_plan(spec, "smoke")
+    plan_b = expand_plan(spec, "smoke")
+    assert len(plan_a.cells) == 1 * 2 * 2 * 2
+    assert [c.digest for c in plan_a.cells] == [c.digest for c in plan_b.cells]
+    assert [c.index for c in plan_a.cells] == list(range(len(plan_a.cells)))
+
+
+def test_baseline_collapses_training_rate_axis():
+    raw = {
+        "name": "t",
+        "axes": {
+            "arch": ["mlp"],
+            "p_sa": [0.1],
+            "variant": ["baseline", "one_shot"],
+            "p_sa_train": [0.01, 0.05],
+        },
+    }
+    plan = expand_plan(load_spec(raw), "smoke")
+    baselines = [c for c in plan.cells if c.variant == "baseline"]
+    trained = [c for c in plan.cells if c.variant == "one_shot"]
+    # the two baseline grid points collapse to one cell; trained don't
+    assert len(baselines) == 1
+    assert baselines[0].p_sa_train is None
+    assert len(trained) == 2
+
+
+def test_profiles_and_seeds_change_digests():
+    spec = make_spec()
+    smoke = {c.digest for c in expand_plan(spec, "smoke").cells}
+    full = {c.digest for c in expand_plan(spec, "full").cells}
+    assert not smoke & full
+    seeds = {c.seed for c in expand_plan(spec, "smoke").cells}
+    assert seeds == {0, 1}
+
+
+def test_rename_keeps_digests_but_overrides_change_them():
+    base = make_spec()
+    renamed = make_spec(name="other")
+    assert [c.digest for c in expand_plan(base, "smoke").cells] == \
+        [c.digest for c in expand_plan(renamed, "smoke").cells]
+    scaled = make_spec(profiles={"smoke": {"train_size": 64}})
+    assert [c.digest for c in expand_plan(base, "smoke").cells] != \
+        [c.digest for c in expand_plan(scaled, "smoke").cells]
+
+
+def test_run_id_format_and_by_digest():
+    plan = expand_plan(make_spec(), "smoke")
+    for cell in plan.cells:
+        assert cell.run_id == f"cell-{cell.digest[:12]}"
+    assert set(plan.by_digest()) == {c.digest for c in plan.cells}
+
+
+def test_summary_counts():
+    summary = expand_plan(make_spec(), "smoke").summary()
+    assert summary["cells"] == 8
+    assert summary["axes"]["seeds"] == 2
+    assert summary["axes"]["p_sa_train"] == 1
+
+
+def test_cell_label_mentions_the_point():
+    cell = expand_plan(make_spec(), "smoke").cells[0]
+    label = cell.label()
+    assert cell.arch in label and f"p_sa={cell.p_sa:g}" in label

@@ -1,0 +1,173 @@
+"""Tests for repro.sweep.spec / repro.sweep.validate (fail-fast checks)."""
+
+import json
+
+import pytest
+
+from repro.sweep import (
+    SweepSpec,
+    SweepValidationError,
+    load_spec,
+    validate_spec,
+)
+from repro.sweep.spec import PROFILES, parse_spec_file
+
+
+def good_spec(**overrides):
+    raw = {
+        "name": "t",
+        "axes": {
+            "arch": ["mlp"],
+            "p_sa": [0.02, 0.1],
+            "variant": ["baseline", "one_shot"],
+        },
+        "seeds": [0],
+    }
+    raw.update(overrides)
+    return raw
+
+
+def errors_of(raw, strict=False):
+    return [p for p in validate_spec(raw, strict=strict)
+            if p.severity == "error"]
+
+
+def test_load_spec_from_dict():
+    spec = load_spec(good_spec())
+    assert isinstance(spec, SweepSpec)
+    assert spec.axis("p_sa") == (0.02, 0.1)
+    # omitted optional axes fall back to single-value defaults
+    assert spec.axis("p_sa_train") == (None,)
+    assert spec.axis("sparsity") == (0.0,)
+    assert spec.axis("quant_bits") == (0,)
+
+
+def test_load_spec_passes_through_spec_instance():
+    spec = load_spec(good_spec())
+    assert load_spec(spec) is spec
+
+
+def test_unknown_top_level_key_warns_then_errors_under_strict():
+    raw = good_spec(extra_knob=1)
+    assert not errors_of(raw)
+    assert any("extra_knob" in w for w in load_spec(raw).warnings)
+    assert errors_of(raw, strict=True)
+    with pytest.raises(SweepValidationError):
+        load_spec(raw, strict=True)
+
+
+def test_unknown_axis_warns_then_errors_under_strict():
+    raw = good_spec()
+    raw["axes"]["p_saa"] = [0.1]
+    assert not errors_of(raw)
+    assert errors_of(raw, strict=True)
+
+
+def test_missing_required_axis_is_error():
+    raw = good_spec()
+    del raw["axes"]["variant"]
+    assert any("axes.variant" in str(p) for p in errors_of(raw))
+
+
+def test_out_of_range_fault_rate_is_error():
+    for bad in (0.0, -0.1, 0.7, "x"):
+        raw = good_spec()
+        raw["axes"]["p_sa"] = [bad]
+        assert errors_of(raw), bad
+
+
+def test_unknown_arch_is_error():
+    raw = good_spec()
+    raw["axes"]["arch"] = ["transformer9000"]
+    assert any("transformer9000" in str(p) for p in errors_of(raw))
+
+
+def test_unknown_variant_is_error():
+    raw = good_spec()
+    raw["axes"]["variant"] = ["two_shot"]
+    assert errors_of(raw)
+
+
+def test_duplicate_axis_value_is_error():
+    raw = good_spec()
+    raw["axes"]["p_sa"] = [0.1, 0.1]
+    assert any("duplicate" in str(p) for p in errors_of(raw))
+
+
+def test_bad_seeds_are_errors():
+    for bad in ([], [-1], [0, 0], ["a"], [True]):
+        assert errors_of(good_spec(seeds=bad)), bad
+
+
+def test_sparsity_and_quant_bits_ranges():
+    raw = good_spec()
+    raw["axes"]["sparsity"] = [0.99]
+    assert errors_of(raw)
+    raw = good_spec()
+    raw["axes"]["quant_bits"] = [1]
+    assert errors_of(raw)
+    raw = good_spec()
+    raw["axes"]["sparsity"] = [0.0, 0.5]
+    raw["axes"]["quant_bits"] = [0, 8]
+    assert not errors_of(raw)
+
+
+def test_p_sa_train_incompatible_with_baseline_only():
+    raw = good_spec()
+    raw["axes"]["variant"] = ["baseline"]
+    raw["axes"]["p_sa_train"] = [0.05]
+    assert any("incompatible" in str(p) for p in errors_of(raw))
+    # fine once a trained variant joins the grid
+    raw["axes"]["variant"] = ["baseline", "one_shot"]
+    assert not errors_of(raw)
+
+
+def test_grid_above_max_cells_is_error():
+    raw = good_spec(max_cells=3)
+    assert any("max_cells" in str(p) for p in errors_of(raw))
+
+
+def test_profile_override_checks():
+    # unknown profile
+    assert errors_of(good_spec(profiles={"nightly": {}}))
+    # cell-controlled field
+    assert errors_of(good_spec(profiles={"smoke": {"model": "mlp"}}))
+    assert errors_of(good_spec(profiles={"smoke": {"seed": 3}}))
+    # unknown scale field
+    assert errors_of(good_spec(profiles={"smoke": {"epochs": 3}}))
+    # type mismatch
+    assert errors_of(good_spec(profiles={"smoke": {"train_size": "big"}}))
+    # a valid override passes and lands in the resolved scale
+    spec = load_spec(good_spec(profiles={"smoke": {"train_size": 64}}))
+    assert spec.scale_for("smoke", "mlp", 0).train_size == 64
+
+
+def test_scale_for_pins_cell_controlled_fields():
+    spec = load_spec(good_spec())
+    for profile in PROFILES:
+        scale = spec.scale_for(profile, "mlp", 7)
+        assert scale.model == "mlp"
+        assert scale.seed == 7
+        assert scale.workers == 0
+        assert scale.forensics is False
+
+
+def test_json_file_round_trip(tmp_path):
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(good_spec()))
+    assert load_spec(str(path)).name == "t"
+
+
+def test_yaml_file_gated_on_pyyaml(tmp_path):
+    yaml = pytest.importorskip("yaml")
+    path = tmp_path / "spec.yaml"
+    path.write_text(yaml.safe_dump(good_spec()))
+    assert parse_spec_file(str(path))["name"] == "t"
+    assert load_spec(str(path)).name == "t"
+
+
+def test_non_mapping_spec_rejected(tmp_path):
+    path = tmp_path / "spec.json"
+    path.write_text("[1, 2]")
+    with pytest.raises(ValueError):
+        load_spec(str(path))

@@ -151,3 +151,20 @@ def test_cli_trace_exports(two_runs, capsys):
 def test_cli_missing_directory_exits_2(tmp_path, capsys):
     assert cli_main(["ls", str(tmp_path / "nope")]) == 2
     assert cli_main(["show", str(tmp_path / "nope")]) == 2
+
+
+def test_runs_by_config_groups_and_sorts(two_runs):
+    from repro.telemetry.ledger import runs_by_config
+
+    parent, _, _ = two_runs
+    by_seed = runs_by_config(parent, "seed")
+    assert set(by_seed) == {"1", "2"}
+    assert all(len(records) == 1 for records in by_seed.values())
+    by_exp = runs_by_config(parent, "experiment")
+    assert set(by_exp) == {"t"}
+    assert len(by_exp["t"]) == 2
+    run_ids = [r.run_id for r in by_exp["t"]]
+    assert run_ids == sorted(run_ids)
+    # keys absent from every run, and missing directories, come back empty
+    assert runs_by_config(parent, "nope") == {}
+    assert runs_by_config(os.path.join(parent, "missing"), "seed") == {}

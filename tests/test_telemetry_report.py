@@ -288,3 +288,38 @@ def test_cli_file_path_exits_2(tmp_path, capsys):
     target = tmp_path / "file.txt"
     target.write_text("x")
     assert cli_main(["show", str(target)]) == 2
+
+
+def test_report_renders_sweep_leaderboards(tmp_path):
+    with telemetry.session(
+        str(tmp_path), run_id="sweep-report-smoke",
+        config={"sweep": "s", "sweep_profile": "smoke"},
+    ) as run:
+        run.emit(
+            "sweep_report", sweep="s", profile="smoke", cells=2,
+            entries=[
+                {"rank": 1, "arch": "mlp", "variant": "one_shot",
+                 "p_sa": 0.1, "p_sa_train": 0.05, "sparsity": 0.0,
+                 "quant_bits": 0, "seeds": [0], "acc_pretrain": 80.0,
+                 "acc_retrain": 78.0, "acc_defect": 70.0,
+                 "stability_score": 7.8},
+                {"rank": 2, "arch": "mlp", "variant": "baseline",
+                 "p_sa": 0.1, "p_sa_train": None, "sparsity": 0.0,
+                 "quant_bits": 0, "seeds": [0], "acc_pretrain": 80.0,
+                 "acc_retrain": 80.0, "acc_defect": 40.0,
+                 "stability_score": 2.0},
+            ],
+        )
+    report = build_report(str(tmp_path))
+    assert len(report["sweeps"]) == 1
+    html_text = render_report(report)
+    assert "Sweep leaderboards" in html_text
+    assert "one_shot" in html_text and "7.8000" in html_text
+
+
+def test_report_without_sweeps_shows_hint(tmp_path):
+    with telemetry.session(str(tmp_path)) as run:
+        run.emit("heartbeat", label="t", completed=1, total=1,
+                 elapsed_seconds=1.0, rate_per_second=1.0, eta_seconds=0.0)
+    html_text = render_report(build_report(str(tmp_path)))
+    assert "No sweep leaderboards recorded" in html_text
