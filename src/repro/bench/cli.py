@@ -4,8 +4,10 @@ Usage::
 
     python -m repro.bench run --suite fast -o BENCH_0.json
     python -m repro.bench run --suite full --filter crossbar
+    python -m repro.bench run --suite fast --profile -o BENCH_1.json
     python -m repro.bench compare BENCH_0.json BENCH_1.json
     python -m repro.bench compare BENCH_0.json BENCH_1.json --json
+    python -m repro.bench compare BENCH_0.json BENCH_1.json --attribute 5
     python -m repro.bench list --suite fast
 
 Exit codes: ``run`` and ``list`` exit 0 on success and 2 on usage
@@ -20,10 +22,16 @@ import json
 import sys
 from typing import List, Optional
 
-from .compare import compare_benches
+from .compare import attribute_comparison, compare_benches
 from .provenance import collect_provenance
 from .registry import default_registry
-from .report import format_seconds, format_table, render_bench, render_comparison
+from .report import (
+    format_seconds,
+    format_table,
+    render_attribution,
+    render_bench,
+    render_comparison,
+)
 from .runner import RunnerConfig, run_suite
 from .schema import SchemaError, build_document, load_bench, write_bench
 
@@ -74,6 +82,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=None, help="setup generator seed"
     )
     run.add_argument(
+        "--profile",
+        action="store_true",
+        help="sample call stacks during measured repeats and store "
+        "per-function digests in the BENCH file (enables compare "
+        "--attribute)",
+    )
+    run.add_argument(
         "-q", "--quiet", action="store_true", help="suppress progress lines"
     )
 
@@ -99,6 +114,16 @@ def build_parser() -> argparse.ArgumentParser:
         dest="as_json",
         action="store_true",
         help="emit the comparison as JSON instead of a table",
+    )
+    compare.add_argument(
+        "--attribute",
+        nargs="?",
+        type=int,
+        const=10,
+        default=None,
+        metavar="N",
+        help="diff per-function self time between profiled BENCH files "
+        "and print the top-N movers per case (default N: 10)",
     )
 
     lst = sub.add_parser("list", help="list registered benchmark cases")
@@ -141,6 +166,7 @@ def _cmd_run(args) -> int:
             config=config,
             pattern=args.pattern,
             progress=progress,
+            profile=args.profile,
         )
     except ValueError as exc:
         print(f"run: {exc}", file=sys.stderr)
@@ -176,10 +202,28 @@ def _cmd_compare(args) -> int:
     except ValueError as exc:
         print(f"compare: {exc}", file=sys.stderr)
         return 2
+    attribution = None
+    if args.attribute is not None:
+        if args.attribute < 1:
+            print("compare: --attribute must be >= 1", file=sys.stderr)
+            return 2
+        attribution = attribute_comparison(baseline, candidate)
     if args.as_json:
-        print(json.dumps(result.to_dict(), indent=2))
+        doc = result.to_dict()
+        if attribution is not None:
+            doc["attribution"] = attribution
+        print(json.dumps(doc, indent=2))
     else:
         print(render_comparison(result))
+        if attribution is not None:
+            print()
+            print(
+                render_attribution(
+                    attribution,
+                    top=args.attribute,
+                    regressed=[d.name for d in result.regressions],
+                )
+            )
     return 0 if result.ok else 1
 
 

@@ -17,9 +17,15 @@ reported but don't fail the comparison (suites legitimately evolve).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional
 
-__all__ = ["CaseDelta", "ComparisonResult", "compare_benches"]
+__all__ = [
+    "CaseDelta",
+    "ComparisonResult",
+    "compare_benches",
+    "attribute_functions",
+    "attribute_comparison",
+]
 
 #: delta.status values, in display order.
 STATUSES = ("regression", "improvement", "ok", "incomparable", "missing", "new")
@@ -108,6 +114,68 @@ def _delta_for(
         else:
             delta.note = "faster, but within measurement noise"
     return delta
+
+
+def _self_seconds_per_repeat(case: dict) -> Optional[Dict[str, float]]:
+    """Per-function sampled self time per measured repeat, in seconds.
+
+    ``None`` when the case carries no usable profile (not recorded with
+    ``run --profile``, or the body was too fast to catch any samples).
+    """
+    profile = case.get("profile")
+    if not isinstance(profile, dict):
+        return None
+    functions = profile.get("functions")
+    interval = profile.get("interval")
+    repeats = profile.get("repeats") or case.get("repeats")
+    if not functions or not interval or not repeats:
+        return None
+    scale = float(interval) / float(repeats)
+    return {
+        name: entry.get("self", 0) * scale
+        for name, entry in functions.items()
+    }
+
+
+def attribute_functions(
+    base_case: dict, cand_case: dict
+) -> Optional[List[dict]]:
+    """Per-function self-time deltas between two profiled case records.
+
+    Returns ``[{"function", "baseline_self", "candidate_self", "delta"},
+    ...]`` (seconds per repeat) sorted by descending absolute delta —
+    the top movers name the functions responsible for a regression.
+    ``None`` when either side lacks a profile.
+    """
+    base = _self_seconds_per_repeat(base_case)
+    cand = _self_seconds_per_repeat(cand_case)
+    if base is None or cand is None:
+        return None
+    movers = [
+        {
+            "function": name,
+            "baseline_self": base.get(name, 0.0),
+            "candidate_self": cand.get(name, 0.0),
+            "delta": cand.get(name, 0.0) - base.get(name, 0.0),
+        }
+        for name in sorted(set(base) | set(cand))
+    ]
+    movers.sort(key=lambda m: (-abs(m["delta"]), m["function"]))
+    return movers
+
+
+def attribute_comparison(
+    baseline: dict, candidate: dict
+) -> Dict[str, List[dict]]:
+    """Function-level attribution for every case profiled on both sides."""
+    attribution: Dict[str, List[dict]] = {}
+    base_cases = baseline["cases"]
+    cand_cases = candidate["cases"]
+    for name in sorted(set(base_cases) & set(cand_cases)):
+        movers = attribute_functions(base_cases[name], cand_cases[name])
+        if movers:
+            attribution[name] = movers
+    return attribution
 
 
 def compare_benches(

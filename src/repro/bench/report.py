@@ -14,6 +14,7 @@ __all__ = [
     "format_table",
     "render_bench",
     "render_comparison",
+    "render_attribution",
 ]
 
 
@@ -132,3 +133,44 @@ def render_comparison(result) -> str:
         f"beyond {result.threshold:.0%}"
     )
     return table + "\n\n" + verdict
+
+
+def render_attribution(
+    attribution: dict, top: int = 10, regressed: Optional[Sequence[str]] = None
+) -> str:
+    """Ranked per-function self-time deltas (``compare --attribute``).
+
+    ``attribution`` is :func:`repro.bench.compare.attribute_comparison`
+    output: case name → movers sorted by descending absolute delta.
+    Cases named in ``regressed`` are flagged, so the top movers
+    responsible for each regression are called out by name.
+    """
+    if not attribution:
+        return (
+            "no attribution available — neither file carries case "
+            "profiles (record with: python -m repro.bench run --profile)"
+        )
+    regressed = set(regressed or ())
+    blocks: List[str] = []
+    for case, movers in attribution.items():
+        flag = "  [REGRESSION]" if case in regressed else ""
+        shown = movers[:top]
+        rows = [
+            [
+                mover["function"],
+                format_seconds(mover["baseline_self"]),
+                format_seconds(mover["candidate_self"]),
+                f"{mover['delta'] * 1e6:+.1f}µs",
+            ]
+            for mover in shown
+        ]
+        blocks.append(
+            f"{case}{flag} — top {len(shown)} of {len(movers)} function(s) "
+            "by |Δ self/repeat|:\n"
+            + format_table(
+                ["function", "baseline self", "candidate self", "Δ/repeat"],
+                rows,
+                aligns=["l", "r", "r", "r"],
+            )
+        )
+    return "\n\n".join(blocks)

@@ -76,7 +76,13 @@ class RunnerConfig:
 
 @dataclass
 class CaseResult:
-    """One case's measured outcome."""
+    """One case's measured outcome.
+
+    ``profile`` is the optional sampled-stack digest captured when the
+    runner profiled the measured repeats: ``{"interval", "samples",
+    "repeats", "functions": {label: {"self", "total"}}}`` — the input of
+    ``python -m repro.bench compare --attribute``.
+    """
 
     name: str
     suite: str
@@ -85,9 +91,10 @@ class CaseResult:
     rejected: int
     warmup: int
     stats: dict
+    profile: Optional[dict] = None
 
     def to_dict(self) -> dict:
-        return {
+        doc = {
             "suite": self.suite,
             "params": self.params,
             "repeats": self.repeats,
@@ -95,6 +102,9 @@ class CaseResult:
             "warmup": self.warmup,
             "stats": self.stats,
         }
+        if self.profile is not None:
+            doc["profile"] = self.profile
+        return doc
 
 
 def run_case(
@@ -102,16 +112,29 @@ def run_case(
     suite: str = "fast",
     config: Optional[RunnerConfig] = None,
     metrics: Optional[MetricsRegistry] = None,
+    profile: bool = False,
 ) -> CaseResult:
-    """Measure one case and return its robust timing digest."""
+    """Measure one case and return its robust timing digest.
+
+    ``profile`` additionally runs a
+    :class:`~repro.telemetry.profiling.StackSampler` over the *measured*
+    repeats (warm-up and setup stay unsampled) and attaches the
+    per-function self/total sample digest to the result — the raw
+    material for ``compare --attribute``.
+    """
     config = config if config is not None else RunnerConfig()
     metrics = metrics if metrics is not None else MetricsRegistry()
     histogram = metrics.histogram(f"bench_seconds/{case.name}")
     params = case.params_for(suite)
     state = case.build(suite, rng=np.random.default_rng(config.seed))
+    sampler = None
     try:
         for _ in range(config.warmup):
             case.func(state)
+        if profile:
+            from ..telemetry.profiling import StackSampler
+
+            sampler = StackSampler().start()
         samples: List[float] = []
         total = 0.0
         while len(samples) < config.max_repeats and (
@@ -124,7 +147,19 @@ def run_case(
             histogram.observe(seconds)
             total += seconds
     finally:
+        if sampler is not None:
+            aggregate = sampler.stop()
         case.cleanup(state)
+    profile_digest = None
+    if sampler is not None:
+        from ..telemetry.profiling import function_totals
+
+        profile_digest = {
+            "interval": sampler.interval,
+            "samples": aggregate.samples,
+            "repeats": len(samples),
+            "functions": function_totals(aggregate),
+        }
     kept, rejected = reject_outliers(samples, config.outlier_threshold)
     result = CaseResult(
         name=case.name,
@@ -134,6 +169,7 @@ def run_case(
         rejected=len(rejected),
         warmup=config.warmup,
         stats=describe(kept),
+        profile=profile_digest,
     )
     logger.debug(
         "bench %s: %d repeats (%d rejected), median %.6fs",
@@ -152,6 +188,7 @@ def run_suite(
     pattern: Optional[str] = None,
     metrics: Optional[MetricsRegistry] = None,
     progress: Optional[Callable[[str], None]] = None,
+    profile: bool = False,
 ) -> List[CaseResult]:
     """Run every registered case in ``suite`` (optionally filtered).
 
@@ -170,6 +207,12 @@ def run_suite(
         if progress is not None:
             progress(case.name)
         results.append(
-            run_case(case, suite=suite, config=config, metrics=metrics)
+            run_case(
+                case,
+                suite=suite,
+                config=config,
+                metrics=metrics,
+                profile=profile,
+            )
         )
     return results

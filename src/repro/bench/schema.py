@@ -15,7 +15,12 @@ Shape (version 1)::
           "params": {"batch": 4, ...},
           "repeats": 32, "rejected": 1, "warmup": 3,
           "stats": { count, total, mean, std, median, mad,
-                     min, p95, p99, max }
+                     min, p95, p99, max },
+          "profile": {                      # optional (run --profile)
+            "interval": 0.01, "samples": 120, "repeats": 32,
+            "functions": { "repro/nn/f.py:forward":
+                           {"self": 40, "total": 90}, ... }
+          }
         },
         ...
       }
@@ -150,6 +155,19 @@ def validate_bench(doc: dict) -> dict:
                 continue
             for key in _STAT_KEYS:
                 _check_number(problems, stats, key, f"{where}.stats")
+            profile = case.get("profile")
+            if profile is not None:
+                if not isinstance(profile, dict):
+                    problems.append(f"{where}.profile must be an object")
+                else:
+                    for key in ("interval", "samples", "repeats"):
+                        _check_number(
+                            problems, profile, key, f"{where}.profile"
+                        )
+                    if not isinstance(profile.get("functions"), dict):
+                        problems.append(
+                            f"{where}.profile.functions must be an object"
+                        )
     if problems:
         raise SchemaError(problems)
     return doc

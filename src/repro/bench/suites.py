@@ -31,6 +31,9 @@ kernels the paper's pipeline spends its time in:
 * ``telemetry/report_render`` — aggregating a synthetic multi-run
   ledger into the self-contained HTML dashboard, the work
   ``python -m repro.telemetry report`` performs;
+* ``telemetry/profile_collapse`` — collapsing a sampled-stack aggregate
+  into its collapsed-text / speedscope / flamegraph-SVG exports, the
+  work ``python -m repro.telemetry flame`` performs;
 * ``sweep/plan_and_validate`` — fail-fast sweep-spec validation plus
   deterministic grid expansion with per-cell config digests, the fixed
   cost every ``repro.sweep`` invocation (and resume) pays.
@@ -582,6 +585,46 @@ def _report_render(state):
     from ..telemetry.report import build_report, render_report
 
     return render_report(build_report(state["directory"]))
+
+
+def _profile_collapse_setup(params: dict, rng: np.random.Generator) -> dict:
+    # A synthetic sample multiset shaped like a profiled pooled run:
+    # span-path roots, a repo-like module tree, and counts drawn once
+    # from the setup generator (deterministic per seed).
+    from ..telemetry.profiling import StackAggregate
+
+    aggregate = StackAggregate()
+    modules = [f"repro/nn/mod{m}.py" for m in range(8)]
+    for i in range(params["stacks"]):
+        depth = 2 + int(rng.integers(0, 10))
+        stack = (f"span:phase{i % 3}",) + tuple(
+            f"{modules[int(rng.integers(0, len(modules)))]}:fn{level}"
+            for level in range(depth)
+        )
+        aggregate.add(stack, int(rng.integers(1, 50)))
+    return {"aggregate": aggregate}
+
+
+@benchmark(
+    "telemetry/profile_collapse",
+    params={"fast": {"stacks": 2000}, "full": {"stacks": 20000}},
+    setup=_profile_collapse_setup,
+    description="Collapse a sampled-stack aggregate into its three "
+    "deterministic exports: collapsed text, speedscope JSON, flamegraph SVG",
+)
+def _profile_collapse(state):
+    from ..telemetry.profiling import (
+        build_speedscope,
+        render_collapsed,
+        render_flamegraph_svg,
+    )
+
+    aggregate = state["aggregate"]
+    return (
+        render_collapsed(aggregate),
+        build_speedscope(aggregate),
+        render_flamegraph_svg(aggregate),
+    )
 
 
 def _sweep_plan_setup(params: dict, rng: np.random.Generator) -> dict:

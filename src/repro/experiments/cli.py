@@ -93,6 +93,13 @@ def build_parser() -> argparse.ArgumentParser:
         "`python -m repro.telemetry forensics`)",
     )
     parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="sample call stacks (parent and pool workers) into the "
+        "telemetry run; view with `python -m repro.telemetry flame` "
+        "(requires --telemetry-dir)",
+    )
+    parser.add_argument(
         "--telemetry-dir",
         default=None,
         help="record a structured event log + metrics snapshot for this "
@@ -242,7 +249,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             "forensics": scale.forensics,
         }
         with telemetry.session(
-            args.telemetry_dir, config=config, resources=True
+            args.telemetry_dir,
+            config=config,
+            resources=True,
+            profile=args.profile,
         ) as run:
             _run_experiments(args, scale, verbose)
             logging.getLogger("repro").info(
@@ -254,4 +264,11 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # e.g. `... cli summary --run <dir> | head`.  Point stdout at
+        # devnull so the interpreter's shutdown flush doesn't raise a
+        # second time.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(0)

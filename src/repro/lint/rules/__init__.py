@@ -13,6 +13,7 @@ from . import (
     imports,
     mutation,
     parallelism,
+    profiling,
     rng,
     timing,
 )
@@ -25,6 +26,7 @@ __all__ = [
     "imports",
     "mutation",
     "parallelism",
+    "profiling",
     "rng",
     "timing",
 ]

@@ -1,0 +1,103 @@
+"""RL016 — profiling hooks stay inside ``repro.telemetry.profiling``.
+
+The sampling profiler is safe because it is *passive*: a daemon thread
+reading ``sys._current_frames()`` at a bounded rate, with one audited
+overhead contract (≤5% on the defect-eval smoke; see
+``docs/OBSERVABILITY.md``).  Tracing-based alternatives are not —
+``sys.setprofile``/``sys.settrace`` hook *every* call/line in the
+interpreter (order-of-magnitude slowdowns that invalidate any timing
+the run records), ``cProfile``/``profile`` do the same behind a nicer
+API, and a second consumer of the global trace hooks silently evicts
+the first.  One module owns the machinery; everything else asks for a
+profile through ``telemetry.session(..., profile=True)``,
+``bench run --profile`` or the ``--profile`` experiment flag.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from ..sources import SourceFile
+from ..registry import rule
+from ..findings import ERROR
+from .common import dotted_name
+
+__all__ = ["check_rl016"]
+
+#: The module sanctioned to read frames / own profiling hooks.
+_ALLOWED_MODULE = "repro.telemetry.profiling"
+_ALLOWED_PATH_FRAGMENT = "repro/telemetry/profiling"
+
+#: Tracing-profiler modules whose import signals a foreign profiler.
+_PROFILER_MODULES = ("cProfile", "profile", "pstats")
+
+#: Interpreter hook/introspection calls reserved for the sampler.
+_BANNED_CALLS = {
+    "sys.setprofile",
+    "sys.settrace",
+    "sys._current_frames",
+    "threading.setprofile",
+    "threading.settrace",
+}
+
+
+def _is_profiler_module(name: str) -> bool:
+    return name.split(".", 1)[0] in _PROFILER_MODULES
+
+
+def _is_allowed(source: SourceFile) -> bool:
+    if source.module == _ALLOWED_MODULE:
+        return True
+    # Fallback for files linted without a resolved module name.
+    return _ALLOWED_PATH_FRAGMENT in source.path.replace("\\", "/")
+
+
+@rule(
+    "RL016",
+    name="foreign-profiler",
+    severity=ERROR,
+    description="cProfile/profile import or sys.setprofile/settrace/"
+    "_current_frames use outside repro.telemetry.profiling",
+    rationale="tracing profilers hook every interpreter call (order-of-"
+    "magnitude slowdowns that invalidate recorded timings) and global "
+    "trace hooks silently evict each other; the sampling profiler in "
+    "repro.telemetry.profiling is the one audited, bounded-overhead way "
+    "to attribute CPU time",
+)
+def check_rl016(source: SourceFile) -> Iterator[Tuple[ast.AST, str]]:
+    """RL016: foreign profiling machinery outside the sampling profiler."""
+    if _is_allowed(source):
+        return
+    for node in ast.walk(source.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if _is_profiler_module(alias.name):
+                    yield (
+                        node,
+                        f"import {alias.name} outside "
+                        "repro.telemetry.profiling; profile with "
+                        "telemetry.session(..., profile=True) or "
+                        "bench run --profile",
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            if (
+                node.level == 0
+                and node.module
+                and _is_profiler_module(node.module)
+            ):
+                yield (
+                    node,
+                    f"from {node.module} import ... outside "
+                    "repro.telemetry.profiling; profile with "
+                    "telemetry.session(..., profile=True) or "
+                    "bench run --profile",
+                )
+        elif isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            if name in _BANNED_CALLS:
+                yield (
+                    node,
+                    f"{name}() outside repro.telemetry.profiling; the "
+                    "StackSampler owns the interpreter's profiling hooks",
+                )

@@ -151,7 +151,11 @@ class ParallelMap:
 
     # -- pool plumbing ------------------------------------------------------
     def _make_pool(
-        self, broadcast, capture: bool, monitor: bool = False
+        self,
+        broadcast,
+        capture: bool,
+        monitor: bool = False,
+        profile: bool = False,
     ) -> cf.ProcessPoolExecutor:
         mp_context = (
             get_context(self.start_method) if self.start_method else None
@@ -160,7 +164,7 @@ class ParallelMap:
             max_workers=self.workers,
             mp_context=mp_context,
             initializer=initialize_worker,
-            initargs=(broadcast, capture, monitor),
+            initargs=(broadcast, capture, monitor, profile),
         )
 
     @staticmethod
@@ -279,8 +283,9 @@ class ParallelMap:
 
         capture = telemetry.current().enabled
         monitor = telemetry.current().monitoring
+        profile = telemetry.current().profiling
         try:
-            pool = self._make_pool(broadcast, capture, monitor)
+            pool = self._make_pool(broadcast, capture, monitor, profile)
         except Exception as exc:  # pool construction is best-effort
             return self._fallback(fn, tasks, broadcast, f"pool creation failed: {exc}")
 
@@ -315,8 +320,8 @@ class ParallelMap:
         )
         try:
             pool = self._drive(
-                pool, fn, broadcast, capture, monitor, chunks, results,
-                failures, tracker,
+                pool, fn, broadcast, capture, monitor, profile, chunks,
+                results, failures, tracker,
             )
         finally:
             self._teardown_pool(pool)
@@ -338,6 +343,7 @@ class ParallelMap:
         broadcast,
         capture: bool,
         monitor: bool,
+        profile: bool,
         chunks: List[_Chunk],
         results: Dict[int, Any],
         failures: List[TaskFailure],
@@ -361,7 +367,7 @@ class ParallelMap:
             for chunk in pending():
                 chunk.future = None
                 chunk.running_since = None
-            return self._make_pool(broadcast, capture, monitor)
+            return self._make_pool(broadcast, capture, monitor, profile)
 
         while pending():
             # (Re)submit everything without a live future.  A chunk past

@@ -28,11 +28,15 @@ __all__ = ["initialize_worker", "run_chunk"]
 _broadcast: Optional[Broadcast] = None
 _capture: bool = False
 _monitor: bool = False
+_profile: bool = False
 _context: Optional[Dict[str, Any]] = None
 
 
 def initialize_worker(
-    broadcast: Optional[Broadcast], capture: bool, monitor: bool = False
+    broadcast: Optional[Broadcast],
+    capture: bool,
+    monitor: bool = False,
+    profile: bool = False,
 ) -> None:
     """Pool initialiser: stash the broadcast, detach inherited telemetry.
 
@@ -40,12 +44,17 @@ def initialize_worker(
     set, each captured chunk runs under its own
     :class:`~repro.telemetry.ResourceMonitor`, so worker
     ``resource_sample`` events ride back through the normal merge path.
+    ``profile`` mirrors the stack-sampling flag the same way: each
+    captured chunk runs under a
+    :class:`~repro.telemetry.profiling.StackProfiler` whose
+    ``profile_stacks`` aggregate ships back for the parent to merge.
     """
-    global _broadcast, _capture, _monitor, _context
+    global _broadcast, _capture, _monitor, _profile, _context
     telemetry.detach_run()
     _broadcast = broadcast
     _capture = capture
     _monitor = monitor
+    _profile = profile
     _context = None
 
 
@@ -70,7 +79,7 @@ def run_chunk(
     started = time.perf_counter()
     if _capture:
         with telemetry.session(
-            sink=telemetry.MemorySink(), resources=_monitor
+            sink=telemetry.MemorySink(), resources=_monitor, profile=_profile
         ) as run:
             # The chunk span is the worker-side timeline anchor: after the
             # parent merges it back (stamped with this worker's pid), trace
@@ -79,6 +88,11 @@ def run_chunk(
                 results = [
                     (index, fn(task, context)) for index, task in indexed_tasks
                 ]
+            if run.profiler is not None:
+                # Flush the chunk's stack aggregate into the sink before
+                # draining it, so the profile rides back in the payload.
+                run.profiler.stop()
+                run.profiler = None
             if run.monitor is not None:
                 # Stop before draining the sink so the final sample (and
                 # the monitor's metrics) make it into the payload.

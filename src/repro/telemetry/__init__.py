@@ -54,7 +54,20 @@ from .ledger import (
 )
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .monitor import ResourceMonitor, sample_resources
+from .profiling import (
+    DEFAULT_PROFILE_INTERVAL,
+    StackAggregate,
+    StackProfiler,
+    StackSampler,
+    build_speedscope,
+    function_totals,
+    merge_profile_events,
+    render_collapsed,
+    render_flamegraph_svg,
+    validate_speedscope,
+)
 from .progress import ProgressTracker
+from .scheduling import DeadlineScheduler
 from .run import (
     NULL_RUN,
     TelemetryLogHandler,
@@ -92,6 +105,17 @@ __all__ = [
     "MetricsRegistry",
     "ResourceMonitor",
     "sample_resources",
+    "DeadlineScheduler",
+    "DEFAULT_PROFILE_INTERVAL",
+    "StackAggregate",
+    "StackSampler",
+    "StackProfiler",
+    "merge_profile_events",
+    "function_totals",
+    "render_collapsed",
+    "build_speedscope",
+    "validate_speedscope",
+    "render_flamegraph_svg",
     "ProgressTracker",
     "Stopwatch",
     "SpanTracker",

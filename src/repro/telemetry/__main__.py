@@ -1,7 +1,15 @@
 """Entry point for ``python -m repro.telemetry``."""
 
+import os
 import sys
 
 from .cli import main
 
-sys.exit(main())
+try:
+    sys.exit(main())
+except BrokenPipeError:
+    # e.g. `python -m repro.telemetry flame <run> --format collapsed |
+    # head`.  Point stdout at devnull so the interpreter's shutdown
+    # flush doesn't raise a second time.
+    os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    sys.exit(0)

@@ -6,6 +6,7 @@ Usage::
     python -m repro.telemetry show results/telemetry/run-…  [--json]
     python -m repro.telemetry diff results/telemetry/run-A run-B
     python -m repro.telemetry trace results/telemetry/run-…
+    python -m repro.telemetry flame results/telemetry/run-…  [--format svg]
     python -m repro.telemetry forensics results/telemetry/run-…
     python -m repro.telemetry validate results/telemetry/run-…
     python -m repro.telemetry report results/telemetry [-o report.html]
@@ -14,7 +15,10 @@ Usage::
 per run; ``show`` renders a single run (the ``repro.experiments
 summary`` report, or the raw ledger record with ``--json``); ``diff``
 compares two runs' metrics/spans; ``trace`` (re-)exports a run's
-``trace.json`` for Perfetto; ``forensics`` renders the per-layer
+``trace.json`` for Perfetto; ``flame`` merges the run's sampled
+``profile_stacks`` aggregates (parent + workers) into a flamegraph SVG,
+collapsed-stack text, or a speedscope JSON profile; ``forensics``
+renders the per-layer
 deviation heatmap and first-divergence attribution of a run recorded
 with fault forensics enabled; ``validate`` checks every recorded event
 against the canonical registry (:mod:`repro.telemetry.schema`), exiting
@@ -92,6 +96,26 @@ def build_parser() -> argparse.ArgumentParser:
 
     trace = sub.add_parser("trace", help="(re-)export a run's trace.json")
     trace.add_argument("run", help="run directory (or parent; latest run wins)")
+
+    flame = sub.add_parser(
+        "flame",
+        help="export the run's merged sampling profile "
+        "(flamegraph SVG, collapsed stacks, or speedscope JSON)",
+    )
+    flame.add_argument("run", help="run directory (or parent; latest run wins)")
+    flame.add_argument(
+        "--format",
+        dest="fmt",
+        default="svg",
+        choices=("collapsed", "speedscope", "svg"),
+        help="output format (default: %(default)s)",
+    )
+    flame.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="write to this file instead of stdout",
+    )
 
     forensics = sub.add_parser(
         "forensics",
@@ -224,6 +248,55 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_flame(args: argparse.Namespace) -> int:
+    from .events import read_events
+    from .profiling import (
+        build_speedscope,
+        merge_profile_events,
+        profile_interval_of,
+        render_collapsed,
+        render_flamegraph_svg,
+    )
+
+    run_dir = find_run_dir(args.run)
+    _require_events(run_dir)
+    events = read_events(os.path.join(run_dir, "events.jsonl"))
+    merged = merge_profile_events(events)
+    if not merged.counts:
+        print(
+            f"error: run directory {run_dir!r} recorded no profile_stacks "
+            "events (was the run profiled? enable with "
+            "telemetry.session(..., profile=True) or --profile)",
+            file=sys.stderr,
+        )
+        return 2
+    interval = profile_interval_of(events)
+    if args.fmt == "collapsed":
+        rendered = render_collapsed(merged)
+    elif args.fmt == "speedscope":
+        rendered = json.dumps(
+            build_speedscope(
+                merged, name=os.path.basename(run_dir), interval=interval
+            ),
+            indent=2,
+        )
+    else:
+        rendered = render_flamegraph_svg(
+            merged,
+            title=f"CPU flamegraph — {os.path.basename(run_dir)}",
+            interval=interval,
+        )
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(rendered)
+            if not rendered.endswith("\n"):
+                handle.write("\n")
+        print(args.output)
+    else:
+        print(rendered)
+    return 0
+
+
 def _cmd_forensics(args: argparse.Namespace) -> int:
     from ..forensics.render import render_forensics
     from .events import read_events
@@ -287,6 +360,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "show": _cmd_show,
         "diff": _cmd_diff,
         "trace": _cmd_trace,
+        "flame": _cmd_flame,
         "forensics": _cmd_forensics,
         "validate": _cmd_validate,
         "report": _cmd_report,

@@ -34,7 +34,9 @@ from __future__ import annotations
 import os
 import sys
 import threading
-from typing import Optional
+from typing import Callable, Optional
+
+from .scheduling import DeadlineScheduler
 
 __all__ = ["ResourceMonitor", "sample_resources"]
 
@@ -130,15 +132,30 @@ class ResourceMonitor:
     on each of them (so even a monitor stopped immediately — e.g. around
     a short worker chunk — records the begin/end states), and a disabled
     run makes the whole monitor a no-op.  Usable as a context manager.
+
+    Sampling is paced by a :class:`~repro.telemetry.scheduling.
+    DeadlineScheduler` against absolute deadlines, so the period stays
+    ``interval`` regardless of how long each sample takes (a plain
+    ``Event.wait(interval)`` loop would drift by the sample cost every
+    tick).  ``clock``/``waiter`` are forwarded to the scheduler for
+    fake-clock tests.
     """
 
-    def __init__(self, run=None, interval: float = DEFAULT_INTERVAL) -> None:
+    def __init__(
+        self,
+        run=None,
+        interval: float = DEFAULT_INTERVAL,
+        clock: Optional[Callable[[], float]] = None,
+        waiter: Optional[Callable[[float], bool]] = None,
+    ) -> None:
         if interval <= 0:
             raise ValueError(f"interval must be positive, got {interval}")
         self.interval = interval
         self._run = run
         self._thread: Optional[threading.Thread] = None
         self._stop = threading.Event()
+        self._clock = clock
+        self._waiter = waiter
 
     @property
     def running(self) -> bool:
@@ -159,7 +176,10 @@ class ResourceMonitor:
         metrics.gauge("resource/cpu_seconds").set(sample["cpu_seconds"])
 
     def _loop(self) -> None:
-        while not self._stop.wait(self.interval):
+        scheduler = DeadlineScheduler(
+            self.interval, self._stop, clock=self._clock, waiter=self._waiter
+        )
+        while scheduler.wait_for_tick():
             self._record_sample()
 
     def start(self) -> "ResourceMonitor":

@@ -223,6 +223,28 @@ def _sweep_reports(events: List[dict]) -> List[dict]:
     return reports
 
 
+def _profile_summary(events: List[dict]) -> Optional[dict]:
+    """Merged sampling-profile digest of one run (None when unprofiled)."""
+    from .profiling import merge_profile_events, profile_interval_of
+
+    merged = merge_profile_events(events)
+    if not merged.counts:
+        return None
+    profile_events = [
+        event for event in events if event.get("kind") == "profile_stacks"
+    ]
+    return {
+        "samples": merged.samples,
+        "events": len(profile_events),
+        "worker_events": sum(
+            1 for event in profile_events
+            if event.get("worker_pid") is not None
+        ),
+        "interval": profile_interval_of(events),
+        "stacks": merged.to_wire(),
+    }
+
+
 def _collect_run(record: RunRecord) -> dict:
     events_path = os.path.join(record.run_dir, "events.jsonl")
     events: List[dict] = []
@@ -240,6 +262,7 @@ def _collect_run(record: RunRecord) -> dict:
         "methods": _methods_from_events(events, record.config),
         "resources": _resource_summary(record, events),
         "model_cost": _model_cost_totals(events),
+        "profile": _profile_summary(events),
         "forensics": _forensics_aggregates(events),
         "sweeps": _sweep_reports(events),
         "spans": [
@@ -674,6 +697,28 @@ def _render_run(run: dict) -> str:
                     _fmt_bytes(cost["activation_bytes"]),
                     str(cost["crossbar_cells"]),
                 ]],
+            )
+        )
+    profile = run.get("profile")
+    if profile:
+        from .profiling import StackAggregate, render_flamegraph_svg
+
+        aggregate = StackAggregate.from_wire(profile["stacks"])
+        worker_note = (
+            f" ({profile['worker_events']} worker aggregate(s) merged)"
+            if profile["worker_events"]
+            else ""
+        )
+        parts.append(
+            "<h4>CPU flamegraph</h4>"
+            f"<p class='meta'>{profile['samples']} stack samples at "
+            f"{profile['interval']:g}s{html.escape(worker_note)} · span-path "
+            "roots in blue · details: <code>python -m repro.telemetry "
+            "flame &lt;run&gt;</code></p>"
+            + render_flamegraph_svg(
+                aggregate,
+                title=f"CPU flamegraph — {run['run_id']}",
+                interval=profile["interval"],
             )
         )
     return "".join(parts)

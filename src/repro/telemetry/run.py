@@ -70,6 +70,12 @@ class TelemetryRun:
         :class:`~repro.telemetry.ResourceMonitor` sampling thread to the
         run (stopped automatically on :meth:`close`), and pooled
         ``repro.parallel`` workers start their own monitor per chunk.
+    profile:
+        When true, :meth:`start` attaches a
+        :class:`~repro.telemetry.profiling.StackProfiler` sampling this
+        thread's call stacks (flushed as one ``profile_stacks`` event on
+        :meth:`close`), and pooled ``repro.parallel`` workers profile
+        each chunk the same way.
     """
 
     def __init__(
@@ -79,6 +85,7 @@ class TelemetryRun:
         run_id: Optional[str] = None,
         config: Optional[dict] = None,
         resources: bool = False,
+        profile: bool = False,
     ) -> None:
         self.run_id = run_id if run_id is not None else new_run_id()
         self.config = dict(config) if config else {}
@@ -96,7 +103,9 @@ class TelemetryRun:
         self._closed = False
         self._started_at: Optional[float] = None
         self._resources = bool(resources)
+        self._profile = bool(profile)
         self.monitor = None
+        self.profiler = None
         self._once_keys: set = set()
 
     def emit(self, kind: str, **fields) -> Optional[dict]:
@@ -126,6 +135,11 @@ class TelemetryRun:
         """Whether this run wants resource sampling (parent and workers)."""
         return self.enabled and self._resources
 
+    @property
+    def profiling(self) -> bool:
+        """Whether this run wants stack sampling (parent and workers)."""
+        return self.enabled and self._profile
+
     def start(self) -> "TelemetryRun":
         self._started_at = time.time()
         self.emit("run_start", config=self.config, pid=os.getpid())
@@ -133,6 +147,10 @@ class TelemetryRun:
             from .monitor import ResourceMonitor
 
             self.monitor = ResourceMonitor(run=self).start()
+        if self.profiling:
+            from .profiling import StackProfiler
+
+            self.profiler = StackProfiler(run=self).start()
         return self
 
     def _provenance(self, finished_at: float) -> dict:
@@ -167,6 +185,12 @@ class TelemetryRun:
         if self._closed or not self.enabled:
             self._closed = True
             return
+        if self.profiler is not None:
+            # Stop the sampler before anything else: its profile_stacks
+            # event must land ahead of run_end, and the final samples
+            # should not show the close-out bookkeeping below.
+            self.profiler.stop()
+            self.profiler = None
         if self.monitor is not None:
             self.monitor.stop()
             self.monitor = None
@@ -216,6 +240,7 @@ def start_run(
     run_id: Optional[str] = None,
     config: Optional[dict] = None,
     resources: bool = False,
+    profile: bool = False,
 ) -> TelemetryRun:
     """Begin a run and install it as the process-wide current run."""
     global _current
@@ -229,6 +254,7 @@ def start_run(
         run_id=run_id,
         config=config,
         resources=resources,
+        profile=profile,
     ).start()
     return _current
 
@@ -262,6 +288,7 @@ def session(
     run_id: Optional[str] = None,
     config: Optional[dict] = None,
     resources: bool = False,
+    profile: bool = False,
 ):
     """``with telemetry.session(dir):`` — start_run/end_run bracketed."""
     run = start_run(
@@ -270,6 +297,7 @@ def session(
         run_id=run_id,
         config=config,
         resources=resources,
+        profile=profile,
     )
     try:
         yield run

@@ -1,0 +1,107 @@
+"""Drift-free periodic scheduling for sampling threads.
+
+The naive sampling loop —
+
+    while not stop.wait(interval):
+        sample()
+
+— has an effective period of ``interval + cost(sample)``: each wait
+starts only after the previous sample returns, so every tick inherits
+the cost of the work before it.  Over a long Monte Carlo run the ticks
+drift steadily later, the dashboard's RSS timeline becomes unevenly
+spaced, and "samples per second" quietly understates the configured
+rate.
+
+:class:`DeadlineScheduler` removes the drift by ticking against
+*absolute* deadlines on the monotonic clock: the k-th tick is due at
+``start + k * interval`` regardless of how long earlier ticks took.
+When the caller's work overruns one or more whole periods the missed
+deadlines are *skipped* (counted, not replayed), so a slow sample never
+triggers a burst of catch-up ticks.
+
+Both sampling threads in this package — the
+:class:`~repro.telemetry.ResourceMonitor` and the
+:class:`~repro.telemetry.profiling.StackSampler` — run their loops
+through one scheduler instance.  The clock and the wait primitive are
+injectable, so the scheduling behaviour is testable with a fake clock
+and no real sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Optional
+
+__all__ = ["DeadlineScheduler"]
+
+
+class DeadlineScheduler:
+    """Absolute-deadline tick source for a periodic sampling loop.
+
+    Parameters
+    ----------
+    interval:
+        Seconds between deadlines; must be positive.
+    stop:
+        :class:`threading.Event` that terminates the loop.
+    clock:
+        Monotonic clock returning seconds; defaults to
+        :func:`time.monotonic`.  Injectable for fake-clock tests.
+    waiter:
+        ``waiter(timeout) -> bool`` blocking until the stop event is set
+        (returning True) or the timeout elapses (returning False);
+        defaults to ``stop.wait``.  Injectable for fake-clock tests.
+
+    Usage::
+
+        scheduler = DeadlineScheduler(interval, stop_event)
+        while scheduler.wait_for_tick():
+            sample()
+
+    ``ticks`` counts deadlines that fired; ``skipped`` counts deadlines
+    abandoned because the loop body overran them.
+    """
+
+    def __init__(
+        self,
+        interval: float,
+        stop: threading.Event,
+        clock: Optional[Callable[[], float]] = None,
+        waiter: Optional[Callable[[float], bool]] = None,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self.interval = interval
+        self._stop = stop
+        self._clock = clock if clock is not None else time.monotonic
+        self._wait = waiter if waiter is not None else stop.wait
+        self._deadline: Optional[float] = None
+        self.ticks = 0
+        self.skipped = 0
+
+    def wait_for_tick(self) -> bool:
+        """Block until the next deadline; False once the loop must stop.
+
+        The first call establishes the deadline grid at ``now +
+        interval``.  Later calls advance one grid step; if the caller's
+        work already overran that step, whole missed periods are skipped
+        and the next tick realigns to the grid.
+        """
+        now = self._clock()
+        if self._deadline is None:
+            self._deadline = now + self.interval
+        else:
+            self._deadline += self.interval
+            if self._deadline <= now:
+                missed = int((now - self._deadline) / self.interval) + 1
+                self.skipped += missed
+                self._deadline += missed * self.interval
+        delay = self._deadline - now
+        if delay > 0:
+            if self._wait(delay):
+                return False
+        elif self._stop.is_set():
+            return False
+        self.ticks += 1
+        return True

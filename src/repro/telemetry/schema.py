@@ -239,6 +239,14 @@ EVENT_SCHEMAS: Dict[str, Dict[str, object]] = {
         ),
         "extra": False,
     },
+    'profile_stacks': {
+        "fields": (
+            'interval',
+            'samples',
+            'stacks',
+        ),
+        "extra": False,
+    },
     'progress_stall': {
         "fields": (
             'completed',

@@ -84,6 +84,7 @@ def summarize_run(path: str) -> dict:
         "fault_realization": None,
         "model_cost": [],
         "resources": None,
+        "profile": None,
         "forensics": None,
     }
     run_meta = _load_optional_json(os.path.join(run_dir, "run.json"))
@@ -103,6 +104,13 @@ def summarize_run(path: str) -> dict:
         "cpu_seconds": None,
         "heartbeats": 0,
         "stalls": 0,
+    }
+    profile = {
+        "events": 0,
+        "worker_events": 0,
+        "samples": 0,
+        "interval": None,
+        "stacks": {},
     }
     for event in events:
         kind = event["kind"]
@@ -172,6 +180,17 @@ def summarize_run(path: str) -> dict:
             resources["heartbeats"] += 1
         elif kind == "progress_stall":
             resources["stalls"] += 1
+        elif kind == "profile_stacks":
+            profile["events"] += 1
+            if event.get("worker_pid") is not None:
+                profile["worker_events"] += 1
+            profile["samples"] += int(event.get("samples") or 0)
+            if profile["interval"] is None and event.get("interval"):
+                profile["interval"] = float(event["interval"])
+            for key, count in (event.get("stacks") or {}).items():
+                profile["stacks"][key] = profile["stacks"].get(key, 0) + int(
+                    count
+                )
     summary["events_by_kind"] = dict(sorted(by_kind.items()))
     if by_kind.get("forensics_draw"):
         from ..forensics.render import forensics_summary
@@ -179,6 +198,12 @@ def summarize_run(path: str) -> dict:
         summary["forensics"] = forensics_summary(events)
     if resources["samples"] or resources["heartbeats"] or resources["stalls"]:
         summary["resources"] = resources
+    if profile["events"]:
+        from .profiling import StackAggregate, function_totals
+
+        aggregate = StackAggregate.from_wire(profile.pop("stacks"))
+        profile["functions"] = function_totals(aggregate)
+        summary["profile"] = profile
     if faults["injections"]:
         faulted = faults["sa0"] + faults["sa1"]
         faults["realized_p_sa"] = (
@@ -236,6 +261,40 @@ def _top_tables(summary: dict, top: int) -> List[str]:
             "",
             f"Slowest spans (top {min(top, len(ranked))} of {len(ranked)}):",
             format_table(["span", "count", "total", "mean", "procs"], rows),
+        ]
+
+    profile = summary.get("profile") or {}
+    functions = profile.get("functions") or {}
+    if functions:
+        samples = max(profile.get("samples") or 0, 1)
+        interval = profile.get("interval")
+        ranked_fns = sorted(
+            functions.items(),
+            key=lambda item: (-item[1]["self"], -item[1]["total"], item[0]),
+        )
+
+        def _est(count: int) -> str:
+            if not interval:
+                return "-"
+            return format_seconds(count * interval)
+
+        rows = [
+            [
+                name,
+                entry["self"],
+                f"{100.0 * entry['self'] / samples:.1f}%",
+                _est(entry["self"]),
+                f"{100.0 * entry['total'] / samples:.1f}%",
+            ]
+            for name, entry in ranked_fns[:top]
+        ]
+        lines += [
+            "",
+            f"Hottest functions by sampled self time "
+            f"(top {min(top, len(ranked_fns))} of {len(ranked_fns)}):",
+            format_table(
+                ["function", "self", "self %", "est self", "total %"], rows
+            ),
         ]
 
     histograms = (summary.get("metrics") or {}).get("histograms") or {}
@@ -395,6 +454,23 @@ def render_summary(summary: dict, top: Optional[int] = None) -> str:
                 else ""
             )
         )
+
+    profile = summary.get("profile")
+    if profile:
+        lines.append("")
+        interval = profile.get("interval")
+        line = (
+            f"Profile: {profile['samples']} stack samples across "
+            f"{profile['events']} aggregate(s) "
+            f"({profile['worker_events']} from workers)"
+        )
+        if interval:
+            line += (
+                f", {interval:g}s interval "
+                f"≈ {_format_seconds(profile['samples'] * interval)} sampled"
+            )
+        line += "  (flamegraph: python -m repro.telemetry flame <run>)"
+        lines.append(line)
 
     forensics = summary.get("forensics")
     if forensics:

@@ -90,6 +90,16 @@ class SpanTracker:
     def depth(self) -> int:
         return len(self._stack)
 
+    def current_path(self) -> Tuple[str, ...]:
+        """Snapshot of the open span names, outermost first.
+
+        Safe to call from another thread — the sampling profiler tags
+        every captured stack with it: ``tuple()`` of the list is a
+        single atomic copy under the GIL, so a concurrent push/pop can
+        only make the snapshot one span longer or shorter, never torn.
+        """
+        return tuple(self._stack)
+
     @contextmanager
     def span(self, name: str):
         """Time a scope; nest freely (``outer/inner`` paths in events)."""

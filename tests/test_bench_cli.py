@@ -86,6 +86,67 @@ def test_run_writes_schema_valid_bench_file(tmp_path, capsys):
     assert "faults/sample_fault_map" in captured
 
 
+def test_run_profile_stores_function_digests(tmp_path, capsys):
+    out = str(tmp_path / "BENCH_p.json")
+    code = bench_main(
+        [
+            "run",
+            "--suite",
+            "fast",
+            "--filter",
+            "telemetry/profile_collapse",
+            "-o",
+            out,
+            "--warmup",
+            "1",
+            "--min-repeats",
+            "3",
+            "--min-time",
+            "0.3",
+            "--profile",
+            "--quiet",
+        ]
+    )
+    assert code == 0
+    doc = load_bench(out)  # profile block must validate
+    case = doc["cases"]["telemetry/profile_collapse"]
+    profile = case["profile"]
+    assert profile["interval"] > 0
+    assert profile["repeats"] == case["repeats"]
+    # 0.3s of measured work at 100 Hz lands a healthy sample count.
+    assert profile["samples"] > 5
+    assert profile["functions"]
+    assert all(
+        entry["total"] >= entry["self"] >= 0
+        for entry in profile["functions"].values()
+    )
+
+
+def test_run_without_profile_omits_digest(tmp_path, capsys):
+    out = str(tmp_path / "BENCH_np.json")
+    code = bench_main(
+        [
+            "run",
+            "--filter",
+            "faults/sample_fault_map",
+            "-o",
+            out,
+            "--warmup",
+            "1",
+            "--min-repeats",
+            "3",
+            "--max-repeats",
+            "3",
+            "--min-time",
+            "0",
+            "--quiet",
+        ]
+    )
+    assert code == 0
+    case = load_bench(out)["cases"]["faults/sample_fault_map"]
+    assert "profile" not in case
+
+
 def test_run_unknown_filter_exits_2(capsys):
     assert bench_main(["run", "--filter", "zzz", "--quiet"]) == 2
     assert "no benchmark cases" in capsys.readouterr().err

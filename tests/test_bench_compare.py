@@ -6,12 +6,14 @@ import pytest
 
 from repro.bench import RunnerConfig, compare_benches, render_comparison
 from repro.bench.cli import main as bench_main
+from repro.bench.compare import attribute_comparison, attribute_functions
+from repro.bench.report import render_attribution
 from repro.bench.runner import CaseResult
 from repro.bench.schema import build_document, write_bench
 from repro.bench.stats import describe
 
 
-def _case(name, timings, params=None):
+def _case(name, timings, params=None, profile=None):
     return CaseResult(
         name=name,
         suite="fast",
@@ -20,6 +22,7 @@ def _case(name, timings, params=None):
         rejected=0,
         warmup=1,
         stats=describe(timings),
+        profile=profile,
     )
 
 
@@ -122,6 +125,101 @@ def test_render_comparison_mentions_verdict():
     assert "OK" in text
 
 
+# -- attribution ------------------------------------------------------------
+
+
+def _profile(functions, interval=0.01, repeats=10):
+    return {
+        "interval": interval,
+        "samples": sum(f["self"] for f in functions.values()),
+        "repeats": repeats,
+        "functions": functions,
+    }
+
+
+def test_attribute_functions_ranks_movers_by_abs_delta():
+    base = _case(
+        "a",
+        BASE_TIMINGS,
+        profile=_profile(
+            {
+                "f.py:hot": {"self": 10, "total": 10},
+                "f.py:steady": {"self": 5, "total": 15},
+            }
+        ),
+    )
+    cand = _case(
+        "a",
+        BASE_TIMINGS,
+        profile=_profile(
+            {
+                "f.py:hot": {"self": 40, "total": 40},
+                "f.py:steady": {"self": 5, "total": 45},
+                "f.py:fresh": {"self": 2, "total": 2},
+            }
+        ),
+    )
+    movers = attribute_functions(base.to_dict(), cand.to_dict())
+    assert [m["function"] for m in movers] == [
+        "f.py:hot",
+        "f.py:fresh",
+        "f.py:steady",
+    ]
+    # self seconds per repeat: samples * interval / repeats.
+    hot = movers[0]
+    assert hot["baseline_self"] == pytest.approx(10 * 0.01 / 10)
+    assert hot["candidate_self"] == pytest.approx(40 * 0.01 / 10)
+    assert hot["delta"] == pytest.approx(0.03)
+    # Functions present on one side only default the other side to 0.
+    assert movers[1]["baseline_self"] == 0.0
+    assert movers[2]["delta"] == pytest.approx(0.0)
+
+
+def test_attribute_functions_requires_profiles_on_both_sides():
+    plain = _case("a", BASE_TIMINGS)
+    profiled = _case(
+        "a",
+        BASE_TIMINGS,
+        profile=_profile({"f.py:hot": {"self": 3, "total": 3}}),
+    )
+    assert attribute_functions(plain.to_dict(), profiled.to_dict()) is None
+    assert attribute_functions(profiled.to_dict(), plain.to_dict()) is None
+    empty = _case("a", BASE_TIMINGS, profile=_profile({}))
+    assert attribute_functions(profiled.to_dict(), empty.to_dict()) is None
+
+
+def test_attribute_comparison_covers_only_mutually_profiled_cases():
+    functions = {"f.py:hot": {"self": 4, "total": 4}}
+    baseline = _doc(
+        [
+            _case("both", BASE_TIMINGS, profile=_profile(functions)),
+            _case("plain", BASE_TIMINGS),
+            _case("base_only", BASE_TIMINGS, profile=_profile(functions)),
+        ]
+    )
+    candidate = _doc(
+        [
+            _case("both", BASE_TIMINGS, profile=_profile(functions)),
+            _case("plain", BASE_TIMINGS),
+            _case("cand_only", BASE_TIMINGS, profile=_profile(functions)),
+        ]
+    )
+    attribution = attribute_comparison(baseline, candidate)
+    assert list(attribution) == ["both"]
+
+
+def test_render_attribution_marks_regressed_cases():
+    functions = {"f.py:hot": {"self": 4, "total": 4}}
+    slower = {"f.py:hot": {"self": 9, "total": 9}}
+    baseline = _doc([_case("a", BASE_TIMINGS, profile=_profile(functions))])
+    candidate = _doc([_case("a", BASE_TIMINGS, profile=_profile(slower))])
+    attribution = attribute_comparison(baseline, candidate)
+    text = render_attribution(attribution, top=5, regressed=["a"])
+    assert "REGRESSION" in text
+    assert "f.py:hot" in text
+    assert "no attribution" in render_attribution({})
+
+
 # -- CLI exit codes ---------------------------------------------------------
 
 
@@ -150,6 +248,48 @@ def test_cli_compare_json_output(tmp_path, capsys):
     payload = json.loads(capsys.readouterr().out)
     assert payload["ok"] is True
     assert payload["deltas"][0]["name"] == "a"
+
+
+def test_cli_compare_attribute_prints_movers(tmp_path, capsys):
+    base_path = str(tmp_path / "BENCH_base.json")
+    cand_path = str(tmp_path / "BENCH_cand.json")
+    functions = {"f.py:hot": {"self": 4, "total": 4}}
+    slower = {"f.py:hot": {"self": 9, "total": 9}}
+    write_bench(
+        base_path, _doc([_case("a", BASE_TIMINGS, profile=_profile(functions))])
+    )
+    write_bench(
+        cand_path, _doc([_case("a", BASE_TIMINGS, profile=_profile(slower))])
+    )
+    assert bench_main(["compare", base_path, cand_path, "--attribute"]) == 0
+    out = capsys.readouterr().out
+    assert "f.py:hot" in out
+    assert "Δ/repeat" in out
+
+    import json
+
+    assert (
+        bench_main(["compare", base_path, cand_path, "--attribute", "--json"])
+        == 0
+    )
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["attribution"]["a"][0]["function"] == "f.py:hot"
+
+
+def test_cli_compare_attribute_without_profiles_says_so(tmp_path, capsys):
+    base_path = str(tmp_path / "BENCH_base.json")
+    write_bench(base_path, _doc([_case("a", BASE_TIMINGS)]))
+    assert bench_main(["compare", base_path, base_path, "--attribute"]) == 0
+    assert "no attribution available" in capsys.readouterr().out
+
+
+def test_cli_compare_attribute_rejects_non_positive(tmp_path, capsys):
+    base_path = str(tmp_path / "BENCH_base.json")
+    write_bench(base_path, _doc([_case("a", BASE_TIMINGS)]))
+    assert (
+        bench_main(["compare", base_path, base_path, "--attribute", "0"]) == 2
+    )
+    assert "--attribute" in capsys.readouterr().err
 
 
 def test_cli_compare_rejects_invalid_files(tmp_path, capsys):

@@ -183,7 +183,7 @@ def test_baseline_matching_is_count_aware(tree, capsys):
 # -- rules ------------------------------------------------------------------
 
 
-ALL_RULE_IDS = [f"RL{i:03d}" for i in range(1, 16)]
+ALL_RULE_IDS = [f"RL{i:03d}" for i in range(1, 17)]
 
 
 def test_rules_lists_all(capsys):

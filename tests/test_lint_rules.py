@@ -30,7 +30,7 @@ def rules_fired(findings):
 
 def test_all_rules_registered():
     ids = [rule.id for rule in default_registry().rules()]
-    assert ids == [f"RL{i:03d}" for i in range(1, 16)]
+    assert ids == [f"RL{i:03d}" for i in range(1, 17)]
 
 
 def test_rule_metadata_complete():
@@ -529,6 +529,92 @@ def test_rl010_allows_timing_module_and_perf_counter():
         path="src/repro/core/fast.py",
         module="repro.core.fast",
     )
+
+
+# -- RL016 foreign-profiler --------------------------------------------------
+
+
+def test_rl016_flags_cprofile_import():
+    findings = lint_snippet(
+        """
+        import cProfile
+
+        def profile_it(fn):
+            cProfile.run("fn()")
+        """,
+        path="src/repro/core/hot.py",
+        module="repro.core.hot",
+    )
+    assert "RL016" in rules_fired(findings)
+
+
+def test_rl016_flags_trace_hooks_and_frame_reads():
+    findings = lint_snippet(
+        """
+        import sys
+        import threading
+
+        def hook(profiler):
+            sys.setprofile(profiler)
+            sys.settrace(profiler)
+            threading.setprofile(profiler)
+            frames = sys._current_frames()
+            return frames
+        """,
+        path="src/repro/core/hooks.py",
+        module="repro.core.hooks",
+    )
+    assert [f.rule for f in findings] == ["RL016"] * 4
+    assert all(f.severity == "error" for f in findings)
+
+
+def test_rl016_flags_from_import():
+    findings = lint_snippet(
+        """
+        from cProfile import Profile
+
+        p = Profile()
+        """,
+        path="src/repro/core/hot.py",
+        module="repro.core.hot",
+    )
+    assert "RL016" in rules_fired(findings)
+
+
+def test_rl016_allows_the_sampling_profiler_module():
+    snippet = """
+        import sys
+
+        def sample(ident):
+            return sys._current_frames().get(ident)
+    """
+    assert not lint_snippet(
+        snippet,
+        path="src/repro/telemetry/profiling.py",
+        module="repro.telemetry.profiling",
+    )
+    # Same code anywhere else fires.
+    assert "RL016" in rules_fired(
+        lint_snippet(
+            snippet,
+            path="src/repro/core/peek.py",
+            module="repro.core.peek",
+        )
+    )
+
+
+def test_rl016_ignores_unrelated_profile_names():
+    findings = lint_snippet(
+        """
+        from repro.telemetry import profiling
+
+        def shape_profile(model):
+            return model.profile()
+        """,
+        path="src/repro/core/shapes.py",
+        module="repro.core.shapes",
+    )
+    assert "RL016" not in rules_fired(findings)
 
 
 # -- suppressions -----------------------------------------------------------
